@@ -1,0 +1,83 @@
+// Command polbench regenerates the evaluation chapter: Tables 5.1–5.4 and
+// Figures 5.1–5.5, rendered as text tables and ASCII bar charts.
+//
+//	polbench -tables          # Tables 5.1–5.4
+//	polbench -figures         # Figures 5.2–5.5 (a–d)
+//	polbench -fig 5.3b        # one figure
+//	polbench -seed 7          # change the experiment seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"agnopol/internal/core"
+	"agnopol/internal/sim"
+)
+
+func main() {
+	var (
+		tables   = flag.Bool("tables", false, "regenerate Tables 5.1–5.4")
+		figures  = flag.Bool("figures", false, "regenerate Figures 5.2–5.5")
+		analysis = flag.Bool("analysis", false, "regenerate Fig 5.1 (conservative analysis)")
+		fig      = flag.String("fig", "", "regenerate one figure, e.g. 5.3b")
+		seed     = flag.Uint64("seed", 7, "experiment seed")
+	)
+	flag.Parse()
+	if !*tables && !*figures && !*analysis && *fig == "" {
+		*tables, *figures, *analysis = true, true, true
+	}
+
+	if *analysis {
+		compiled, err := core.CompilePoL()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Fig 5.1 — conservative analysis of the smart contract ==")
+		fmt.Print(compiled.Report)
+		fmt.Println()
+		fmt.Print(compiled.Analysis)
+		fmt.Println()
+	}
+
+	if *fig != "" {
+		for _, spec := range sim.FigureSpecs {
+			if strings.Contains(spec.ID, "Fig "+*fig+" ") {
+				runFigure(spec, *seed)
+				return
+			}
+		}
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+
+	if *figures {
+		for _, spec := range sim.FigureSpecs {
+			runFigure(spec, *seed)
+		}
+	}
+
+	if *tables {
+		ts, _, err := sim.RunTables(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range ts {
+			fmt.Println(t)
+		}
+	}
+}
+
+func runFigure(spec sim.FigureSpec, seed uint64) {
+	f, _, err := sim.RunFigure(spec, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "polbench: %v\n", err)
+	os.Exit(1)
+}

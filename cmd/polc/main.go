@@ -1,0 +1,68 @@
+// Command polc compiles the proof-of-location contract with the
+// blockchain-agnostic compiler and prints what the Reach toolchain printed
+// in the thesis: the verification report (Fig. 2.11), the conservative
+// resource analysis (Fig. 5.1), and optionally the generated backends
+// (EVM disassembly, TEAL source — the index.main.mjs analogue).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"agnopol/internal/core"
+	"agnopol/internal/evm"
+	"agnopol/internal/lang"
+)
+
+func main() {
+	var (
+		showEVM  = flag.Bool("evm", false, "print the EVM disassembly")
+		showTEAL = flag.Bool("teal", false, "print the generated TEAL source")
+		analyze  = flag.Bool("analyze", true, "print the conservative analysis (Fig 5.1)")
+		v2       = flag.Bool("v2", false, "compile the extended contract (deadline + witness rewards)")
+		src      = flag.String("src", "", "compile a .pol source file instead of the built-in contract")
+	)
+	flag.Parse()
+
+	var compiled *lang.Compiled
+	var err error
+	switch {
+	case *src != "":
+		data, rerr := os.ReadFile(*src)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "polc: %v\n", rerr)
+			os.Exit(1)
+		}
+		var prog *lang.Program
+		prog, err = lang.ParseSource(string(data))
+		if err == nil {
+			compiled, err = lang.Compile(prog, lang.Options{MaxBytesLen: 512})
+		}
+	case *v2:
+		compiled, err = core.CompilePoLV2()
+	default:
+		compiled, err = core.CompilePoL()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polc: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Print(compiled.Report)
+	fmt.Println()
+
+	if *analyze {
+		fmt.Print(compiled.Analysis)
+		fmt.Println()
+	}
+	if *showEVM {
+		fmt.Println("=== EVM backend ===")
+		fmt.Print(evm.Disassemble(compiled.EVMCode))
+		fmt.Println()
+	}
+	if *showTEAL {
+		fmt.Println("=== TEAL backend ===")
+		fmt.Print(compiled.TEALSource)
+	}
+}

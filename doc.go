@@ -1,0 +1,12 @@
+// Package agnopol is a full reproduction of "Proof of Location through a
+// Blockchain Agnostic Smart Contract Language: Design and Evaluation over
+// Algorand and Ethereum": a decentralized proof-of-location system built on
+// a Reach-style contract language compiled to EVM and AVM backends, chain
+// simulators for Ropsten/Goerli/Polygon/Algorand, a hypercube DHT keyed by
+// Open Location Codes, an IPFS-style content store and a W3C-DID identity
+// layer.
+//
+// The library lives under internal/; runnable entry points are in cmd/ and
+// examples/; bench_test.go regenerates every table and figure of the
+// paper's evaluation chapter. See README.md, DESIGN.md and EXPERIMENTS.md.
+package agnopol

@@ -1,0 +1,3 @@
+module agnopol
+
+go 1.22

@@ -1,0 +1,183 @@
+package algorand
+
+import (
+	"errors"
+	"fmt"
+
+	"agnopol/internal/avm"
+	"agnopol/internal/chain"
+)
+
+// Algorand Standard Assets — the §2.8 extension: "in the future will be
+// possible to create a new token and transfer it, using the Algorand
+// Standard Assets (ASAs), instead of using the native cryptocurrency."
+// The crowdsensing application can mint its own reward token (e.g. GREEN)
+// and pay provers in it.
+
+// Asset is an ASA's immutable configuration.
+type Asset struct {
+	ID       uint64
+	Creator  chain.Address
+	Name     string
+	UnitName string
+	Total    uint64
+	Decimals uint32
+	CreateAt uint64 // round
+}
+
+// ASA errors.
+var (
+	ErrAssetNotFound  = errors.New("algorand: asset not found")
+	ErrNotOptedIn     = errors.New("algorand: receiver not opted in to asset")
+	ErrAssetShort     = errors.New("algorand: insufficient asset balance")
+	ErrAlreadyOptedIn = errors.New("algorand: already opted in")
+)
+
+// assetState is the ledger-side ASA bookkeeping.
+type assetState struct {
+	assets   map[uint64]*Asset
+	holdings map[chain.Address]map[uint64]uint64
+	assetSeq uint64
+}
+
+func newAssetState() *assetState {
+	return &assetState{
+		assets:   make(map[uint64]*Asset),
+		holdings: make(map[chain.Address]map[uint64]uint64),
+	}
+}
+
+func (s *assetState) clone() *assetState {
+	cp := newAssetState()
+	cp.assetSeq = s.assetSeq
+	for id, a := range s.assets {
+		aa := *a
+		cp.assets[id] = &aa
+	}
+	for addr, m := range s.holdings {
+		mm := make(map[uint64]uint64, len(m))
+		for id, v := range m {
+			mm[id] = v
+		}
+		cp.holdings[addr] = mm
+	}
+	return cp
+}
+
+// create mints a new asset; the creator holds the entire supply and is
+// implicitly opted in.
+func (s *assetState) create(creator chain.Address, name, unit string, total uint64, decimals uint32, round uint64) *Asset {
+	s.assetSeq++
+	a := &Asset{
+		ID: s.assetSeq, Creator: creator, Name: name, UnitName: unit,
+		Total: total, Decimals: decimals, CreateAt: round,
+	}
+	s.assets[a.ID] = a
+	s.optIn(creator, a.ID)
+	s.holdings[creator][a.ID] = total
+	return a
+}
+
+func (s *assetState) optedIn(addr chain.Address, assetID uint64) bool {
+	_, ok := s.holdings[addr][assetID]
+	return ok
+}
+
+func (s *assetState) optIn(addr chain.Address, assetID uint64) {
+	m, ok := s.holdings[addr]
+	if !ok {
+		m = make(map[uint64]uint64)
+		s.holdings[addr] = m
+	}
+	if _, ok := m[assetID]; !ok {
+		m[assetID] = 0
+	}
+}
+
+func (s *assetState) transfer(assetID uint64, from, to chain.Address, amount uint64) error {
+	if _, ok := s.assets[assetID]; !ok {
+		return fmt.Errorf("%w: %d", ErrAssetNotFound, assetID)
+	}
+	if !s.optedIn(to, assetID) {
+		return fmt.Errorf("%w: %s / asset %d", ErrNotOptedIn, to, assetID)
+	}
+	if s.holdings[from][assetID] < amount {
+		return fmt.Errorf("%w: %s holds %d of asset %d, needs %d",
+			ErrAssetShort, from, s.holdings[from][assetID], assetID, amount)
+	}
+	s.holdings[from][assetID] -= amount
+	s.holdings[to][assetID] += amount
+	return nil
+}
+
+// Asset returns an asset's configuration.
+func (c *Chain) Asset(id uint64) (*Asset, bool) {
+	a, ok := c.led.asa.assets[id]
+	return a, ok
+}
+
+// AssetBalance returns an account's holding of an asset (0 when not opted
+// in; use OptedInAsset to distinguish).
+func (c *Chain) AssetBalance(addr chain.Address, assetID uint64) uint64 {
+	return c.led.asa.holdings[addr][assetID]
+}
+
+// OptedInAsset reports whether an account holds (possibly zero of) the
+// asset.
+func (c *Chain) OptedInAsset(addr chain.Address, assetID uint64) bool {
+	return c.led.asa.optedIn(addr, assetID)
+}
+
+// CreateAsset submits an asset-creation transaction and returns the new
+// asset ID.
+func (cl *Client) CreateAsset(acct *Account, name, unit string, total uint64, decimals uint32) (*chain.Receipt, uint64, error) {
+	tx := &Tx{
+		Type: TxAssetCreate, Sender: acct.Address, Fee: MinFee,
+		AssetName: name, AssetUnit: unit, Amount: total, AssetDecimals: decimals,
+	}
+	tx.Sign(acct)
+	rcpt, err := cl.SubmitAndWait(Group{tx})
+	if err != nil {
+		return nil, 0, err
+	}
+	if rcpt.Reverted {
+		return rcpt, 0, fmt.Errorf("algorand: asset creation failed: %s", rcpt.RevertMsg)
+	}
+	id, err := avm.Btoi(rcpt.ReturnValue)
+	if err != nil {
+		return rcpt, 0, err
+	}
+	return rcpt, id, nil
+}
+
+// OptInAsset opts the account in to an asset (a zero self-transfer on the
+// real network).
+func (cl *Client) OptInAsset(acct *Account, assetID uint64) (*chain.Receipt, error) {
+	tx := &Tx{Type: TxAssetOptIn, Sender: acct.Address, Fee: MinFee, AssetID: assetID}
+	tx.Sign(acct)
+	rcpt, err := cl.SubmitAndWait(Group{tx})
+	if err != nil {
+		return nil, err
+	}
+	if rcpt.Reverted {
+		return rcpt, fmt.Errorf("algorand: opt-in failed: %s", rcpt.RevertMsg)
+	}
+	return rcpt, nil
+}
+
+// TransferAsset moves ASA units.
+func (cl *Client) TransferAsset(acct *Account, assetID uint64, to chain.Address, amount uint64) (*chain.Receipt, error) {
+	tx := &Tx{
+		Type: TxAssetTransfer, Sender: acct.Address, Fee: MinFee,
+		AssetID: assetID, Receiver: to, Amount: amount,
+	}
+	tx.Sign(acct)
+	rcpt, err := cl.SubmitAndWait(Group{tx})
+	if err != nil {
+		return nil, err
+	}
+	if rcpt.Reverted {
+		return rcpt, fmt.Errorf("algorand: asset transfer failed: %s", rcpt.RevertMsg)
+	}
+	return rcpt, nil
+}

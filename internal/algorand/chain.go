@@ -1,0 +1,457 @@
+package algorand
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"agnopol/internal/avm"
+	"agnopol/internal/chain"
+	"agnopol/internal/polcrypto"
+)
+
+// TxType discriminates transaction kinds.
+type TxType int
+
+// Transaction kinds.
+const (
+	TxPay TxType = iota
+	TxAppCreate
+	TxAppCall
+	TxAssetCreate
+	TxAssetOptIn
+	TxAssetTransfer
+)
+
+// Tx is one Algorand transaction.
+type Tx struct {
+	Type   TxType
+	Sender chain.Address
+	Fee    uint64
+
+	// Payment fields.
+	Receiver chain.Address
+	Amount   uint64
+
+	// Application fields.
+	AppID        uint64 // 0 for create
+	Source       string // TEAL source, for create
+	Args         [][]byte
+	OnCompletion uint64
+
+	// Asset fields (ASA extension, §2.8). Amount doubles as the asset
+	// amount for transfers and the total supply for creation.
+	AssetID       uint64
+	AssetName     string
+	AssetUnit     string
+	AssetDecimals uint32
+
+	PubKey ed25519.PublicKey
+	Sig    []byte
+}
+
+func (tx *Tx) sigMessage() []byte {
+	var buf []byte
+	buf = append(buf, byte(tx.Type))
+	buf = append(buf, tx.Sender[:]...)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], tx.Fee)
+	buf = append(buf, n[:]...)
+	buf = append(buf, tx.Receiver[:]...)
+	binary.BigEndian.PutUint64(n[:], tx.Amount)
+	buf = append(buf, n[:]...)
+	binary.BigEndian.PutUint64(n[:], tx.AppID)
+	buf = append(buf, n[:]...)
+	binary.BigEndian.PutUint64(n[:], tx.AssetID)
+	buf = append(buf, n[:]...)
+	buf = append(buf, tx.AssetName...)
+	buf = append(buf, tx.AssetUnit...)
+	binary.BigEndian.PutUint64(n[:], uint64(tx.AssetDecimals))
+	buf = append(buf, n[:]...)
+	buf = append(buf, tx.Source...)
+	for _, a := range tx.Args {
+		buf = append(buf, a...)
+	}
+	h := polcrypto.Hash(buf)
+	return h[:]
+}
+
+// Sign attaches the sender's signature.
+func (tx *Tx) Sign(acct *Account) {
+	tx.PubKey = acct.Key.Public
+	tx.Sig = acct.Key.Sign(tx.sigMessage())
+}
+
+// Verify checks the signature.
+func (tx *Tx) Verify() error {
+	if chain.AddressFromPublicKey(tx.PubKey) != tx.Sender {
+		return errors.New("algorand: sender does not match public key")
+	}
+	if !polcrypto.Verify(tx.PubKey, tx.sigMessage(), tx.Sig) {
+		return polcrypto.ErrBadSignature
+	}
+	return nil
+}
+
+// Group is an atomic transaction group.
+type Group []*Tx
+
+// Hash identifies the group.
+func (g Group) Hash() chain.Hash32 {
+	var buf []byte
+	for _, tx := range g {
+		buf = append(buf, tx.sigMessage()...)
+		buf = append(buf, tx.Sig...)
+	}
+	return chain.Hash32(polcrypto.Hash(buf))
+}
+
+// Block is one certified round.
+type Block struct {
+	Round    uint64
+	Time     time.Duration
+	Seed     chain.Hash32
+	PrevSeed chain.Hash32
+	Proposer Credential
+	Cert     *Certificate
+	Groups   []chain.Hash32
+	Hash     chain.Hash32
+}
+
+type pendingGroup struct {
+	group     Group
+	submitted time.Duration
+}
+
+// Chain is the simulated Algorand network.
+type Chain struct {
+	cfg   Config
+	clock *chain.Clock
+	rng   *chain.Rand
+	led   *ledger
+
+	participants []*Participant
+	partsByAddr  map[chain.Address]*Participant
+	totalStake   uint64
+
+	blocks   []*Block
+	pending  []*pendingGroup
+	receipts map[chain.Hash32]*chain.Receipt
+	feeSink  chain.Address
+}
+
+// NewChain builds a network from a preset and seed.
+func NewChain(cfg Config, seed uint64) *Chain {
+	c := &Chain{
+		cfg:         cfg,
+		clock:       chain.NewClock(),
+		rng:         chain.NewRand(seed).Fork("algorand:" + cfg.Name),
+		led:         newLedger(),
+		partsByAddr: make(map[chain.Address]*Participant),
+		receipts:    make(map[chain.Hash32]*chain.Receipt),
+		feeSink:     chain.AddressFromBytes([]byte("algorand-fee-sink")),
+	}
+	keyRng := c.rng.Fork("participants")
+	stakeRng := c.rng.Fork("stakes")
+	for i := 0; i < cfg.ParticipantCount; i++ {
+		kp := polcrypto.MustGenerateKeyPair(keyRng)
+		p := &Participant{
+			Key:     kp,
+			Address: chain.AddressFromPublicKey(kp.Public),
+			// Pure PoS: no minimum stake; spread stakes over an order of
+			// magnitude.
+			Stake: 1000 + stakeRng.Uint64n(9000),
+		}
+		c.participants = append(c.participants, p)
+		c.partsByAddr[p.Address] = p
+		c.totalStake += p.Stake
+	}
+	genesis := &Block{Round: 0, Time: 0}
+	genesis.Seed = chain.Hash32(polcrypto.Hash([]byte("algorand-genesis:" + cfg.Name)))
+	genesis.Hash = genesis.Seed
+	c.blocks = append(c.blocks, genesis)
+	return c
+}
+
+// Config returns the network configuration.
+func (c *Chain) Config() Config { return c.cfg }
+
+// Now returns current simulated time.
+func (c *Chain) Now() time.Duration { return c.clock.Now() }
+
+// Head returns the latest certified block.
+func (c *Chain) Head() *Block { return c.blocks[len(c.blocks)-1] }
+
+// NewAccount creates and funds an account.
+func (c *Chain) NewAccount(microAlgos uint64) *Account {
+	kp := polcrypto.MustGenerateKeyPair(c.rng.Fork("account"))
+	addr := chain.AddressFromPublicKey(kp.Public)
+	c.led.balances[addr] += microAlgos
+	return &Account{Key: kp, Address: addr}
+}
+
+// Balance returns an account balance as an Amount.
+func (c *Chain) Balance(addr chain.Address) chain.Amount {
+	return chain.NewAmount(microToBig(c.led.balances[addr]), c.cfg.Unit)
+}
+
+// AppAddress returns the escrow address of an application.
+func (c *Chain) AppAddress(appID uint64) chain.Address { return c.led.AppAddress(appID) }
+
+// AppGlobal reads one global state entry of an application.
+func (c *Chain) AppGlobal(appID uint64, key string) (avm.Value, bool) {
+	return c.led.GlobalGet(appID, key)
+}
+
+// App returns a deployed application.
+func (c *Chain) App(appID uint64) (*App, bool) {
+	a := c.led.app(appID)
+	if a == nil {
+		return nil, false
+	}
+	return a, true
+}
+
+// Submit queues a signed group for the next round.
+func (c *Chain) Submit(g Group) (chain.Hash32, error) {
+	if len(g) == 0 {
+		return chain.Hash32{}, errors.New("algorand: empty group")
+	}
+	for _, tx := range g {
+		if err := tx.Verify(); err != nil {
+			return chain.Hash32{}, err
+		}
+		if tx.Fee < MinFee {
+			return chain.Hash32{}, fmt.Errorf("algorand: fee %d below min fee %d", tx.Fee, MinFee)
+		}
+	}
+	c.pending = append(c.pending, &pendingGroup{group: g, submitted: c.clock.Now()})
+	return g.Hash(), nil
+}
+
+// Receipt returns the receipt of a processed group.
+func (c *Chain) Receipt(h chain.Hash32) (*chain.Receipt, bool) {
+	r, ok := c.receipts[h]
+	return r, ok
+}
+
+// Step runs one consensus round: sortition selects the proposer and
+// committee, the proposer assembles the block from all propagated groups
+// (capacity is never the bottleneck at our scale), the committee certifies,
+// and the block is final immediately.
+func (c *Chain) Step() *Block {
+	roundNum := uint64(len(c.blocks))
+	roundTime := time.Duration(roundNum) * c.cfg.RoundDuration
+	c.clock.AdvanceTo(roundTime)
+	prev := c.Head()
+
+	// Leader selection by VRF sortition; lowest sub-user priority wins.
+	propSeed := sortitionSeed(prev.Seed, roundNum, "propose")
+	candidates := runSortition(c.participants, c.totalStake, propSeed, c.cfg.ExpectedProposers)
+	if len(candidates) == 0 {
+		// No proposer selected this round (possible with small expected
+		// sizes): empty round, seed still advances.
+		candidates = runSortition(c.participants, c.totalStake, propSeed, float64(len(c.participants)))
+	}
+	leader := candidates[0]
+	best := proposalPriority(leader)
+	for _, cand := range candidates[1:] {
+		if p := proposalPriority(cand); lessBytes(p[:], best[:]) {
+			leader, best = cand, p
+		}
+	}
+
+	c.led.round = roundNum
+	c.led.time = uint64(roundTime / time.Second)
+
+	blk := &Block{
+		Round:    roundNum,
+		Time:     roundTime,
+		PrevSeed: prev.Seed,
+		Proposer: leader,
+	}
+	blk.Seed = chain.Hash32(polcrypto.Hash(prev.Seed[:], leader.Output[:]))
+
+	var remaining []*pendingGroup
+	for _, p := range c.pending {
+		if p.submitted >= roundTime {
+			remaining = append(remaining, p)
+			continue
+		}
+		rcpt := c.executeGroup(p.group, blk)
+		rcpt.Submitted = p.submitted
+		c.receipts[p.group.Hash()] = rcpt
+		blk.Groups = append(blk.Groups, p.group.Hash())
+	}
+	c.pending = remaining
+
+	blk.Hash = chain.Hash32(polcrypto.Hash(blk.Seed[:], hashGroups(blk.Groups)))
+
+	// Committee certification: BA voting steps run until the accumulated
+	// sortition weight reaches the certification threshold.
+	cert := &Certificate{BlockHash: blk.Hash}
+	need := uint64(c.cfg.CertThreshold * c.cfg.ExpectedCommittee)
+	weight := uint64(0)
+	for step := uint64(0); weight < need && step < 16; step++ {
+		comSeed := committeeSeed(prev.Seed, roundNum, step)
+		committee := runSortition(c.participants, c.totalStake, comSeed, c.cfg.ExpectedCommittee)
+		for _, cred := range committee {
+			p := c.partsByAddr[cred.Participant]
+			msg := append(append([]byte("vote:"), blk.Hash[:]...), comSeed...)
+			cert.Votes = append(cert.Votes, Vote{
+				Credential: cred,
+				BlockHash:  blk.Hash,
+				Step:       step,
+				Signature:  p.Key.Sign(msg),
+			})
+			weight += cred.SubUsers
+		}
+	}
+	blk.Cert = cert
+	c.blocks = append(c.blocks, blk)
+	return blk
+}
+
+func hashGroups(hs []chain.Hash32) []byte {
+	var buf []byte
+	for _, h := range hs {
+		buf = append(buf, h[:]...)
+	}
+	sum := polcrypto.Hash(buf)
+	return sum[:]
+}
+
+// executeGroup applies one atomic group. On any failure the whole group is
+// rolled back; fees are charged regardless (the network did the work).
+func (c *Chain) executeGroup(g Group, blk *Block) *chain.Receipt {
+	rcpt := &chain.Receipt{
+		TxHash:      g.Hash(),
+		BlockNumber: blk.Round,
+		Included:    blk.Time,
+	}
+	snap := c.led.snapshot()
+
+	totalFee := uint64(0)
+	for _, tx := range g {
+		totalFee += tx.Fee
+	}
+
+	// Fees first; insufficient fee balance fails the group outright.
+	for _, tx := range g {
+		if c.led.balances[tx.Sender] < tx.Fee {
+			c.led.restore(snap)
+			rcpt.Reverted = true
+			rcpt.RevertMsg = "insufficient balance for fee"
+			rcpt.Fee = chain.NewAmount(microToBig(0), c.cfg.Unit)
+			return rcpt
+		}
+		c.led.balances[tx.Sender] -= tx.Fee
+		c.led.balances[c.feeSink] += tx.Fee
+	}
+
+	// The group's payment (if any) feeds `gtxn 0 Amount`.
+	payAmount := uint64(0)
+
+	err := func() error {
+		for _, tx := range g {
+			switch tx.Type {
+			case TxPay:
+				if err := c.led.Pay(tx.Sender, tx.Receiver, tx.Amount); err != nil {
+					return err
+				}
+				payAmount = tx.Amount
+			case TxAppCreate:
+				prog, err := avm.Parse(tx.Source)
+				if err != nil {
+					return fmt.Errorf("algorand: approval program: %w", err)
+				}
+				c.led.appSeq++
+				id := c.led.appSeq
+				c.led.apps[id] = &App{
+					ID: id, Creator: tx.Sender, Program: prog, Source: tx.Source,
+					Globals: make(map[string]avm.Value), CreateAt: blk.Round,
+				}
+				res := avm.Execute(prog, c.led, avm.TxContext{
+					Sender: tx.Sender, AppID: id, CreateMode: true,
+					Args: tx.Args, PayAmount: payAmount, Fee: tx.Fee,
+					BudgetTxns: len(g),
+				})
+				rcpt.GasUsed += res.Cost
+				rcpt.Logs = append(rcpt.Logs, res.Logs...)
+				if !res.Approved {
+					return fmt.Errorf("algorand: creation rejected: %w", errOf(res))
+				}
+				rcpt.ReturnValue = appIDBytes(id)
+			case TxAssetCreate:
+				a := c.led.asa.create(tx.Sender, tx.AssetName, tx.AssetUnit, tx.Amount, tx.AssetDecimals, blk.Round)
+				rcpt.ReturnValue = avm.Itob(a.ID)
+			case TxAssetOptIn:
+				if _, ok := c.led.asa.assets[tx.AssetID]; !ok {
+					return fmt.Errorf("%w: %d", ErrAssetNotFound, tx.AssetID)
+				}
+				if c.led.asa.optedIn(tx.Sender, tx.AssetID) {
+					return fmt.Errorf("%w: %s / asset %d", ErrAlreadyOptedIn, tx.Sender, tx.AssetID)
+				}
+				c.led.asa.optIn(tx.Sender, tx.AssetID)
+			case TxAssetTransfer:
+				if err := c.led.asa.transfer(tx.AssetID, tx.Sender, tx.Receiver, tx.Amount); err != nil {
+					return err
+				}
+			case TxAppCall:
+				app := c.led.app(tx.AppID)
+				if app == nil {
+					return fmt.Errorf("algorand: no application %d", tx.AppID)
+				}
+				res := avm.Execute(app.Program, c.led, avm.TxContext{
+					Sender: tx.Sender, AppID: tx.AppID,
+					Args: tx.Args, OnCompletion: tx.OnCompletion,
+					PayAmount: payAmount, Fee: tx.Fee,
+					BudgetTxns: len(g),
+				})
+				rcpt.GasUsed += res.Cost
+				rcpt.Logs = append(rcpt.Logs, res.Logs...)
+				if !res.Approved {
+					return fmt.Errorf("algorand: call rejected: %w", errOf(res))
+				}
+				if res.Return != nil {
+					rcpt.ReturnValue = res.Return
+				}
+			}
+		}
+		return nil
+	}()
+
+	if err != nil {
+		// Roll back everything except the fees.
+		fees := make(map[chain.Address]uint64)
+		for _, tx := range g {
+			fees[tx.Sender] += tx.Fee
+		}
+		c.led.restore(snap)
+		for addr, fee := range fees {
+			if c.led.balances[addr] >= fee {
+				c.led.balances[addr] -= fee
+				c.led.balances[c.feeSink] += fee
+			}
+		}
+		rcpt.Reverted = true
+		rcpt.RevertMsg = err.Error()
+	}
+	rcpt.Fee = chain.NewAmount(microToBig(totalFee), c.cfg.Unit)
+	return rcpt
+}
+
+func errOf(res avm.Result) error {
+	if res.Err != nil {
+		return res.Err
+	}
+	return avm.ErrRejected
+}
+
+func appIDBytes(id uint64) []byte {
+	return avm.Itob(id)
+}
+
+func microToBig(v uint64) *bigInt { return newBigInt(v) }

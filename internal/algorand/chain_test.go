@@ -1,0 +1,335 @@
+package algorand
+
+import (
+	"strings"
+	"testing"
+
+	"agnopol/internal/avm"
+	"agnopol/internal/chain"
+)
+
+func newTestChain(t *testing.T) *Chain {
+	t.Helper()
+	return NewChain(Testnet(), 1)
+}
+
+const approveAll = "int 1\nreturn"
+
+const counterApp = `
+txn ApplicationID
+bz create
+txna ApplicationArgs 0
+byte "bump"
+==
+bnz bump
+err
+create:
+byte "count"
+int 0
+app_global_put
+int 1
+return
+bump:
+byte "count"
+byte "count"
+app_global_get
+int 1
++
+app_global_put
+byte "count"
+app_global_get
+itob
+byte "return:"
+swap
+concat
+log
+int 1
+return`
+
+func TestPaymentFlow(t *testing.T) {
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(5_000_000)
+	bob := chain.AddressFromBytes([]byte("bob"))
+	rcpt, err := cl.Pay(alice, bob, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcpt.Latency() <= 0 {
+		t.Fatal("latency must be positive")
+	}
+	if got := c.Balance(bob).Base.Uint64(); got != 1_000_000 {
+		t.Fatalf("bob balance %d", got)
+	}
+	// Alice paid the amount plus the flat min fee.
+	if got := c.Balance(alice.Address).Base.Uint64(); got != 5_000_000-1_000_000-MinFee {
+		t.Fatalf("alice balance %d", got)
+	}
+	if rcpt.Fee.Base.Uint64() != MinFee {
+		t.Fatalf("fee %s, want flat %d µALGO", rcpt.Fee.Base, MinFee)
+	}
+}
+
+func TestFlatFeesIndependentOfLoad(t *testing.T) {
+	// Unlike EIP-1559 chains, fees never move with congestion.
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(50_000_000)
+	for i := 0; i < 10; i++ {
+		to := chain.AddressFromBytes([]byte{byte(i)})
+		rcpt, err := cl.Pay(alice, to, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rcpt.Fee.Base.Uint64() != MinFee {
+			t.Fatalf("tx %d fee %s", i, rcpt.Fee.Base)
+		}
+	}
+}
+
+func TestAppCreateAndCall(t *testing.T) {
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(10_000_000)
+	rcpt, appID, err := cl.CreateApp(alice, counterApp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appID == 0 {
+		t.Fatal("no app ID allocated")
+	}
+	if rcpt.Reverted {
+		t.Fatal("creation reverted")
+	}
+	v, ok := c.AppGlobal(appID, "count")
+	if !ok || v.Uint != 0 {
+		t.Fatalf("count after create = %v (ok=%v)", v, ok)
+	}
+	for i := 1; i <= 3; i++ {
+		rcpt, err := cl.CallApp(alice, appID, [][]byte{[]byte("bump")}, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := avm.Btoi(rcpt.ReturnValue)
+		if err != nil || got != uint64(i) {
+			t.Fatalf("bump %d returned %d (err %v)", i, got, err)
+		}
+	}
+}
+
+func TestRejectedCallRollsBackAtomically(t *testing.T) {
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(10_000_000)
+	_, appID, err := cl.CreateApp(alice, `
+txn ApplicationID
+bz create
+byte "touched"
+int 1
+app_global_put
+err
+create:
+int 1
+return`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Balance(alice.Address).Base.Uint64()
+	rcpt, err := cl.CallApp(alice, appID, [][]byte{[]byte("x")}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rcpt.Reverted {
+		t.Fatal("call should be rejected")
+	}
+	if _, ok := c.AppGlobal(appID, "touched"); ok {
+		t.Fatal("state write survived a rejected call")
+	}
+	// The fee is charged anyway.
+	after := c.Balance(alice.Address).Base.Uint64()
+	if before-after != MinFee {
+		t.Fatalf("fee charged %d, want %d", before-after, MinFee)
+	}
+}
+
+func TestGroupPaymentRollsBackWithRejectedCall(t *testing.T) {
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(10_000_000)
+	_, appID, err := cl.CreateApp(alice, `
+txn ApplicationID
+bz create
+err
+create:
+int 1
+return`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appAddr := c.AppAddress(appID)
+	rcpt, err := cl.CallApp(alice, appID, [][]byte{[]byte("x")}, 500_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rcpt.Reverted {
+		t.Fatal("group should be rejected")
+	}
+	if got := c.Balance(appAddr).Base.Uint64(); got != 0 {
+		t.Fatalf("grouped payment survived rejection: app holds %d", got)
+	}
+}
+
+func TestInsufficientFee(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.NewAccount(10_000_000)
+	tx := &Tx{Type: TxPay, Sender: alice.Address, Fee: 10, Receiver: chain.Address{1}, Amount: 1}
+	tx.Sign(alice)
+	if _, err := c.Submit(Group{tx}); err == nil {
+		t.Fatal("below-min fee accepted")
+	}
+}
+
+func TestSignatureValidation(t *testing.T) {
+	c := newTestChain(t)
+	alice := c.NewAccount(10_000_000)
+	mallory := c.NewAccount(10_000_000)
+	tx := &Tx{Type: TxPay, Sender: alice.Address, Fee: MinFee, Receiver: chain.Address{1}, Amount: 1}
+	tx.Sign(mallory) // wrong key
+	if _, err := c.Submit(Group{tx}); err == nil {
+		t.Fatal("wrong-key signature accepted")
+	}
+}
+
+func TestImmediateFinalityNoForks(t *testing.T) {
+	// Every certified block's certificate verifies, and block N's parent
+	// seed matches block N-1: a single, final chain.
+	c := newTestChain(t)
+	for i := 0; i < 20; i++ {
+		c.Step()
+	}
+	for i := 1; i < len(c.blocks); i++ {
+		blk := c.blocks[i]
+		if blk.PrevSeed != c.blocks[i-1].Seed {
+			t.Fatalf("block %d not chained to parent", i)
+		}
+		if err := c.VerifyCertificate(blk.Round, blk.PrevSeed, blk.Cert); err != nil {
+			t.Fatalf("block %d certificate: %v", i, err)
+		}
+	}
+}
+
+func TestCertificateRejectsForgery(t *testing.T) {
+	c := newTestChain(t)
+	blk := c.Step()
+	// Tamper with a vote's credential weight.
+	forged := &Certificate{BlockHash: blk.Cert.BlockHash}
+	for _, v := range blk.Cert.Votes {
+		v.Credential.SubUsers++ // claim more weight than sortition gave
+		forged.Votes = append(forged.Votes, v)
+	}
+	if err := c.VerifyCertificate(blk.Round, blk.PrevSeed, forged); err == nil {
+		t.Fatal("inflated sortition weight accepted")
+	}
+	// Certificate from a non-participant.
+	outsider := c.NewAccount(0)
+	forged2 := &Certificate{BlockHash: blk.Cert.BlockHash}
+	for _, v := range blk.Cert.Votes {
+		v.Credential.Participant = outsider.Address
+		forged2.Votes = append(forged2.Votes, v)
+		break
+	}
+	if err := c.VerifyCertificate(blk.Round, blk.PrevSeed, forged2); err == nil {
+		t.Fatal("outsider vote accepted")
+	}
+}
+
+func TestLeaderHasValidCredential(t *testing.T) {
+	c := newTestChain(t)
+	for i := 0; i < 10; i++ {
+		blk := c.Step()
+		seed := sortitionSeed(blk.PrevSeed, blk.Round, "propose")
+		if err := VerifyCredential(blk.Proposer, c.partsByAddr, c.totalStake, seed, c.cfg.ExpectedProposers); err != nil {
+			// A fallback proposer (no one selected at the nominal
+			// expected size) verifies at full expectation instead.
+			if err2 := VerifyCredential(blk.Proposer, c.partsByAddr, c.totalStake, seed,
+				float64(len(c.participants))); err2 != nil {
+				t.Fatalf("round %d: leader credential invalid: %v / %v", blk.Round, err, err2)
+			}
+		}
+	}
+}
+
+func TestRoundsAreRegular(t *testing.T) {
+	c := newTestChain(t)
+	var prev = c.Head().Time
+	for i := 0; i < 10; i++ {
+		blk := c.Step()
+		if blk.Time-prev != c.cfg.RoundDuration {
+			t.Fatalf("round interval %v, want %v", blk.Time-prev, c.cfg.RoundDuration)
+		}
+		prev = blk.Time
+	}
+}
+
+func TestSimulateDoesNotMutate(t *testing.T) {
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(10_000_000)
+	_, appID, err := cl.CreateApp(alice, counterApp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Simulate(appID, alice.Address, [][]byte{[]byte("bump")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved {
+		t.Fatalf("simulation rejected: %v", res.Err)
+	}
+	if v, _ := c.AppGlobal(appID, "count"); v.Uint != 0 {
+		t.Fatalf("simulation mutated state: count = %d", v.Uint)
+	}
+}
+
+func TestBadProgramRejectedAtCreation(t *testing.T) {
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(10_000_000)
+	_, _, err := cl.CreateApp(alice, "byte \"unterminated", nil)
+	if err == nil || !strings.Contains(err.Error(), "creation failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []float64 {
+		c := NewChain(Testnet(), 42)
+		cl := NewClient(c)
+		alice := c.NewAccount(50_000_000)
+		var out []float64
+		for i := 0; i < 5; i++ {
+			to := chain.AddressFromBytes([]byte{byte(i)})
+			rcpt, err := cl.Pay(alice, to, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rcpt.Latency().Seconds())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at tx %d", i)
+		}
+	}
+}
+
+func TestApproveAllSmoke(t *testing.T) {
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(10_000_000)
+	if _, _, err := cl.CreateApp(alice, approveAll, nil); err != nil {
+		t.Fatal(err)
+	}
+}

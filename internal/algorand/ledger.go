@@ -1,0 +1,199 @@
+package algorand
+
+import (
+	"fmt"
+
+	"agnopol/internal/avm"
+	"agnopol/internal/chain"
+	"agnopol/internal/polcrypto"
+)
+
+// Account is an Algorand account with its signing key.
+type Account struct {
+	Key     *polcrypto.KeyPair
+	Address chain.Address
+}
+
+// App is a deployed stateful application.
+type App struct {
+	ID       uint64
+	Creator  chain.Address
+	Program  *avm.Program
+	Source   string
+	Globals  map[string]avm.Value
+	Locals   map[chain.Address]map[string]avm.Value
+	Deleted  bool
+	CreateAt uint64 // round
+}
+
+// ledger is the on-chain state; it implements avm.Ledger.
+type ledger struct {
+	balances map[chain.Address]uint64
+	apps     map[uint64]*App
+	asa      *assetState
+	appSeq   uint64
+	round    uint64
+	time     uint64
+}
+
+func newLedger() *ledger {
+	return &ledger{
+		balances: make(map[chain.Address]uint64),
+		apps:     make(map[uint64]*App),
+		asa:      newAssetState(),
+	}
+}
+
+var _ avm.Ledger = (*ledger)(nil)
+
+func (l *ledger) app(id uint64) *App {
+	a, ok := l.apps[id]
+	if !ok || a.Deleted {
+		return nil
+	}
+	return a
+}
+
+// GlobalGet implements avm.Ledger.
+func (l *ledger) GlobalGet(appID uint64, key string) (avm.Value, bool) {
+	a := l.app(appID)
+	if a == nil {
+		return avm.Value{}, false
+	}
+	v, ok := a.Globals[key]
+	return v, ok
+}
+
+// GlobalPut implements avm.Ledger.
+func (l *ledger) GlobalPut(appID uint64, key string, v avm.Value) {
+	if a := l.app(appID); a != nil {
+		a.Globals[key] = v
+	}
+}
+
+// GlobalDel implements avm.Ledger.
+func (l *ledger) GlobalDel(appID uint64, key string) {
+	if a := l.app(appID); a != nil {
+		delete(a.Globals, key)
+	}
+}
+
+// LocalGet implements avm.Ledger.
+func (l *ledger) LocalGet(appID uint64, addr chain.Address, key string) (avm.Value, bool) {
+	a := l.app(appID)
+	if a == nil {
+		return avm.Value{}, false
+	}
+	v, ok := a.Locals[addr][key]
+	return v, ok
+}
+
+// LocalPut implements avm.Ledger.
+func (l *ledger) LocalPut(appID uint64, addr chain.Address, key string, v avm.Value) {
+	a := l.app(appID)
+	if a == nil {
+		return
+	}
+	if a.Locals == nil {
+		a.Locals = make(map[chain.Address]map[string]avm.Value)
+	}
+	m, ok := a.Locals[addr]
+	if !ok {
+		m = make(map[string]avm.Value)
+		a.Locals[addr] = m
+	}
+	m[key] = v
+}
+
+// LocalDel implements avm.Ledger.
+func (l *ledger) LocalDel(appID uint64, addr chain.Address, key string) {
+	if a := l.app(appID); a != nil {
+		delete(a.Locals[addr], key)
+	}
+}
+
+// OptedIn implements avm.Ledger.
+func (l *ledger) OptedIn(appID uint64, addr chain.Address) bool {
+	a := l.app(appID)
+	if a == nil {
+		return false
+	}
+	_, ok := a.Locals[addr]
+	return ok
+}
+
+// Balance implements avm.Ledger.
+func (l *ledger) Balance(addr chain.Address) uint64 { return l.balances[addr] }
+
+// Pay implements avm.Ledger (used for inner transactions and payments).
+func (l *ledger) Pay(from, to chain.Address, amount uint64) error {
+	if l.balances[from] < amount {
+		return fmt.Errorf("%w: %s has %d µALGO, needs %d",
+			avm.ErrInsufficientBalance, from, l.balances[from], amount)
+	}
+	l.balances[from] -= amount
+	l.balances[to] += amount
+	return nil
+}
+
+// AppAddress implements avm.Ledger: the application escrow address.
+func (l *ledger) AppAddress(appID uint64) chain.Address {
+	h := polcrypto.Hash([]byte(fmt.Sprintf("appID:%d", appID)))
+	return chain.AddressFromBytes(h[:])
+}
+
+// Round implements avm.Ledger.
+func (l *ledger) Round() uint64 { return l.round }
+
+// LatestTimestamp implements avm.Ledger.
+func (l *ledger) LatestTimestamp() uint64 { return l.time }
+
+// snapshot captures the mutable ledger state so a failed group can roll
+// back atomically.
+type snapshot struct {
+	balances map[chain.Address]uint64
+	apps     map[uint64]*App
+	asa      *assetState
+	appSeq   uint64
+}
+
+func (l *ledger) snapshot() snapshot {
+	s := snapshot{
+		balances: make(map[chain.Address]uint64, len(l.balances)),
+		apps:     make(map[uint64]*App, len(l.apps)),
+		asa:      l.asa.clone(),
+		appSeq:   l.appSeq,
+	}
+	for k, v := range l.balances {
+		s.balances[k] = v
+	}
+	for id, a := range l.apps {
+		cp := &App{
+			ID: a.ID, Creator: a.Creator, Program: a.Program, Source: a.Source,
+			Deleted: a.Deleted, CreateAt: a.CreateAt,
+			Globals: make(map[string]avm.Value, len(a.Globals)),
+		}
+		for k, v := range a.Globals {
+			cp.Globals[k] = v
+		}
+		if a.Locals != nil {
+			cp.Locals = make(map[chain.Address]map[string]avm.Value, len(a.Locals))
+			for addr, m := range a.Locals {
+				mm := make(map[string]avm.Value, len(m))
+				for k, v := range m {
+					mm[k] = v
+				}
+				cp.Locals[addr] = mm
+			}
+		}
+		s.apps[id] = cp
+	}
+	return s
+}
+
+func (l *ledger) restore(s snapshot) {
+	l.balances = s.balances
+	l.apps = s.apps
+	l.asa = s.asa
+	l.appSeq = s.appSeq
+}

@@ -1,0 +1,425 @@
+package avm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"agnopol/internal/chain"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return p
+}
+
+func exec(t *testing.T, src string, tx TxContext) (Result, *MemLedger) {
+	t.Helper()
+	led := NewMemLedger()
+	return Execute(mustParse(t, src), led, tx), led
+}
+
+func TestArithmeticOps(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"add", "int 40\nint 2\n+\nint 42\n==\nreturn", true},
+		{"sub", "int 50\nint 8\n-\nint 42\n==\nreturn", true},
+		{"mul", "int 6\nint 7\n*\nint 42\n==\nreturn", true},
+		{"div", "int 85\nint 2\n/\nint 42\n==\nreturn", true},
+		{"mod", "int 85\nint 43\n%\nint 42\n==\nreturn", true},
+		{"lt", "int 1\nint 2\n<\nreturn", true},
+		{"gt", "int 1\nint 2\n>\nreturn", false},
+		{"le", "int 2\nint 2\n<=\nreturn", true},
+		{"ge", "int 1\nint 2\n>=\nreturn", false},
+		{"ne", "int 1\nint 2\n!=\nreturn", true},
+		{"not", "int 0\n!\nreturn", true},
+		{"and", "int 1\nint 0\n&&\nreturn", false},
+		{"or", "int 1\nint 0\n||\nreturn", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, _ := exec(t, c.src, TxContext{AppID: 1})
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if res.Approved != c.want {
+				t.Fatalf("approved = %v, want %v", res.Approved, c.want)
+			}
+		})
+	}
+}
+
+func TestArithmeticFaults(t *testing.T) {
+	for name, src := range map[string]string{
+		"div-zero":      "int 1\nint 0\n/\nreturn",
+		"mod-zero":      "int 1\nint 0\n%\nreturn",
+		"sub-underflow": "int 1\nint 2\n-\nreturn",
+		"add-overflow":  "int 18446744073709551615\nint 1\n+\nreturn",
+		"mul-overflow":  "int 18446744073709551615\nint 2\n*\nreturn",
+	} {
+		t.Run(name, func(t *testing.T) {
+			res, _ := exec(t, src, TxContext{AppID: 1})
+			if res.Err == nil {
+				t.Fatal("fault not reported")
+			}
+		})
+	}
+}
+
+func TestBytesOps(t *testing.T) {
+	src := `
+byte "foo"
+byte "bar"
+concat
+byte "foobar"
+==
+return`
+	res, _ := exec(t, src, TxContext{AppID: 1})
+	if !res.Approved {
+		t.Fatalf("concat/== failed: %v", res.Err)
+	}
+
+	res, _ = exec(t, "byte \"hello\"\nlen\nint 5\n==\nreturn", TxContext{AppID: 1})
+	if !res.Approved {
+		t.Fatal("len failed")
+	}
+}
+
+func TestItobBtoiRoundTrip(t *testing.T) {
+	err := quick.Check(func(v uint64) bool {
+		got, err := Btoi(Itob(v))
+		return err == nil && got == v
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Btoi(make([]byte, 9)); err == nil {
+		t.Fatal("9-byte btoi accepted")
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	res, _ := exec(t, "int 1\nbyte \"x\"\n+\nreturn", TxContext{AppID: 1})
+	if !errors.Is(res.Err, ErrTypeMismatch) {
+		t.Fatalf("err = %v, want type mismatch", res.Err)
+	}
+	res, _ = exec(t, "int 1\nbyte \"x\"\n==\nreturn", TxContext{AppID: 1})
+	if !errors.Is(res.Err, ErrTypeMismatch) {
+		t.Fatalf("==: err = %v, want type mismatch", res.Err)
+	}
+}
+
+func TestGlobalState(t *testing.T) {
+	src := `
+byte "count"
+int 41
+app_global_put
+byte "count"
+app_global_get
+int 1
++
+byte "count"
+swap
+app_global_put
+byte "count"
+app_global_get
+int 42
+==
+return`
+	res, led := exec(t, src, TxContext{AppID: 5})
+	if !res.Approved {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+	v, ok := led.GlobalGet(5, "count")
+	if !ok || v.Uint != 42 {
+		t.Fatalf("count = %v (ok=%v)", v, ok)
+	}
+}
+
+func TestGlobalGetEx(t *testing.T) {
+	src := `
+int 0
+byte "missing"
+app_global_get_ex
+swap
+pop
+!
+assert
+byte "present"
+int 1
+app_global_put
+int 0
+byte "present"
+app_global_get_ex
+swap
+pop
+return`
+	res, _ := exec(t, src, TxContext{AppID: 2})
+	if !res.Approved {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+}
+
+func TestLocalState(t *testing.T) {
+	sender := chain.AddressFromBytes([]byte("sender"))
+	src := `
+int 0
+byte "score"
+int 9
+app_local_put
+int 0
+byte "score"
+app_local_get
+int 9
+==
+return`
+	res, led := exec(t, src, TxContext{AppID: 3, Sender: sender})
+	if !res.Approved {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+	if v, ok := led.LocalGet(3, sender, "score"); !ok || v.Uint != 9 {
+		t.Fatalf("local score = %v", v)
+	}
+}
+
+func TestBranchingAndSubroutines(t *testing.T) {
+	src := `
+int 5
+callsub double
+int 10
+==
+bnz ok
+err
+ok:
+int 1
+return
+double:
+int 2
+*
+retsub`
+	res, _ := exec(t, src, TxContext{AppID: 1})
+	if !res.Approved {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+}
+
+func TestScratchSlots(t *testing.T) {
+	src := `
+int 7
+store 3
+load 3
+load 3
++
+int 14
+==
+return`
+	res, _ := exec(t, src, TxContext{AppID: 1})
+	if !res.Approved {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+}
+
+func TestTxnFields(t *testing.T) {
+	sender := chain.AddressFromBytes([]byte("abc"))
+	src := `
+txn Sender
+len
+int 20
+==
+assert
+txna ApplicationArgs 0
+byte "method"
+==
+assert
+txn NumAppArgs
+int 2
+==
+return`
+	res, _ := exec(t, src, TxContext{
+		AppID: 1, Sender: sender,
+		Args: [][]byte{[]byte("method"), []byte("arg")},
+	})
+	if !res.Approved {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+}
+
+func TestCreateModeApplicationID(t *testing.T) {
+	src := `
+txn ApplicationID
+!
+return`
+	res, _ := exec(t, src, TxContext{AppID: 7, CreateMode: true})
+	if !res.Approved {
+		t.Fatal("ApplicationID should read 0 in create mode")
+	}
+	res, _ = exec(t, src, TxContext{AppID: 7})
+	if res.Approved {
+		t.Fatal("ApplicationID should be non-zero outside create mode")
+	}
+}
+
+func TestGtxnPayAmount(t *testing.T) {
+	src := `
+gtxn 0 Amount
+int 500
+==
+return`
+	res, _ := exec(t, src, TxContext{AppID: 1, PayAmount: 500})
+	if !res.Approved {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+}
+
+func TestInnerPayment(t *testing.T) {
+	led := NewMemLedger()
+	app := uint64(4)
+	led.Balances[led.AppAddress(app)] = 1000
+	to := chain.AddressFromBytes([]byte("rcpt"))
+	// The receiver is taken from txn Sender because raw addresses are not
+	// printable in source literals.
+	prog := mustParse(t, `
+itxn_begin
+int 1
+itxn_field TypeEnum
+txn Sender
+itxn_field Receiver
+int 300
+itxn_field Amount
+itxn_submit
+int 1
+return`)
+	res := Execute(prog, led, TxContext{AppID: app, Sender: to})
+	if !res.Approved {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+	if led.Balances[to] != 300 {
+		t.Fatalf("recipient got %d", led.Balances[to])
+	}
+	if led.Balances[led.AppAddress(app)] != 700 {
+		t.Fatalf("app kept %d", led.Balances[led.AppAddress(app)])
+	}
+}
+
+func TestInnerPaymentInsufficient(t *testing.T) {
+	led := NewMemLedger()
+	prog := mustParse(t, `
+itxn_begin
+int 1
+itxn_field TypeEnum
+txn Sender
+itxn_field Receiver
+int 300
+itxn_field Amount
+itxn_submit
+int 1
+return`)
+	res := Execute(prog, led, TxContext{AppID: 9, Sender: chain.AddressFromBytes([]byte("x"))})
+	if res.Approved {
+		t.Fatal("underfunded inner payment approved")
+	}
+	if !errors.Is(res.Err, ErrInsufficientBalance) {
+		t.Fatalf("err = %v", res.Err)
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("int 0\n")
+	for i := 0; i < 800; i++ {
+		sb.WriteString("int 1\n+\n")
+	}
+	sb.WriteString("return\n")
+	res, _ := exec(t, sb.String(), TxContext{AppID: 1})
+	if !errors.Is(res.Err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exceeded", res.Err)
+	}
+	// Pooled budget with 3 grouped txns passes.
+	res, _ = exec(t, sb.String(), TxContext{AppID: 1, BudgetTxns: 3})
+	if res.Err != nil {
+		t.Fatalf("pooled budget rejected: %v", res.Err)
+	}
+}
+
+func TestSha256Cost(t *testing.T) {
+	res, _ := exec(t, "byte \"x\"\nsha256\nlen\nint 32\n==\nreturn", TxContext{AppID: 1})
+	if !res.Approved {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+	if res.Cost < 35 {
+		t.Fatalf("sha256 cost %d, want ≥35", res.Cost)
+	}
+}
+
+func TestAssertAndErr(t *testing.T) {
+	res, _ := exec(t, "int 0\nassert\nint 1\nreturn", TxContext{AppID: 1})
+	if !errors.Is(res.Err, ErrRejected) {
+		t.Fatalf("assert 0: err = %v", res.Err)
+	}
+	res, _ = exec(t, "err", TxContext{AppID: 1})
+	if !errors.Is(res.Err, ErrRejected) {
+		t.Fatalf("err: %v", res.Err)
+	}
+}
+
+func TestProgramMustReturn(t *testing.T) {
+	res, _ := exec(t, "int 1\npop", TxContext{AppID: 1})
+	if res.Err == nil {
+		t.Fatal("fall-off-the-end accepted")
+	}
+}
+
+func TestLogReturnConvention(t *testing.T) {
+	src := `
+byte "return:ok"
+log
+int 1
+return`
+	res, _ := exec(t, src, TxContext{AppID: 1})
+	if string(res.Return) != "ok" {
+		t.Fatalf("return payload %q", res.Return)
+	}
+	if len(res.Logs) != 1 {
+		t.Fatalf("logs %v", res.Logs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("byte \"unterminated"); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+	if _, err := Parse("x:\nx:\nint 1\nreturn"); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	res, _ := exec(t, "frobnicate\nint 1\nreturn", TxContext{AppID: 1})
+	if res.Err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+	res, _ = exec(t, "b nowhere\nint 1\nreturn", TxContext{AppID: 1})
+	if res.Err == nil {
+		t.Fatal("undefined branch target accepted")
+	}
+}
+
+func TestSelectAndSwap(t *testing.T) {
+	src := `
+int 10
+int 20
+int 1
+select
+int 20
+==
+return`
+	res, _ := exec(t, src, TxContext{AppID: 1})
+	if !res.Approved {
+		t.Fatalf("select: %v", res.Err)
+	}
+}

@@ -1,0 +1,299 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"agnopol/internal/chain"
+	"agnopol/internal/geo"
+)
+
+var piazza = geo.LatLng{Lat: 44.4938, Lng: 11.3387}
+
+func TestAPPLAUSProofGenerationAndVerification(t *testing.T) {
+	rng := chain.NewRand(1)
+	ca := NewCentralAuthority()
+	server := NewAPPLAUSServer()
+	prover, err := NewAPPLAUSUser("alice", piazza, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness, err := NewAPPLAUSUser("bob", geo.Offset(piazza, 3, 3), 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.RegisterUser(prover)
+	ca.RegisterUser(witness)
+
+	proof, err := GenerateProof(prover, witness, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Upload(proof); err != nil {
+		t.Fatal(err)
+	}
+	v := &APPLAUSVerifier{CA: ca, Server: server}
+	ok, err := v.VerifyVisit("alice", piazza, 50)
+	if err != nil || !ok {
+		t.Fatalf("honest visit rejected: ok=%v err=%v", ok, err)
+	}
+	// Wrong place.
+	ok, err = v.VerifyVisit("alice", geo.Offset(piazza, 5000, 0), 50)
+	if err != nil || ok {
+		t.Fatal("visit verified at a place never visited")
+	}
+	// Unknown identity.
+	ok, err = v.VerifyVisit("carol", piazza, 50)
+	if err != nil || ok {
+		t.Fatal("unknown identity verified")
+	}
+}
+
+func TestAPPLAUSRequiresProximity(t *testing.T) {
+	rng := chain.NewRand(2)
+	prover, err := NewAPPLAUSUser("alice", piazza, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := NewAPPLAUSUser("bob", geo.Offset(piazza, 500, 0), 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateProof(prover, far, 0); err == nil {
+		t.Fatal("proof generated across 500 m")
+	}
+}
+
+func TestAPPLAUSPseudonymRotationPreservesVerification(t *testing.T) {
+	rng := chain.NewRand(3)
+	ca := NewCentralAuthority()
+	server := NewAPPLAUSServer()
+	prover, err := NewAPPLAUSUser("alice", piazza, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness, err := NewAPPLAUSUser("bob", piazza, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.RegisterUser(prover)
+	ca.RegisterUser(witness)
+	// Proofs under two different pseudonyms.
+	p1, err := GenerateProof(prover, witness, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Upload(p1); err != nil {
+		t.Fatal(err)
+	}
+	prover.RotatePseudonym()
+	witness.RotatePseudonym()
+	p2, err := GenerateProof(prover, witness, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Upload(p2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.ProverPseudonym == p2.ProverPseudonym {
+		t.Fatal("pseudonym did not rotate")
+	}
+	// The CA's mapping still links both to "alice" (the privacy/oversight
+	// trade-off of the centralized design).
+	v := &APPLAUSVerifier{CA: ca, Server: server}
+	ok, err := v.VerifyVisit("alice", piazza, 50)
+	if err != nil || !ok {
+		t.Fatal("verification across rotated pseudonyms failed")
+	}
+}
+
+func TestAPPLAUSSinglePointOfFailure(t *testing.T) {
+	rng := chain.NewRand(4)
+	ca := NewCentralAuthority()
+	server := NewAPPLAUSServer()
+	prover, err := NewAPPLAUSUser("alice", piazza, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness, err := NewAPPLAUSUser("bob", piazza, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.RegisterUser(prover)
+	ca.RegisterUser(witness)
+	proof, err := GenerateProof(prover, witness, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Upload(proof); err != nil {
+		t.Fatal(err)
+	}
+	server.SetDown(true)
+	v := &APPLAUSVerifier{CA: ca, Server: server}
+	if _, err := v.VerifyVisit("alice", piazza, 50); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("err = %v, want ErrServerDown — the single point of failure", err)
+	}
+	if err := server.Upload(proof); !errors.Is(err, ErrServerDown) {
+		t.Fatal("upload succeeded while server down")
+	}
+}
+
+func TestAccessPointIssueAndVerify(t *testing.T) {
+	rng := chain.NewRand(5)
+	ap, err := NewAccessPoint("ap-1", piazza, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := geo.NewDevice(geo.Offset(piazza, 10, 10))
+	proof, err := ap.Issue(dev, "alice", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyAPProof(ap, proof) {
+		t.Fatal("honest AP proof rejected")
+	}
+	proof.Recipient = "mallory"
+	if VerifyAPProof(ap, proof) {
+		t.Fatal("transferred AP proof accepted (non-transferability)")
+	}
+}
+
+func TestAccessPointCoverage(t *testing.T) {
+	rng := chain.NewRand(6)
+	ap, err := NewAccessPoint("ap-1", piazza, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := geo.NewDevice(geo.Offset(piazza, 100, 0))
+	if _, err := ap.Issue(far, "alice", 0); !errors.Is(err, ErrOutOfCoverage) {
+		t.Fatalf("err = %v, want out of coverage", err)
+	}
+	// GPS spoofing doesn't help: coverage uses the true position.
+	far.Spoof(piazza)
+	if _, err := ap.Issue(far, "alice", 0); !errors.Is(err, ErrOutOfCoverage) {
+		t.Fatal("spoofed device served by AP")
+	}
+}
+
+func TestDeploymentCostModel(t *testing.T) {
+	// Covering 10 km² with 50 m APs at €200 each.
+	c := EstimateDeploymentCost(10, 50, 200)
+	if c.APsNeeded < 1000 {
+		t.Fatalf("APs needed %d, want >1000 (10 km² / ~0.008 km² per AP)", c.APsNeeded)
+	}
+	if c.TotalCostEuro != float64(c.APsNeeded)*200 {
+		t.Fatal("cost arithmetic wrong")
+	}
+	if c.WitnessBasedEuro != 0 {
+		t.Fatal("witness-based cost must be zero (no infrastructure)")
+	}
+}
+
+func TestBrambillaHonestFlow(t *testing.T) {
+	rng := chain.NewRand(7)
+	alice, err := NewP2PPeer("alice", piazza, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewP2PPeer("bob", geo.Offset(piazza, 3, 3), 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewP2PChain([]*P2PPeer{alice, bob}, 7)
+	req := alice.NewRequest(c.Head().Hash, 5)
+	resp := bob.Respond(req, 6)
+	if err := c.Submit(resp); err != nil {
+		t.Fatal(err)
+	}
+	blk := c.Forge()
+	if len(blk.Proofs) != 1 {
+		t.Fatalf("block holds %d proofs", len(blk.Proofs))
+	}
+	if !c.HasProofFor(alice.Key.Public, piazza, 50) {
+		t.Fatal("persisted proof not found")
+	}
+}
+
+func TestBrambillaRejectsForgeryAndDuplicates(t *testing.T) {
+	rng := chain.NewRand(8)
+	alice, err := NewP2PPeer("alice", piazza, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewP2PPeer("bob", piazza, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewP2PChain([]*P2PPeer{alice, bob}, 8)
+	req := alice.NewRequest(c.Head().Hash, 1)
+	resp := bob.Respond(req, 2)
+
+	tampered := resp
+	tampered.WitnessLoc = geo.Offset(piazza, 999, 0)
+	if err := c.Submit(tampered); err == nil {
+		t.Fatal("tampered response accepted")
+	}
+
+	if err := c.Submit(resp); err != nil {
+		t.Fatal(err)
+	}
+	// Re-broadcasting the same proof is rejected (§1.7.2's duplicate
+	// check).
+	if err := c.Submit(resp); err == nil {
+		t.Fatal("duplicate proof accepted")
+	}
+
+	// Requests must anchor to the chain head.
+	stale := alice.NewRequest([32]byte{1, 2, 3}, 3)
+	if err := c.Submit(bob.Respond(stale, 4)); err == nil {
+		t.Fatal("unanchored request accepted")
+	}
+}
+
+// TestBrambillaCollusionVulnerability documents the protocol flaw the
+// thesis inherits from the related work: two colluding peers at different
+// locations CAN mint a valid proof, because nothing binds the exchange to a
+// physical channel. The thesis design closes this with the witness's
+// Bluetooth-range check (see core's spoofing tests).
+func TestBrambillaCollusionVulnerability(t *testing.T) {
+	rng := chain.NewRand(9)
+	mallory, err := NewP2PPeer("mallory", geo.Offset(piazza, 5000, 0), 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mallory.Device.Spoof(piazza)
+	accomplice, err := NewP2PPeer("accomplice", piazza, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewP2PChain([]*P2PPeer{mallory, accomplice}, 9)
+	req := mallory.NewRequest(c.Head().Hash, 1)
+	resp := accomplice.Respond(req, 2)
+	if err := c.Submit(resp); err != nil {
+		t.Fatalf("collusion submission failed: %v", err)
+	}
+	c.Forge()
+	if !c.HasProofFor(mallory.Key.Public, piazza, 50) {
+		t.Fatal("expected the collusion to succeed — that is the documented vulnerability")
+	}
+}
+
+func TestBrambillaStakeWeightedForging(t *testing.T) {
+	rng := chain.NewRand(10)
+	whale, err := NewP2PPeer("whale", piazza, 900, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minnow, err := NewP2PPeer("minnow", piazza, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewP2PChain([]*P2PPeer{whale, minnow}, 10)
+	counts := map[string]int{}
+	for i := 0; i < 200; i++ {
+		counts[c.Forge().Forger]++
+	}
+	if counts["whale"] < counts["minnow"] {
+		t.Fatalf("stake weighting inverted: %v", counts)
+	}
+}

@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"agnopol/internal/geo"
+	"agnopol/internal/polcrypto"
+)
+
+// Brambilla et al.'s blockchain-based proof of location (§1.7.2,
+// Figs. 1.14–1.16): peers exchange request/response pairs directly, collect
+// valid unacknowledged proofs into blocks, and append them by proof-of-
+// stake consensus. The protocol's documented weakness — provers communicate
+// directly, so two colluding remote peers can mint a proof without physical
+// proximity — is reproduced here and contrasted, in tests, with the
+// thesis design where the witness checks Bluetooth reachability.
+
+// P2PPeer is a participant of the Brambilla network.
+type P2PPeer struct {
+	Name   string
+	Key    *polcrypto.KeyPair
+	Device *geo.Device
+	Stake  uint64
+}
+
+// NewP2PPeer creates a peer.
+func NewP2PPeer(name string, at geo.LatLng, stake uint64, rand interface{ Read([]byte) (int, error) }) (*P2PPeer, error) {
+	kp, err := polcrypto.GenerateKeyPair(rand)
+	if err != nil {
+		return nil, err
+	}
+	return &P2PPeer{Name: name, Key: kp, Device: geo.NewDevice(at), Stake: stake}, nil
+}
+
+// PoLRequest mirrors Fig. 1.16a: the prover's key, claimed coordinates,
+// previous block hash and timestamp, signed by the prover.
+type PoLRequest struct {
+	ProverPub []byte
+	Claimed   geo.LatLng
+	PrevBlock [32]byte
+	Time      time.Duration
+	Signature []byte
+}
+
+// PoLResponse mirrors Fig. 1.16b: the witness countersigns the request with
+// its own key and coordinates.
+type PoLResponse struct {
+	Request    PoLRequest
+	WitnessPub []byte
+	WitnessLoc geo.LatLng
+	Time       time.Duration
+	Signature  []byte
+}
+
+func requestMessage(r *PoLRequest) []byte {
+	h := polcrypto.Hash(r.ProverPub, []byte(r.Claimed.String()), r.PrevBlock[:], []byte(r.Time.String()))
+	return h[:]
+}
+
+func responseMessage(r *PoLResponse) []byte {
+	h := polcrypto.Hash(requestMessage(&r.Request), r.WitnessPub, []byte(r.WitnessLoc.String()), []byte(r.Time.String()))
+	return h[:]
+}
+
+// NewRequest builds and signs a proof-of-location request.
+func (p *P2PPeer) NewRequest(prevBlock [32]byte, now time.Duration) PoLRequest {
+	r := PoLRequest{
+		ProverPub: p.Key.Public,
+		Claimed:   p.Device.ClaimedPosition,
+		PrevBlock: prevBlock,
+		Time:      now,
+	}
+	r.Signature = p.Key.Sign(requestMessage(&r))
+	return r
+}
+
+// Respond countersigns a request. THE PROTOCOL FLAW: this runs over any
+// direct channel, so nothing forces the responder to be physically near the
+// requester — two colluding peers at different locations can complete it.
+func (p *P2PPeer) Respond(req PoLRequest, now time.Duration) PoLResponse {
+	resp := PoLResponse{
+		Request:    req,
+		WitnessPub: p.Key.Public,
+		WitnessLoc: p.Device.ClaimedPosition,
+		Time:       now,
+	}
+	resp.Signature = p.Key.Sign(responseMessage(&resp))
+	return resp
+}
+
+// P2PBlock collects acknowledged proofs.
+type P2PBlock struct {
+	Number    uint64
+	Prev      [32]byte
+	Hash      [32]byte
+	Proofs    []PoLResponse
+	Forger    string
+	Signature []byte
+}
+
+// P2PChain is the proof-of-location blockchain with a simple proof-of-stake
+// forger selection ("a pseudo-random to decide who will add the next
+// block", §1.7.2 footnote).
+type P2PChain struct {
+	peers   []*P2PPeer
+	blocks  []*P2PBlock
+	pending []PoLResponse
+	rng     *randSource
+	seen    map[[32]byte]bool
+}
+
+type randSource struct{ state uint64 }
+
+func (r *randSource) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 27)
+}
+
+// NewP2PChain starts a chain with the given peers.
+func NewP2PChain(peers []*P2PPeer, seed uint64) *P2PChain {
+	genesis := &P2PBlock{Number: 0}
+	genesis.Hash = polcrypto.Hash([]byte("brambilla-genesis"))
+	return &P2PChain{
+		peers:  peers,
+		blocks: []*P2PBlock{genesis},
+		rng:    &randSource{state: seed},
+		seen:   make(map[[32]byte]bool),
+	}
+}
+
+// Head returns the latest block.
+func (c *P2PChain) Head() *P2PBlock { return c.blocks[len(c.blocks)-1] }
+
+// Submit validates a response and queues it for the next block. Validation
+// checks both signatures, the chain linkage, and — crucially — cannot check
+// physical proximity because the protocol has no channel binding.
+func (c *P2PChain) Submit(resp PoLResponse) error {
+	if !polcrypto.Verify(resp.Request.ProverPub, requestMessage(&resp.Request), resp.Request.Signature) {
+		return fmt.Errorf("baseline: prover signature: %w", polcrypto.ErrBadSignature)
+	}
+	if !polcrypto.Verify(resp.WitnessPub, responseMessage(&resp), resp.Signature) {
+		return fmt.Errorf("baseline: witness signature: %w", polcrypto.ErrBadSignature)
+	}
+	if resp.Request.PrevBlock != c.Head().Hash {
+		return errors.New("baseline: request not anchored to the chain head")
+	}
+	// Reject duplicates already persisted in earlier blocks (§1.7.2:
+	// "verifying that the proof-of-location inserted in a new block is not
+	// already present in previous blocks").
+	key := polcrypto.Hash(responseMessage(&resp))
+	if c.seen[key] {
+		return errors.New("baseline: duplicate proof of location")
+	}
+	c.seen[key] = true
+	c.pending = append(c.pending, resp)
+	return nil
+}
+
+// Forge selects a stake-weighted pseudo-random forger and appends the
+// pending proofs as a block.
+func (c *P2PChain) Forge() *P2PBlock {
+	total := uint64(0)
+	for _, p := range c.peers {
+		total += p.Stake
+	}
+	target := c.rng.next() % total
+	var forger *P2PPeer
+	acc := uint64(0)
+	for _, p := range c.peers {
+		acc += p.Stake
+		if target < acc {
+			forger = p
+			break
+		}
+	}
+	blk := &P2PBlock{
+		Number: uint64(len(c.blocks)),
+		Prev:   c.Head().Hash,
+		Proofs: c.pending,
+		Forger: forger.Name,
+	}
+	var buf []byte
+	buf = append(buf, blk.Prev[:]...)
+	for _, p := range blk.Proofs {
+		buf = append(buf, responseMessage(&p)...)
+	}
+	blk.Hash = polcrypto.Hash(buf)
+	blk.Signature = forger.Key.Sign(blk.Hash[:])
+	c.pending = nil
+	c.blocks = append(c.blocks, blk)
+	return blk
+}
+
+// HasProofFor reports whether the chain holds a persisted proof placing the
+// prover's key at (approximately) the claimed location.
+func (c *P2PChain) HasProofFor(proverPub []byte, at geo.LatLng, radiusMeters float64) bool {
+	for _, blk := range c.blocks {
+		for _, p := range blk.Proofs {
+			if string(p.Request.ProverPub) == string(proverPub) &&
+				geo.DistanceMeters(p.Request.Claimed, at) <= radiusMeters {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"agnopol/internal/geo"
+	"agnopol/internal/olc"
+	"agnopol/internal/polcrypto"
+)
+
+// AccessPoint is the trusted fixed infrastructure of the
+// infrastructure-dependent schemes (§1.7.1, Fig. 1.10): it certifies any
+// device within Wi-Fi range. Trust is by fiat — there is no witness list or
+// verification chain behind its signature.
+type AccessPoint struct {
+	ID       string
+	Position geo.LatLng
+	// RangeMeters is the Wi-Fi coverage radius (~50 m indoors).
+	RangeMeters float64
+	Key         *polcrypto.KeyPair
+}
+
+// NewAccessPoint installs an AP.
+func NewAccessPoint(id string, at geo.LatLng, rangeMeters float64, rand interface{ Read([]byte) (int, error) }) (*AccessPoint, error) {
+	kp, err := polcrypto.GenerateKeyPair(rand)
+	if err != nil {
+		return nil, err
+	}
+	return &AccessPoint{ID: id, Position: at, RangeMeters: rangeMeters, Key: kp}, nil
+}
+
+// APProof is the certificate an access point issues.
+type APProof struct {
+	APID      string
+	Recipient string
+	OLC       string
+	IssuedAt  time.Duration
+	Signature []byte
+}
+
+// ErrOutOfCoverage reports a device outside the AP's radio range.
+var ErrOutOfCoverage = errors.New("baseline: device outside access-point coverage")
+
+// Issue certifies a device currently in coverage. Like real Wi-Fi
+// infrastructure, the AP sees the device's true radio position, so a
+// spoofed GPS claim doesn't help the attacker here either — the limitation
+// is cost, not security (§1.7.1).
+func (ap *AccessPoint) Issue(dev *geo.Device, recipient string, now time.Duration) (APProof, error) {
+	if geo.DistanceMeters(ap.Position, dev.TruePosition) > ap.RangeMeters {
+		return APProof{}, fmt.Errorf("%w: %s", ErrOutOfCoverage, ap.ID)
+	}
+	code, err := olc.Encode(ap.Position.Lat, ap.Position.Lng, olc.DefaultCodeLength)
+	if err != nil {
+		return APProof{}, err
+	}
+	msg := []byte(ap.ID + "|" + recipient + "|" + code + "|" + now.String())
+	return APProof{
+		APID:      ap.ID,
+		Recipient: recipient,
+		OLC:       code,
+		IssuedAt:  now,
+		Signature: ap.Key.Sign(msg),
+	}, nil
+}
+
+// VerifyAPProof checks the AP's signature.
+func VerifyAPProof(ap *AccessPoint, p APProof) bool {
+	msg := []byte(p.APID + "|" + p.Recipient + "|" + p.OLC + "|" + p.IssuedAt.String())
+	return polcrypto.Verify(ap.Key.Public, msg, p.Signature)
+}
+
+// DeploymentCost models the economics the thesis uses to argue against
+// infrastructure-dependent schemes: covering an area requires
+// ceil(area/coverage) access points at a fixed hardware+install cost each,
+// while the witness-based design needs none.
+type DeploymentCost struct {
+	AreaKm2          float64
+	APRangeMeters    float64
+	CostPerAPEuro    float64
+	APsNeeded        int
+	TotalCostEuro    float64
+	WitnessBasedEuro float64 // always 0: no infrastructure
+}
+
+// EstimateDeploymentCost computes the AP count and cost to cover an area.
+func EstimateDeploymentCost(areaKm2, apRangeMeters, costPerAPEuro float64) DeploymentCost {
+	coverKm2 := 3.14159265 * apRangeMeters * apRangeMeters / 1e6
+	n := int(areaKm2/coverKm2) + 1
+	return DeploymentCost{
+		AreaKm2:       areaKm2,
+		APRangeMeters: apRangeMeters,
+		CostPerAPEuro: costPerAPEuro,
+		APsNeeded:     n,
+		TotalCostEuro: float64(n) * costPerAPEuro,
+	}
+}

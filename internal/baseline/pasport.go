@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"agnopol/internal/geo"
+	"agnopol/internal/polcrypto"
+)
+
+// PASPORT (Nosouhi et al., IEEE TCSS 2020; §1.7.2): a private location-
+// proof scheme whose distinguishing mechanism is that the VERIFIER assigns
+// the witness to the prover, so a prover cannot shop for a colluding
+// witness — the design the thesis says inspired its witness-list delivery.
+// Its residual weakness, which the thesis also records, is the verifier
+// itself: "the verifier could not act in 'good-faith' and misbehave". Both
+// sides are reproduced here and exercised by tests.
+
+// PasportUser is a prover or witness.
+type PasportUser struct {
+	Name   string
+	Key    *polcrypto.KeyPair
+	Device *geo.Device
+}
+
+// NewPasportUser creates a user.
+func NewPasportUser(name string, at geo.LatLng, rand interface{ Read([]byte) (int, error) }) (*PasportUser, error) {
+	kp, err := polcrypto.GenerateKeyPair(rand)
+	if err != nil {
+		return nil, err
+	}
+	return &PasportUser{Name: name, Key: kp, Device: geo.NewDevice(at)}, nil
+}
+
+// Assignment is the verifier's witness-assignment token: it names the
+// prover, the assigned witness, and an expiry, signed by the verifier.
+type Assignment struct {
+	ProverPub  []byte
+	WitnessPub []byte
+	IssuedAt   time.Duration
+	ExpiresAt  time.Duration
+	Signature  []byte
+}
+
+func assignmentMessage(a *Assignment) []byte {
+	h := polcrypto.Hash(a.ProverPub, a.WitnessPub,
+		[]byte(a.IssuedAt.String()), []byte(a.ExpiresAt.String()))
+	return h[:]
+}
+
+// PasportProof is the witness-countersigned certificate, bound to the
+// assignment.
+type PasportProof struct {
+	Assignment Assignment
+	Location   geo.LatLng
+	Time       time.Duration
+	WitnessSig []byte
+}
+
+func proofMessage(p *PasportProof) []byte {
+	h := polcrypto.Hash(assignmentMessage(&p.Assignment),
+		[]byte(p.Location.String()), []byte(p.Time.String()))
+	return h[:]
+}
+
+// PasportVerifier both assigns witnesses and validates proofs — the
+// concentration of power the thesis objects to.
+type PasportVerifier struct {
+	Key       *polcrypto.KeyPair
+	witnesses []*PasportUser
+}
+
+// NewPasportVerifier creates the verifier with its registered witness pool.
+func NewPasportVerifier(rand interface{ Read([]byte) (int, error) }, witnesses ...*PasportUser) (*PasportVerifier, error) {
+	kp, err := polcrypto.GenerateKeyPair(rand)
+	if err != nil {
+		return nil, err
+	}
+	return &PasportVerifier{Key: kp, witnesses: witnesses}, nil
+}
+
+// PASPORT errors.
+var (
+	ErrNoWitnessNearby   = errors.New("baseline: no registered witness near the claimed area")
+	ErrAssignmentExpired = errors.New("baseline: witness assignment expired")
+	ErrWrongWitness      = errors.New("baseline: proof signed by a witness other than the assigned one")
+)
+
+// AssignWitness picks a registered witness near the prover's claimed
+// location; the prover has no say in the choice (the anti-collusion
+// mechanism).
+func (v *PasportVerifier) AssignWitness(prover *PasportUser, now time.Duration) (Assignment, *PasportUser, error) {
+	claimed := prover.Device.ClaimedPosition
+	var best *PasportUser
+	bestD := 1e18
+	for _, w := range v.witnesses {
+		d := geo.DistanceMeters(w.Device.TruePosition, claimed)
+		if d < bestD {
+			best, bestD = w, d
+		}
+	}
+	if best == nil || bestD > 100 {
+		return Assignment{}, nil, ErrNoWitnessNearby
+	}
+	a := Assignment{
+		ProverPub:  prover.Key.Public,
+		WitnessPub: best.Key.Public,
+		IssuedAt:   now,
+		ExpiresAt:  now + 2*time.Minute,
+	}
+	a.Signature = v.Key.Sign(assignmentMessage(&a))
+	return a, best, nil
+}
+
+// WitnessCertify is the assigned witness's side: Bluetooth proximity check,
+// then countersign.
+func WitnessCertify(w *PasportUser, prover *PasportUser, a Assignment, now time.Duration) (PasportProof, error) {
+	if string(a.WitnessPub) != string(w.Key.Public) {
+		return PasportProof{}, ErrWrongWitness
+	}
+	if now > a.ExpiresAt {
+		return PasportProof{}, ErrAssignmentExpired
+	}
+	if !w.Device.CanReach(prover.Device) {
+		return PasportProof{}, fmt.Errorf("baseline: prover out of Bluetooth range (%0.f m)",
+			geo.DistanceMeters(w.Device.TruePosition, prover.Device.TruePosition))
+	}
+	p := PasportProof{Assignment: a, Location: w.Device.TruePosition, Time: now}
+	p.WitnessSig = w.Key.Sign(proofMessage(&p))
+	return p, nil
+}
+
+// Validate checks a submitted proof: the assignment is the verifier's own,
+// unexpired, and the countersignature opens under the assigned witness key.
+func (v *PasportVerifier) Validate(p PasportProof, now time.Duration) error {
+	if !polcrypto.Verify(v.Key.Public, assignmentMessage(&p.Assignment), p.Assignment.Signature) {
+		return fmt.Errorf("baseline: assignment not issued by this verifier: %w", polcrypto.ErrBadSignature)
+	}
+	if p.Time > p.Assignment.ExpiresAt || now > p.Assignment.ExpiresAt+10*time.Minute {
+		return ErrAssignmentExpired
+	}
+	if !polcrypto.Verify(p.Assignment.WitnessPub, proofMessage(&p), p.WitnessSig) {
+		return fmt.Errorf("baseline: witness countersignature: %w", polcrypto.ErrBadSignature)
+	}
+	return nil
+}
+
+// ForgeProof is the misbehaving-verifier attack the thesis notes PASPORT
+// cannot prevent: the verifier fabricates an assignment to a witness key it
+// controls and "validates" its own forgery. It exists so the test suite can
+// demonstrate the trust assumption, not for use.
+func (v *PasportVerifier) ForgeProof(proverPub []byte, at geo.LatLng, now time.Duration,
+	rand interface{ Read([]byte) (int, error) }) (PasportProof, error) {
+	puppet, err := polcrypto.GenerateKeyPair(rand)
+	if err != nil {
+		return PasportProof{}, err
+	}
+	a := Assignment{
+		ProverPub:  proverPub,
+		WitnessPub: puppet.Public,
+		IssuedAt:   now,
+		ExpiresAt:  now + 2*time.Minute,
+	}
+	a.Signature = v.Key.Sign(assignmentMessage(&a))
+	p := PasportProof{Assignment: a, Location: at, Time: now}
+	p.WitnessSig = puppet.Sign(proofMessage(&p))
+	return p, nil
+}

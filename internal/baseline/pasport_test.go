@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"agnopol/internal/chain"
+	"agnopol/internal/geo"
+)
+
+func pasportFixture(t *testing.T) (*PasportVerifier, *PasportUser, *PasportUser, *chain.Rand) {
+	t.Helper()
+	rng := chain.NewRand(20)
+	prover, err := NewPasportUser("prover", piazza, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness, err := NewPasportUser("witness", geo.Offset(piazza, 3, 3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewPasportVerifier(rng, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, prover, witness, rng
+}
+
+func TestPasportHonestFlow(t *testing.T) {
+	v, prover, witness, _ := pasportFixture(t)
+	a, assigned, err := v.AssignWitness(prover, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assigned != witness {
+		t.Fatal("wrong witness assigned")
+	}
+	proof, err := WitnessCertify(witness, prover, a, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(proof, 2*time.Second); err != nil {
+		t.Fatalf("honest proof rejected: %v", err)
+	}
+}
+
+func TestPasportProverCannotPickWitness(t *testing.T) {
+	v, prover, _, rng := pasportFixture(t)
+	// The prover's accomplice is NOT the assigned witness; its
+	// countersignature must not validate.
+	accomplice, err := NewPasportUser("accomplice", piazza, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := v.AssignWitness(prover, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WitnessCertify(accomplice, prover, a, time.Second); !errors.Is(err, ErrWrongWitness) {
+		t.Fatalf("accomplice certify err = %v, want ErrWrongWitness", err)
+	}
+	// Even forging the proof struct directly fails validation.
+	forged := PasportProof{Assignment: a, Location: piazza, Time: time.Second}
+	forged.WitnessSig = accomplice.Key.Sign(proofMessage(&forged))
+	if err := v.Validate(forged, 2*time.Second); err == nil {
+		t.Fatal("proof countersigned by a non-assigned witness validated")
+	}
+}
+
+func TestPasportExpiryAndRange(t *testing.T) {
+	v, prover, witness, _ := pasportFixture(t)
+	a, _, err := v.AssignWitness(prover, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WitnessCertify(witness, prover, a, 3*time.Minute); !errors.Is(err, ErrAssignmentExpired) {
+		t.Fatalf("expired assignment err = %v", err)
+	}
+	// Remote prover: Bluetooth gate.
+	prover.Device.MoveTo(geo.Offset(piazza, 500, 0))
+	if _, err := WitnessCertify(witness, prover, a, time.Second); err == nil {
+		t.Fatal("out-of-range prover certified")
+	}
+}
+
+func TestPasportNoWitnessNearby(t *testing.T) {
+	rng := chain.NewRand(21)
+	prover, err := NewPasportUser("p", piazza, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := NewPasportUser("w", geo.Offset(piazza, 5000, 0), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewPasportVerifier(rng, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.AssignWitness(prover, 0); !errors.Is(err, ErrNoWitnessNearby) {
+		t.Fatalf("err = %v, want ErrNoWitnessNearby", err)
+	}
+}
+
+// TestPasportVerifierMisbehaves documents the trust assumption the thesis
+// flags: "the verifier could not act in 'good-faith' and misbehave" — a
+// malicious verifier can fabricate proofs that pass its own validation.
+// The thesis architecture bounds this differently: verifiers are CA-
+// designated and the witness list is public, so a forged witness signature
+// is detectable by anyone re-running the check.
+func TestPasportVerifierMisbehaves(t *testing.T) {
+	v, prover, _, rng := pasportFixture(t)
+	forged, err := v.ForgeProof(prover.Key.Public, geo.LatLng{Lat: 45.4642, Lng: 9.19}, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Validate(forged, time.Second); err != nil {
+		t.Fatalf("expected the forgery to validate under the malicious verifier: %v", err)
+	}
+	// An independent verifier (different key) rejects the same proof.
+	other, err := NewPasportVerifier(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Validate(forged, time.Second); err == nil {
+		t.Fatal("independent verifier accepted the forgery")
+	}
+}

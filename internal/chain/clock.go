@@ -1,0 +1,60 @@
+package chain
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is the discrete-event simulation clock. Each chain owns one; it only
+// moves when the simulation advances it (block production, network delays),
+// so experiments that span simulated hours run in milliseconds of wall time.
+type Clock struct {
+	now time.Duration
+}
+
+// NewClock returns a clock at simulated time zero (genesis).
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the elapsed simulated time since genesis.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves simulated time forward. Negative advances are a programming
+// error and panic.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("chain.Clock: advancing by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to an absolute simulated time, never backwards.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Receipt reports the outcome of a transaction on either chain family, in
+// the common shape the Connector interface and the benchmark harness
+// consume.
+type Receipt struct {
+	TxHash      Hash32
+	BlockNumber uint64
+	// GasUsed is EVM gas for Ethereum-family chains and the AVM opcode
+	// budget consumed for Algorand.
+	GasUsed uint64
+	// Fee actually paid, in the chain's base units.
+	Fee Amount
+	// Submitted and Included are simulated timestamps; Included-Submitted
+	// is the confirmation latency the paper's figures plot.
+	Submitted time.Duration
+	Included  time.Duration
+	Reverted  bool
+	RevertMsg string
+	// ReturnValue is the ABI-encoded (EVM) or raw (AVM) return of the call.
+	ReturnValue []byte
+	Logs        []string
+}
+
+// Latency is the submit-to-confirmation time of the transaction.
+func (r Receipt) Latency() time.Duration { return r.Included - r.Submitted }

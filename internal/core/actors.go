@@ -1,0 +1,474 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"agnopol/internal/did"
+	"agnopol/internal/geo"
+	"agnopol/internal/ipfs"
+	"agnopol/internal/lang"
+	"agnopol/internal/olc"
+	"agnopol/internal/polcrypto"
+)
+
+// Protocol errors.
+var (
+	ErrNotInRange      = errors.New("core: peer not within Bluetooth range")
+	ErrLocationClaim   = errors.New("core: claimed area is not where the witness is")
+	ErrBadNonce        = errors.New("core: nonce was not issued to this prover or was already used")
+	ErrUnknownWitness  = errors.New("core: proof not signed by any known witness")
+	ErrSelfSigned      = errors.New("core: proof signed by the prover itself")
+	ErrHashMismatch    = errors.New("core: on-chain hash does not match recomputed proof hash")
+	ErrNotVerifier     = errors.New("core: caller is not a designated verifier")
+	ErrReportCorrupted = errors.New("core: report bytes do not match CID")
+)
+
+// Witness issues location proofs to provers physically nearby (§2.3.1.1).
+// Witnesses are untrusted by the system; their accountability comes from
+// the CA-registered public key their signatures are checked against.
+type Witness struct {
+	sys    *System
+	Key    *polcrypto.KeyPair
+	DID    did.DID
+	Device *geo.Device
+
+	mu     sync.Mutex
+	nonces map[did.DID]uint64
+	used   map[uint64]bool
+	seq    uint64
+}
+
+// NewWitness creates a witness at a position, registers its DID and
+// communicates its public key to the Certification Authority.
+func NewWitness(sys *System, at geo.LatLng) (*Witness, error) {
+	kp, err := polcrypto.GenerateKeyPair(sys.Rand.Fork("witness-key"))
+	if err != nil {
+		return nil, err
+	}
+	d, err := sys.RegisterDID(kp.Public)
+	if err != nil {
+		return nil, err
+	}
+	sys.CA.RegisterWitness(kp.Public)
+	w := &Witness{
+		sys:    sys,
+		Key:    kp,
+		DID:    d,
+		Device: geo.NewDevice(at),
+		nonces: make(map[did.DID]uint64),
+		used:   make(map[uint64]bool),
+	}
+	sys.AnnounceWitness(w)
+	return w, nil
+}
+
+// BeginAuth starts the DID challenge–response with a prover (Fig. 2.4).
+func (w *Witness) BeginAuth(prover did.DID) (did.Challenge, error) {
+	return w.sys.Auth.NewChallenge(prover)
+}
+
+// IssueNonce hands the prover the nonce to embed in its request — the
+// replay protection of §2.3.1.1.
+func (w *Witness) IssueNonce(prover did.DID) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	n := w.seq<<16 | uint64(w.sys.Rand.Uint64n(1<<16))
+	w.nonces[prover] = n
+	return n
+}
+
+// maxAreaSlackMeters tolerates provers standing near an OLC cell border:
+// the witness accepts a claimed area whose center is within this distance,
+// on top of direct containment. A 10-digit OLC cell is ~14 m, so the slack
+// stays within Bluetooth scale.
+const maxAreaSlackMeters = 30
+
+// HandleProofRequest performs the witness-side checks and — when they all
+// pass — computes and signs the location proof:
+//
+//  1. physical proximity: the Bluetooth exchange only completes when the
+//     two devices are in radio range (true positions, not claims);
+//  2. identity: the prover proved control of its DID via challenge–response;
+//  3. freshness: the request carries the nonce this witness issued to this
+//     prover, unused;
+//  4. location consistency: the claimed OLC area is where the witness
+//     itself is.
+func (w *Witness) HandleProofRequest(proverDev *geo.Device, auth did.ChallengeResponse, req ProofRequest) (*LocationProof, error) {
+	if !w.Device.CanReach(proverDev) {
+		return nil, fmt.Errorf("%w: %.0f m apart", ErrNotInRange,
+			geo.DistanceMeters(w.Device.TruePosition, proverDev.TruePosition))
+	}
+	if auth.Challenge.DID != req.DID {
+		return nil, fmt.Errorf("%w: challenge for %s, request from %s", did.ErrAuthFailed, auth.Challenge.DID, req.DID)
+	}
+	if err := w.sys.Auth.VerifyResponse(auth); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	issued, ok := w.nonces[req.DID]
+	if !ok || issued != req.Nonce || w.used[req.Nonce] {
+		w.mu.Unlock()
+		return nil, ErrBadNonce
+	}
+	w.used[req.Nonce] = true
+	delete(w.nonces, req.DID)
+	w.mu.Unlock()
+
+	area, err := olc.Decode(req.OLC)
+	if err != nil {
+		return nil, fmt.Errorf("core: claimed OLC: %w", err)
+	}
+	wp := w.Device.TruePosition
+	if !area.Contains(wp.Lat, wp.Lng) {
+		cLat, cLng := area.Center()
+		if geo.DistanceMeters(wp, geo.LatLng{Lat: cLat, Lng: cLng}) > maxAreaSlackMeters {
+			return nil, fmt.Errorf("%w: claimed %s", ErrLocationClaim, req.OLC)
+		}
+	}
+
+	h := req.Hash()
+	return &LocationProof{
+		Request:    req,
+		Hash:       h,
+		Signature:  w.Key.Sign(h[:]),
+		WitnessPub: w.Key.Public,
+		IssuedAt:   0,
+	}, nil
+}
+
+// Prover is a mobile user who wants its reports accepted (§2.1).
+type Prover struct {
+	sys    *System
+	Key    *polcrypto.KeyPair
+	DID    did.DID
+	Device *geo.Device
+	// Accounts per connector name.
+	accounts map[string]*Account
+}
+
+// NewProver creates a prover at a position with a fresh DID, and registers
+// it as an IPFS peer.
+func NewProver(sys *System, at geo.LatLng) (*Prover, error) {
+	kp, err := polcrypto.GenerateKeyPair(sys.Rand.Fork("prover-key"))
+	if err != nil {
+		return nil, err
+	}
+	d, err := sys.RegisterDID(kp.Public)
+	if err != nil {
+		return nil, err
+	}
+	sys.IPFS.AddPeer(string(d))
+	return &Prover{
+		sys:      sys,
+		Key:      kp,
+		DID:      d,
+		Device:   geo.NewDevice(at),
+		accounts: make(map[string]*Account),
+	}, nil
+}
+
+// EnsureAccount creates (once) and returns the prover's wallet on a
+// connector, funded with the given token amount.
+func (p *Prover) EnsureAccount(conn Connector, tokens float64) (*Account, error) {
+	if a, ok := p.accounts[conn.Name()]; ok {
+		return a, nil
+	}
+	a, err := conn.NewAccount(tokens)
+	if err != nil {
+		return nil, err
+	}
+	p.accounts[conn.Name()] = a
+	return a, nil
+}
+
+// Account returns the prover's wallet on a connector, if created.
+func (p *Prover) Account(conn Connector) (*Account, bool) {
+	a, ok := p.accounts[conn.Name()]
+	return a, ok
+}
+
+// ClaimedOLC encodes the device's claimed position at the default
+// precision (§2.6: the OLC, not raw GPS, is what leaves the device).
+func (p *Prover) ClaimedOLC() (string, error) {
+	pos := p.Device.ClaimedPosition
+	return olc.Encode(pos.Lat, pos.Lng, olc.DefaultCodeLength)
+}
+
+// UploadReport serializes the report, stores it on IPFS and pins it.
+func (p *Prover) UploadReport(r Report) (ipfs.CID, error) {
+	r.Author = string(p.DID)
+	data, err := json.Marshal(r)
+	if err != nil {
+		return "", err
+	}
+	cid, err := p.sys.IPFS.Add(string(p.DID), data)
+	if err != nil {
+		return "", err
+	}
+	if err := p.sys.IPFS.Pin(string(p.DID), cid); err != nil {
+		return "", err
+	}
+	return cid, nil
+}
+
+// RequestProof runs the full Bluetooth exchange with a witness: DID
+// challenge–response, nonce issuance, proof request, proof verification on
+// receipt.
+func (p *Prover) RequestProof(w *Witness, cid ipfs.CID, wallet [20]byte) (*LocationProof, error) {
+	code, err := p.ClaimedOLC()
+	if err != nil {
+		return nil, err
+	}
+	ch, err := w.BeginAuth(p.DID)
+	if err != nil {
+		return nil, err
+	}
+	resp := did.SignChallenge(p.Key, ch)
+	nonce := w.IssueNonce(p.DID)
+	req := ProofRequest{DID: p.DID, OLC: code, Nonce: nonce, CID: cid, Wallet: wallet}
+	proof, err := w.HandleProofRequest(p.Device, resp, req)
+	if err != nil {
+		return nil, err
+	}
+	// The prover checks the certificate before spending fees on it.
+	if err := proof.Verify(); err != nil {
+		return nil, err
+	}
+	return proof, nil
+}
+
+// SubmissionResult reports how a proof landed on-chain.
+type SubmissionResult struct {
+	Handle   *Handle
+	Deployed bool
+	Op       *OpResult
+	Hops     int
+}
+
+// SubmitProof implements the §3.1.2 insertion flow: look the area's
+// contract up in the hypercube; deploy a new one (becoming its creator)
+// when absent, otherwise attach with insert_data.
+func (p *Prover) SubmitProof(conn Connector, proof *LocationProof, rewardPerProver uint64) (*SubmissionResult, error) {
+	acct, ok := p.accounts[conn.Name()]
+	if !ok {
+		return nil, fmt.Errorf("core: prover %s has no account on %s", p.DID, conn.Name())
+	}
+	code := proof.Request.OLC
+	via, err := p.sys.NodeIDForOLC(code)
+	if err != nil {
+		return nil, err
+	}
+	h, hops, found, err := p.sys.LookupContract(via, code)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		// Deployment is two chained operations (Fig. 3.1): the creation
+		// transaction, then the creator's own insert_data — which also
+		// carries the escrow activation deposit on connectors that need
+		// one.
+		handle, deployOp, err := conn.Deploy(acct, p.sys.Compiled, []lang.Value{
+			lang.BytesValue([]byte(code)),
+			lang.Uint64Value(p.DID.Uint64()),
+			lang.Uint64Value(rewardPerProver),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: deploy: %w", err)
+		}
+		_, insertOp, err := conn.CallWithEscrowFunding(acct, handle, "insert_data", 0,
+			lang.BytesValue(proof.ConcatData()),
+			lang.Uint64Value(p.DID.Uint64()),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("core: creator insert: %w", err)
+		}
+		if _, err := p.sys.PublishContract(via, code, handle); err != nil {
+			return nil, err
+		}
+		op := &OpResult{
+			Latency:  deployOp.Latency + insertOp.Latency,
+			Fee:      deployOp.Fee.Add(insertOp.Fee),
+			GasUsed:  deployOp.GasUsed + insertOp.GasUsed,
+			Receipts: append(deployOp.Receipts, insertOp.Receipts...),
+		}
+		return &SubmissionResult{Handle: handle, Deployed: true, Op: op, Hops: hops}, nil
+	}
+	_, op, err := conn.Call(acct, h, "insert_data", 0,
+		lang.BytesValue(proof.ConcatData()),
+		lang.Uint64Value(p.DID.Uint64()),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("core: attach: %w", err)
+	}
+	return &SubmissionResult{Handle: h, Deployed: false, Op: op, Hops: hops}, nil
+}
+
+// Verifier validates staged proofs and moves accepted reports into the
+// hypercube — the garbage-in gate (§2.3.1.2).
+type Verifier struct {
+	sys      *System
+	Key      *polcrypto.KeyPair
+	DID      did.DID
+	accounts map[string]*Account
+}
+
+// NewVerifier creates a verifier and has the CA designate it.
+func NewVerifier(sys *System) (*Verifier, error) {
+	kp, err := polcrypto.GenerateKeyPair(sys.Rand.Fork("verifier-key"))
+	if err != nil {
+		return nil, err
+	}
+	d, err := sys.RegisterDID(kp.Public)
+	if err != nil {
+		return nil, err
+	}
+	sys.CA.DesignateVerifier(d)
+	sys.IPFS.AddPeer(string(d))
+	return &Verifier{sys: sys, Key: kp, DID: d, accounts: make(map[string]*Account)}, nil
+}
+
+// EnsureAccount creates (once) and returns the verifier's wallet on a
+// connector.
+func (v *Verifier) EnsureAccount(conn Connector, tokens float64) (*Account, error) {
+	if a, ok := v.accounts[conn.Name()]; ok {
+		return a, nil
+	}
+	a, err := conn.NewAccount(tokens)
+	if err != nil {
+		return nil, err
+	}
+	v.accounts[conn.Name()] = a
+	return a, nil
+}
+
+// FundContract deposits reward money via insert_money.
+func (v *Verifier) FundContract(conn Connector, h *Handle, amount uint64) (*OpResult, error) {
+	if !v.sys.CA.IsVerifier(v.DID) {
+		return nil, ErrNotVerifier
+	}
+	acct := v.accounts[conn.Name()]
+	if acct == nil {
+		return nil, fmt.Errorf("core: verifier has no account on %s", conn.Name())
+	}
+	_, op, err := conn.Call(acct, h, "insert_money", amount, lang.Uint64Value(amount))
+	return op, err
+}
+
+// Verification is the outcome of checking one prover.
+type Verification struct {
+	Prover   did.DID
+	Report   Report
+	CID      ipfs.CID
+	Accepted bool
+	Reason   string
+	Op       *OpResult
+}
+
+// VerifyProver runs the §2.3.1.2 procedure for one DID:
+//
+//  1. read the concatenated values from the contract map;
+//  2. recompute Hash(DID‖OLC‖nonce‖CID) with the contract's area and check
+//     it equals the stored hash (catches location or CID substitution);
+//  3. check the signature opens under some CA-registered witness key —
+//     and not under the prover's own key (self-signing);
+//  4. fetch the report from IPFS and check its integrity against the CID;
+//  5. call the verify API (pays the reward, deletes the map entry);
+//  6. insert the CID into the hypercube (garbage-in).
+func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Verification, error) {
+	if !v.sys.CA.IsVerifier(v.DID) {
+		return nil, ErrNotVerifier
+	}
+	acct := v.accounts[conn.Name()]
+	if acct == nil {
+		return nil, fmt.Errorf("core: verifier has no account on %s", conn.Name())
+	}
+	key := prover.Uint64()
+	raw, ok, err := conn.ReadMap(h, EasyMapName, key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: no staged data for %s", prover)
+	}
+	parsed, err := ParseConcatData(raw.Bytes)
+	if err != nil {
+		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
+	}
+	posVal, err := conn.ReadGlobal(h, PositionGlobal)
+	if err != nil {
+		return nil, err
+	}
+	code := string(posVal.Bytes)
+
+	req := ProofRequest{DID: prover, OLC: code, Nonce: parsed.Nonce, CID: parsed.CID, Wallet: parsed.Wallet}
+	if req.Hash() != parsed.Hash {
+		return &Verification{Prover: prover, Accepted: false, Reason: ErrHashMismatch.Error()}, nil
+	}
+
+	// Locate the signing witness among the CA-registered keys; reject a
+	// proof the prover signed for itself (§2.3.1.2, footnote 12).
+	doc, err := v.sys.Registry.Resolve(prover)
+	if err != nil {
+		return nil, err
+	}
+	proverKey, err := doc.AuthenticationKey()
+	if err != nil {
+		return nil, err
+	}
+	if polcrypto.Verify(proverKey, parsed.Hash[:], parsed.Signature) {
+		return &Verification{Prover: prover, Accepted: false, Reason: ErrSelfSigned.Error()}, nil
+	}
+	signed := false
+	for _, pub := range v.sys.CA.WitnessList() {
+		if bytes.Equal(pub, proverKey) {
+			continue
+		}
+		if polcrypto.Verify(pub, parsed.Hash[:], parsed.Signature) {
+			signed = true
+			break
+		}
+	}
+	if !signed {
+		return &Verification{Prover: prover, Accepted: false, Reason: ErrUnknownWitness.Error()}, nil
+	}
+
+	// Retrieve and integrity-check the report content.
+	data, err := v.sys.IPFS.Get(parsed.CID)
+	if err != nil {
+		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
+	}
+	if !parsed.CID.Verify(data) {
+		return &Verification{Prover: prover, Accepted: false, Reason: ErrReportCorrupted.Error()}, nil
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		return &Verification{Prover: prover, Accepted: false, Reason: "malformed report: " + err.Error()}, nil
+	}
+
+	// On-chain verification: pays the reward and clears the map entry.
+	_, op, err := conn.Call(acct, h, "verify", 0,
+		lang.Uint64Value(key),
+		lang.AddressValue(parsed.Wallet),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	// Garbage-in: only now does the report reach the hypercube.
+	via, err := v.sys.NodeIDForOLC(code)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := v.sys.Cube.AppendCID(via, via, code, h.ID(), string(parsed.CID)); err != nil {
+		return nil, err
+	}
+	return &Verification{
+		Prover: prover, Report: report, CID: parsed.CID,
+		Accepted: true, Op: op,
+	}, nil
+}

@@ -1,0 +1,156 @@
+// Package core implements the paper's primary contribution: the
+// decentralized Proof-of-Location system. It wires together the
+// blockchain-agnostic contract (package lang) deployed through chain
+// connectors (eth, algorand), the DID layer, the hypercube DHT, IPFS and
+// the prover/witness/verifier protocol of Chapter 2.
+package core
+
+import (
+	"fmt"
+
+	"agnopol/internal/lang"
+)
+
+// Contract constants from §4.1: every per-location contract accepts at most
+// MaxUsers provers (creator included) — the thesis tests with 4 per
+// contract — and pays RewardPerProver to each verified prover.
+const MaxUsers = 4
+
+// BuildPoLProgram writes the thesis smart contract (§4.1, Fig. 2.8) in the
+// agnostic language:
+//
+//   - the Creator participant deploys with (position, did, data), which
+//     stores the first prover's concatenated values in the Map;
+//   - attacherAPI.insert_data(data, did) lets up to MaxUsers provers attach
+//     (the ParallelReduce over availableSits);
+//   - verifierAPI.insert_money(money) funds the reward pool;
+//   - verifierAPI.verify(did, wallet) pays the reward when funded, deletes
+//     the map entry, and reports the outcome (reportVerification /
+//     issueDuringVerification events);
+//   - close() sends the remaining balance back to the creator (the timeout
+//     step that lets the contract exit with an empty balance — the token-
+//     linearity obligation).
+//
+// rewardPerProver is in the chain's base units (wei / µAlgo) and becomes a
+// constructor argument so the same compiled program runs on every connector.
+func BuildPoLProgram() *lang.Program {
+	p := lang.NewProgram("pol-report")
+
+	p.DeclareGlobal("position", lang.TBytes)
+	p.DeclareGlobal("creator", lang.TAddress)
+	p.DeclareGlobal("creatorDid", lang.TUInt)
+	p.DeclareGlobal("availableSits", lang.TUInt)
+	p.DeclareGlobal("reward", lang.TUInt)
+	p.DeclareMap("easy_map", lang.TUInt, lang.TBytes)
+
+	// Deployment is two transactions, exactly as the Etherscan trace in
+	// Fig. 3.1 shows: the creation transaction publishes position, DID
+	// and reward, then the creator inserts its data through insert_data
+	// like every other prover.
+	p.SetConstructor(
+		[]lang.Param{
+			{Name: "position", Type: lang.TBytes},
+			{Name: "did", Type: lang.TUInt},
+			{Name: "rewardPerProver", Type: lang.TUInt},
+		},
+		&lang.SetGlobal{Name: "position", Value: lang.A(0)},
+		&lang.SetGlobal{Name: "creator", Value: &lang.Caller{}},
+		&lang.SetGlobal{Name: "creatorDid", Value: lang.A(1)},
+		&lang.SetGlobal{Name: "reward", Value: lang.A(2)},
+		&lang.SetGlobal{Name: "availableSits", Value: lang.U(MaxUsers)},
+	)
+
+	p.AddAPI(&lang.API{
+		Name: "insert_data",
+		Params: []lang.Param{
+			{Name: "data", Type: lang.TBytes},
+			{Name: "did", Type: lang.TUInt},
+		},
+		Returns: lang.TUInt,
+		Body: []lang.Stmt{
+			&lang.Assume{Cond: lang.Gt(lang.G("availableSits"), lang.U(0)), Msg: "contract is full"},
+			&lang.Assume{Cond: &lang.Not{A: &lang.MapHas{Map: "easy_map", Key: lang.A(1)}}, Msg: "DID already attached"},
+			&lang.MapSet{Map: "easy_map", Key: lang.A(1), Value: lang.A(0)},
+			&lang.SetGlobal{Name: "availableSits", Value: lang.Sub(lang.G("availableSits"), lang.U(1))},
+			&lang.Emit{Event: "reportData", Value: lang.A(1)},
+			&lang.Return{Value: lang.G("availableSits")},
+		},
+	})
+
+	p.AddAPI(&lang.API{
+		Name:    "insert_money",
+		Params:  []lang.Param{{Name: "money", Type: lang.TUInt}},
+		Returns: lang.TUInt,
+		Pay:     lang.A(0),
+		Body: []lang.Stmt{
+			&lang.Assume{Cond: lang.Gt(lang.A(0), lang.U(0)), Msg: "deposit must be positive"},
+			&lang.Return{Value: &lang.Balance{}},
+		},
+	})
+
+	p.AddAPI(&lang.API{
+		Name: "verify",
+		Params: []lang.Param{
+			{Name: "did", Type: lang.TUInt},
+			{Name: "walletAddress", Type: lang.TAddress},
+		},
+		Returns: lang.TAddress,
+		Body: []lang.Stmt{
+			&lang.Assume{Cond: &lang.MapHas{Map: "easy_map", Key: lang.A(0)}, Msg: "no data for DID"},
+			&lang.If{
+				Cond: lang.Ge(&lang.Balance{}, lang.G("reward")),
+				Then: []lang.Stmt{
+					&lang.Transfer{Amount: lang.G("reward"), To: lang.A(1)},
+					&lang.MapDel{Map: "easy_map", Key: lang.A(0)},
+					&lang.Emit{Event: "reportVerification", Value: lang.A(0)},
+					&lang.Return{Value: lang.A(1)},
+				},
+				Else: []lang.Stmt{
+					&lang.Emit{Event: "issueDuringVerification", Value: lang.A(0)},
+					&lang.Return{Value: lang.A(1)},
+				},
+			},
+		},
+	})
+
+	p.AddAPI(&lang.API{
+		Name:    "close",
+		Params:  []lang.Param{},
+		Returns: lang.TUInt,
+		Body: []lang.Stmt{
+			// Only the creator can trigger the timeout close; the
+			// remaining tokens go back to them (§4.1.5).
+			&lang.Assume{Cond: lang.Eq(&lang.Caller{}, lang.G("creator")), Msg: "only creator closes"},
+			&lang.Transfer{Amount: &lang.Balance{}, To: lang.G("creator")},
+			&lang.Return{Value: lang.U(1)},
+		},
+	})
+
+	p.AddView("getCtcBalance", lang.TUInt, &lang.Balance{})
+	p.AddView("getReward", lang.TUInt, lang.G("reward"))
+	p.AddView("getAvailableSits", lang.TUInt, lang.G("availableSits"))
+	p.AddView("getPosition", lang.TBytes, lang.G("position"))
+	return p
+}
+
+// CompilePoL compiles the PoL contract for both backends; the single
+// compiled artifact drives every connector.
+func CompilePoL() (*lang.Compiled, error) {
+	c, err := lang.Compile(BuildPoLProgram(), lang.Options{MaxBytesLen: 512})
+	if err != nil {
+		return nil, fmt.Errorf("core: compile PoL contract: %w", err)
+	}
+	return c, nil
+}
+
+// Map and global indices for off-chain state reads (Reach frontends read
+// contract state through the node; the connectors mirror that via
+// ReadMap/ReadGlobal).
+const (
+	EasyMapName      = "easy_map"
+	PositionGlobal   = "position"
+	SitsGlobal       = "availableSits"
+	RewardGlobal     = "reward"
+	CreatorGlobal    = "creator"
+	CreatorDidGlobal = "creatorDid"
+)

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"agnopol/internal/lang"
+)
+
+// TestPolSourceFileMatchesBuiltin: the shipped contracts/pol-report.pol,
+// compiled through the textual frontend, must produce exactly the backends
+// of the built-in BuildPoLProgram — the repo's .pol file IS the contract.
+func TestPolSourceFileMatchesBuiltin(t *testing.T) {
+	data, err := os.ReadFile("../../contracts/pol-report.pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.ParseSource(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := lang.Compile(prog, lang.Options{MaxBytesLen: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := CompilePoL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile.EVMCode, builtin.EVMCode) {
+		t.Fatalf("EVM bytecode differs: file %d bytes, builtin %d bytes",
+			len(fromFile.EVMCode), len(builtin.EVMCode))
+	}
+	if fromFile.TEALSource != builtin.TEALSource {
+		t.Fatal("TEAL source differs between .pol file and builtin program")
+	}
+}
+
+func TestPoLProgramShape(t *testing.T) {
+	p := BuildPoLProgram()
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, api := range []string{"insert_data", "insert_money", "verify", "close"} {
+		if p.FindAPI(api) == nil {
+			t.Errorf("missing API %q", api)
+		}
+	}
+	for _, v := range []string{"getCtcBalance", "getReward", "getAvailableSits", "getPosition"} {
+		if _, ok := p.FindView(v); !ok {
+			t.Errorf("missing view %q", v)
+		}
+	}
+	if MaxUsers != 4 {
+		t.Fatalf("MaxUsers = %d, thesis uses 4 per contract", MaxUsers)
+	}
+}
+
+// TestPolV2SourceFileMatchesBuiltin: same guarantee for the extended
+// contract.
+func TestPolV2SourceFileMatchesBuiltin(t *testing.T) {
+	data, err := os.ReadFile("../../contracts/pol-report-v2.pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.ParseSource(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := lang.Compile(prog, lang.Options{MaxBytesLen: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := CompilePoLV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile.EVMCode, builtin.EVMCode) {
+		t.Fatalf("EVM bytecode differs: file %d bytes, builtin %d bytes",
+			len(fromFile.EVMCode), len(builtin.EVMCode))
+	}
+	if fromFile.TEALSource != builtin.TEALSource {
+		t.Fatal("TEAL source differs between v2 .pol file and builtin program")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"agnopol/internal/lang"
+)
+
+// BuildPoLProgramV2 is the thesis contract extended with the features its
+// future-work sections sketch:
+//
+//   - a deadline: after `deadline` (consensus time, seconds) anyone can
+//     trigger close_timeout, returning the remaining balance to the creator
+//     ("a timeout function will be called in order to close the contract
+//     after a specific amount of time", §4.1.5 — e.g. "at the end of the
+//     day", §4.1.4 fn 3);
+//   - witness rewards: verify_with_witness additionally pays the witness
+//     whose signature certified the proof ("a new strategy could consist in
+//     send the reward to the witness after that verifier has to check his
+//     signature placed on the proof", §2.8).
+//
+// The v1 program (BuildPoLProgram) remains the faithful reproduction of the
+// artifact the paper evaluated; v2 is the implemented future work.
+func BuildPoLProgramV2() *lang.Program {
+	p := lang.NewProgram("pol-report-v2")
+
+	p.DeclareGlobal("position", lang.TBytes)
+	p.DeclareGlobal("creator", lang.TAddress)
+	p.DeclareGlobal("creatorDid", lang.TUInt)
+	p.DeclareGlobal("availableSits", lang.TUInt)
+	p.DeclareGlobal("reward", lang.TUInt)
+	p.DeclareGlobal("witnessReward", lang.TUInt)
+	p.DeclareGlobal("deadline", lang.TUInt)
+	p.DeclareMap("easy_map", lang.TUInt, lang.TBytes)
+
+	p.SetConstructor(
+		[]lang.Param{
+			{Name: "position", Type: lang.TBytes},
+			{Name: "did", Type: lang.TUInt},
+			{Name: "rewardPerProver", Type: lang.TUInt},
+			{Name: "rewardPerWitness", Type: lang.TUInt},
+			{Name: "deadline", Type: lang.TUInt},
+		},
+		&lang.Require{Cond: lang.Gt(lang.A(4), &lang.Now{}), Msg: "deadline must be in the future"},
+		&lang.SetGlobal{Name: "position", Value: lang.A(0)},
+		&lang.SetGlobal{Name: "creator", Value: &lang.Caller{}},
+		&lang.SetGlobal{Name: "creatorDid", Value: lang.A(1)},
+		&lang.SetGlobal{Name: "reward", Value: lang.A(2)},
+		&lang.SetGlobal{Name: "witnessReward", Value: lang.A(3)},
+		&lang.SetGlobal{Name: "deadline", Value: lang.A(4)},
+		&lang.SetGlobal{Name: "availableSits", Value: lang.U(MaxUsers)},
+	)
+
+	p.AddAPI(&lang.API{
+		Name: "insert_data",
+		Params: []lang.Param{
+			{Name: "data", Type: lang.TBytes},
+			{Name: "did", Type: lang.TUInt},
+		},
+		Returns: lang.TUInt,
+		Body: []lang.Stmt{
+			&lang.Assume{Cond: lang.Lt(&lang.Now{}, lang.G("deadline")), Msg: "contract expired"},
+			&lang.Assume{Cond: lang.Gt(lang.G("availableSits"), lang.U(0)), Msg: "contract is full"},
+			&lang.Assume{Cond: &lang.Not{A: &lang.MapHas{Map: "easy_map", Key: lang.A(1)}}, Msg: "DID already attached"},
+			&lang.MapSet{Map: "easy_map", Key: lang.A(1), Value: lang.A(0)},
+			&lang.SetGlobal{Name: "availableSits", Value: lang.Sub(lang.G("availableSits"), lang.U(1))},
+			&lang.Emit{Event: "reportData", Value: lang.A(1)},
+			&lang.Return{Value: lang.G("availableSits")},
+		},
+	})
+
+	p.AddAPI(&lang.API{
+		Name:    "insert_money",
+		Params:  []lang.Param{{Name: "money", Type: lang.TUInt}},
+		Returns: lang.TUInt,
+		Pay:     lang.A(0),
+		Body: []lang.Stmt{
+			&lang.Assume{Cond: lang.Gt(lang.A(0), lang.U(0)), Msg: "deposit must be positive"},
+			&lang.Return{Value: &lang.Balance{}},
+		},
+	})
+
+	// verify_with_witness pays prover AND witness when the pool covers
+	// both. The total needed is reward + witnessReward; the balance guard
+	// covers the sum, so the two transfers are individually funded.
+	p.AddAPI(&lang.API{
+		Name: "verify_with_witness",
+		Params: []lang.Param{
+			{Name: "did", Type: lang.TUInt},
+			{Name: "proverWallet", Type: lang.TAddress},
+			{Name: "witnessWallet", Type: lang.TAddress},
+		},
+		Returns: lang.TUInt,
+		Body: []lang.Stmt{
+			&lang.Assume{Cond: &lang.MapHas{Map: "easy_map", Key: lang.A(0)}, Msg: "no data for DID"},
+			&lang.If{
+				Cond: lang.Ge(&lang.Balance{}, lang.Add(lang.G("reward"), lang.G("witnessReward"))),
+				Then: []lang.Stmt{
+					&lang.Require{Cond: lang.Ge(&lang.Balance{}, lang.G("reward")), Msg: "pool covers prover"},
+					&lang.Transfer{Amount: lang.G("reward"), To: lang.A(1)},
+					&lang.Require{Cond: lang.Ge(&lang.Balance{}, lang.G("witnessReward")), Msg: "pool covers witness"},
+					&lang.Transfer{Amount: lang.G("witnessReward"), To: lang.A(2)},
+					&lang.MapDel{Map: "easy_map", Key: lang.A(0)},
+					&lang.Emit{Event: "reportVerification", Value: lang.A(0)},
+					&lang.Return{Value: lang.U(1)},
+				},
+				Else: []lang.Stmt{
+					&lang.Emit{Event: "issueDuringVerification", Value: lang.A(0)},
+					&lang.Return{Value: lang.U(0)},
+				},
+			},
+		},
+	})
+
+	// close_timeout: once expired, ANYONE can sweep the remainder to the
+	// creator — so funds cannot be stranded by an absent creator.
+	p.AddAPI(&lang.API{
+		Name:    "close_timeout",
+		Params:  []lang.Param{},
+		Returns: lang.TUInt,
+		Body: []lang.Stmt{
+			&lang.Assume{Cond: lang.Ge(&lang.Now{}, lang.G("deadline")), Msg: "not expired yet"},
+			&lang.Transfer{Amount: &lang.Balance{}, To: lang.G("creator")},
+			&lang.Return{Value: lang.U(1)},
+		},
+	})
+
+	p.AddView("getCtcBalance", lang.TUInt, &lang.Balance{})
+	p.AddView("getReward", lang.TUInt, lang.G("reward"))
+	p.AddView("getWitnessReward", lang.TUInt, lang.G("witnessReward"))
+	p.AddView("getDeadline", lang.TUInt, lang.G("deadline"))
+	p.AddView("getAvailableSits", lang.TUInt, lang.G("availableSits"))
+	return p
+}
+
+// CompilePoLV2 compiles the extended contract.
+func CompilePoLV2() (*lang.Compiled, error) {
+	c, err := lang.Compile(BuildPoLProgramV2(), lang.Options{MaxBytesLen: 512})
+	if err != nil {
+		return nil, fmt.Errorf("core: compile PoL v2 contract: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"agnopol/internal/did"
+)
+
+func TestDIDAnchorBothChains(t *testing.T) {
+	for _, conn := range connectors(t) {
+		conn := conn
+		t.Run(conn.Name(), func(t *testing.T) {
+			sys := newTestSystem(t)
+			payer, err := conn.NewAccount(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			anchor, err := DeployDIDAnchor(sys, conn, payer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prover, err := NewProver(sys, bologna)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Before anchoring: verification fails (no anchor).
+			if err := anchor.Verify(prover.DID); err == nil {
+				t.Fatal("unanchored DID verified")
+			}
+			if _, err := anchor.Anchor(payer, prover.DID); err != nil {
+				t.Fatal(err)
+			}
+			if err := anchor.Verify(prover.DID); err != nil {
+				t.Fatalf("anchored DID rejected: %v", err)
+			}
+			n, err := anchor.anchoredCount()
+			if err != nil || n != 1 {
+				t.Fatalf("count = %d (err %v)", n, err)
+			}
+
+			// Double anchoring the same DID is rejected on-chain.
+			if _, err := anchor.Anchor(payer, prover.DID); err == nil {
+				t.Fatal("double anchor accepted")
+			}
+
+			// After a key rotation the stale anchor no longer matches —
+			// exactly the tamper-evidence the contract provides.
+			newKey := prover.Key // rotate to a fresh key
+			fresh, err := NewProver(sys, bologna)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sig := newKey.Sign(did.RotateMessage(prover.DID, fresh.Key.Public))
+			if err := sys.Registry.Rotate(prover.DID, fresh.Key.Public, sig, 1); err != nil {
+				t.Fatal(err)
+			}
+			err = anchor.Verify(prover.DID)
+			if err == nil || !strings.Contains(err.Error(), "anchor") {
+				t.Fatalf("rotated document still matches the old anchor: %v", err)
+			}
+		})
+	}
+}

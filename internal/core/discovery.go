@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"agnopol/internal/geo"
+)
+
+// Witness discovery — the "View users nearby" interaction the thesis's use
+// case diagram lists and its simulation script implements as
+// find_neighbours() (§4.3). Witnesses announce themselves; provers scan for
+// the ones inside Bluetooth range of their physical position.
+
+// witnessDirectory tracks announced witnesses. Discovery is a physical-
+// layer operation (a Bluetooth scan), so lookups go by true device
+// position, not claims.
+type witnessDirectory struct {
+	mu        sync.Mutex
+	witnesses []*Witness
+}
+
+// AnnounceWitness registers a witness as discoverable. NewWitness calls
+// this automatically.
+func (s *System) AnnounceWitness(w *Witness) {
+	s.dir.mu.Lock()
+	defer s.dir.mu.Unlock()
+	s.dir.witnesses = append(s.dir.witnesses, w)
+}
+
+// NearbyWitnesses returns the announced witnesses within Bluetooth range of
+// the device, sorted by distance (closest first) — what a prover's scan
+// shows before it picks a witness to ask.
+func (s *System) NearbyWitnesses(dev *geo.Device) []*Witness {
+	s.dir.mu.Lock()
+	defer s.dir.mu.Unlock()
+	type cand struct {
+		w *Witness
+		d float64
+	}
+	var found []cand
+	for _, w := range s.dir.witnesses {
+		if w.Device.CanReach(dev) {
+			found = append(found, cand{w, geo.DistanceMeters(w.Device.TruePosition, dev.TruePosition)})
+		}
+	}
+	sort.SliceStable(found, func(i, j int) bool { return found[i].d < found[j].d })
+	out := make([]*Witness, len(found))
+	for i, c := range found {
+		out[i] = c.w
+	}
+	return out
+}
+
+// DiscoverWitnesses is the prover-side Bluetooth scan.
+func (p *Prover) DiscoverWitnesses() []*Witness {
+	return p.sys.NearbyWitnesses(p.Device)
+}

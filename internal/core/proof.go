@@ -1,0 +1,136 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"agnopol/internal/did"
+	"agnopol/internal/ipfs"
+	"agnopol/internal/polcrypto"
+)
+
+// ProofRequest is what the prover broadcasts to a nearby witness over
+// Bluetooth (§2.3.1.1): current location as an Open Location Code, the
+// prover's DID, the nonce the witness issued (replay protection), and the
+// CID of the already-uploaded report data.
+type ProofRequest struct {
+	DID    did.DID
+	OLC    string
+	Nonce  uint64
+	CID    ipfs.CID
+	Wallet [20]byte
+}
+
+// hashInput is the canonical byte string hashed into the proof:
+// H(DID ‖ OLC ‖ nonce ‖ CID). Hashing location and CID binds the proof to
+// the claimed area and the exact report content — the properties §2.3.1.1
+// motivates with the Alice-in-Bologna example.
+func (r ProofRequest) hashInput() []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], r.Nonce)
+	var buf []byte
+	buf = append(buf, r.DID...)
+	buf = append(buf, '|')
+	buf = append(buf, r.OLC...)
+	buf = append(buf, '|')
+	buf = append(buf, n[:]...)
+	buf = append(buf, '|')
+	buf = append(buf, r.CID...)
+	return buf
+}
+
+// Hash computes the proof hash.
+func (r ProofRequest) Hash() [32]byte {
+	return polcrypto.Hash(r.hashInput())
+}
+
+// LocationProof is the signed certificate a witness issues (formula 2.1:
+// SignedProof = PrivateKey_wit(Hash(proof))).
+type LocationProof struct {
+	Request    ProofRequest
+	Hash       [32]byte
+	Signature  []byte
+	WitnessPub ed25519.PublicKey
+	IssuedAt   time.Duration
+}
+
+// Verify checks formula 2.2: the signature opens to the proof hash under
+// the witness public key, and the hash matches the request fields.
+func (p *LocationProof) Verify() error {
+	want := p.Request.Hash()
+	if want != p.Hash {
+		return errors.New("core: proof hash does not match request fields")
+	}
+	if !polcrypto.Verify(p.WitnessPub, p.Hash[:], p.Signature) {
+		return fmt.Errorf("core: %w", polcrypto.ErrBadSignature)
+	}
+	return nil
+}
+
+// ConcatData is the "concatenation of values" stored in the contract map
+// (§4.2): proofHashed-proofSigned-walletAddress-nonce-cid, hex-encoded
+// fields joined with '-' exactly like the thesis frontend's concatData.
+func (p *LocationProof) ConcatData() []byte {
+	fields := []string{
+		hex.EncodeToString(p.Hash[:]),
+		hex.EncodeToString(p.Signature),
+		hex.EncodeToString(p.Request.Wallet[:]),
+		fmt.Sprintf("%d", p.Request.Nonce),
+		string(p.Request.CID),
+	}
+	return []byte(strings.Join(fields, "-"))
+}
+
+// ParsedConcat is the decoded on-chain record.
+type ParsedConcat struct {
+	Hash      [32]byte
+	Signature []byte
+	Wallet    [20]byte
+	Nonce     uint64
+	CID       ipfs.CID
+}
+
+// ParseConcatData decodes the on-chain concatenation back into its fields.
+func ParseConcatData(data []byte) (ParsedConcat, error) {
+	parts := strings.Split(string(data), "-")
+	if len(parts) != 5 {
+		return ParsedConcat{}, fmt.Errorf("core: concat data has %d fields, want 5", len(parts))
+	}
+	var out ParsedConcat
+	h, err := hex.DecodeString(parts[0])
+	if err != nil || len(h) != 32 {
+		return ParsedConcat{}, fmt.Errorf("core: bad proof hash field: %v", err)
+	}
+	copy(out.Hash[:], h)
+	out.Signature, err = hex.DecodeString(parts[1])
+	if err != nil {
+		return ParsedConcat{}, fmt.Errorf("core: bad signature field: %w", err)
+	}
+	w, err := hex.DecodeString(parts[2])
+	if err != nil || len(w) != 20 {
+		return ParsedConcat{}, fmt.Errorf("core: bad wallet field: %v", err)
+	}
+	copy(out.Wallet[:], w)
+	if _, err := fmt.Sscanf(parts[3], "%d", &out.Nonce); err != nil {
+		return ParsedConcat{}, fmt.Errorf("core: bad nonce field: %w", err)
+	}
+	out.CID = ipfs.CID(parts[4])
+	return out, nil
+}
+
+// Report is the crowdsensed environmental report of the use case
+// (Chapter 3): title, description and optional picture reference, stored on
+// IPFS and addressed by CID.
+type Report struct {
+	Title       string `json:"title"`
+	Description string `json:"description"`
+	Category    string `json:"category"`
+	PictureRef  string `json:"pictureRef,omitempty"`
+	OLC         string `json:"olc"`
+	Author      string `json:"author"` // the author's DID
+}

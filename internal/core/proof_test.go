@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"agnopol/internal/did"
+	"agnopol/internal/geo"
+	"agnopol/internal/ipfs"
+	"agnopol/internal/olc"
+)
+
+func TestConcatDataRoundTrip(t *testing.T) {
+	err := quick.Check(func(hash [32]byte, sig []byte, wallet [20]byte, nonce uint64) bool {
+		p := &LocationProof{
+			Request: ProofRequest{
+				DID: "did:agno:x", OLC: "8FPHF8VV+X2", Nonce: nonce,
+				CID: "bafy123", Wallet: wallet,
+			},
+			Hash:      hash,
+			Signature: sig,
+		}
+		parsed, err := ParseConcatData(p.ConcatData())
+		if err != nil {
+			return false
+		}
+		return parsed.Hash == hash &&
+			string(parsed.Signature) == string(sig) &&
+			parsed.Wallet == wallet &&
+			parsed.Nonce == nonce &&
+			parsed.CID == "bafy123"
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConcatDataRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"a-b-c",           // too few fields
+		"zz-11-22-3-bafy", // bad hash hex
+		strings.Repeat("ab", 32) + "-zz-" + strings.Repeat("cd", 20) + "-1-bafy", // bad sig hex
+		strings.Repeat("ab", 32) + "-11-" + "aabb" + "-1-bafy",                   // short wallet
+		strings.Repeat("ab", 32) + "-11-" + strings.Repeat("cd", 20) + "-x-bafy", // bad nonce
+	}
+	for _, c := range cases {
+		if _, err := ParseConcatData([]byte(c)); err == nil {
+			t.Errorf("ParseConcatData(%.30q) accepted", c)
+		}
+	}
+}
+
+func TestProofHashBindsEveryField(t *testing.T) {
+	base := ProofRequest{DID: "did:agno:a", OLC: "8FPHF8VV+X2", Nonce: 7, CID: "bafyX", Wallet: [20]byte{1}}
+	h := base.Hash()
+	variants := []ProofRequest{base, base, base, base}
+	variants[0].DID = "did:agno:b"
+	variants[1].OLC = "8FPHF8VV+X3"
+	variants[2].Nonce = 8
+	variants[3].CID = "bafyY"
+	for i, v := range variants {
+		if v.Hash() == h {
+			t.Errorf("variant %d did not change the proof hash", i)
+		}
+	}
+	// The wallet travels outside the hash input in the thesis design; the
+	// verifier cross-checks it against the on-chain record instead.
+}
+
+func TestWitnessAcceptsCellBorderSlack(t *testing.T) {
+	sys := newTestSystem(t)
+	// The witness stands just outside the prover's OLC cell (cells are
+	// ~14 m; Bluetooth reaches 10 m across a border).
+	area, err := olc.Decode(olc.MustEncode(bologna.Lat, bologna.Lng, olc.DefaultCodeLength))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prover at the cell's east edge, witness 4 m further east (next cell).
+	proverPos := geo.LatLng{Lat: (area.LatLo + area.LatHi) / 2, Lng: area.LngHi - 0.00001}
+	witnessPos := geo.Offset(proverPos, 0, 4)
+	w, err := NewWitness(sys, witnessPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProver(sys, proverPos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid, err := p.UploadReport(Report{Title: "edge", Category: "env"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RequestProof(w, cid, [20]byte{1}); err != nil {
+		t.Fatalf("border-adjacent witness refused: %v", err)
+	}
+}
+
+func TestWitnessRejectsAuthForDifferentDID(t *testing.T) {
+	sys := newTestSystem(t)
+	w, err := NewWitness(sys, bologna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, err := NewProver(sys, bologna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mallory, err := NewProver(sys, bologna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mallory authenticates as herself but submits a request claiming the
+	// honest prover's DID.
+	ch, err := w.BeginAuth(mallory.DID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := did.SignChallenge(mallory.Key, ch)
+	nonce := w.IssueNonce(honest.DID)
+	req := ProofRequest{DID: honest.DID, OLC: mustOLC(t, mallory), Nonce: nonce, CID: "bafy", Wallet: [20]byte{1}}
+	if _, err := w.HandleProofRequest(mallory.Device, resp, req); err == nil {
+		t.Fatal("witness certified a DID the requester did not authenticate as")
+	}
+}
+
+func mustOLC(t *testing.T, p *Prover) string {
+	t.Helper()
+	code, err := p.ClaimedOLC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+func TestWitnessRejectsBadOLCClaim(t *testing.T) {
+	sys := newTestSystem(t)
+	w, err := NewWitness(sys, bologna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProver(sys, bologna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := w.BeginAuth(p.DID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := did.SignChallenge(p.Key, ch)
+	nonce := w.IssueNonce(p.DID)
+	req := ProofRequest{DID: p.DID, OLC: "garbage", Nonce: nonce, CID: "bafy", Wallet: [20]byte{1}}
+	if _, err := w.HandleProofRequest(p.Device, resp, req); err == nil {
+		t.Fatal("malformed OLC accepted")
+	}
+}
+
+func TestDIDByUint(t *testing.T) {
+	sys := newTestSystem(t)
+	p, err := NewProver(sys, bologna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := sys.DIDByUint(p.DID.Uint64())
+	if !ok || got != p.DID {
+		t.Fatalf("DIDByUint = %q (ok=%v)", got, ok)
+	}
+	if _, ok := sys.DIDByUint(12345); ok {
+		t.Fatal("unknown key resolved")
+	}
+}
+
+func TestProofVerifyDetectsTampering(t *testing.T) {
+	sys := newTestSystem(t)
+	w, err := NewWitness(sys, bologna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProver(sys, bologna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid, err := p.UploadReport(Report{Title: "x", Category: "env"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := p.RequestProof(w, cid, [20]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tampered := *proof
+	tampered.Request.CID = ipfs.CID("bafy-other")
+	if err := tampered.Verify(); err == nil {
+		t.Fatal("hash/request mismatch not detected")
+	}
+	tampered2 := *proof
+	tampered2.Signature = append([]byte(nil), proof.Signature...)
+	tampered2.Signature[0] ^= 1
+	if err := tampered2.Verify(); err == nil {
+		t.Fatal("signature tampering not detected")
+	}
+}

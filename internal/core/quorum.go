@@ -1,0 +1,334 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"agnopol/internal/did"
+	"agnopol/internal/ipfs"
+	"agnopol/internal/lang"
+	"agnopol/internal/polcrypto"
+)
+
+// Multi-witness quorum proofs — the mitigation for the collusion attacks
+// the thesis leaves as future work ("it will be useful to modify the
+// architecture proposed by us to solve the issues of the collusion
+// attacks", Conclusion). A single dishonest witness can certify an absent
+// accomplice; requiring q independent, CA-registered witnesses raises the
+// bar to q colluders physically spread across the claimed area.
+//
+// The bundle of proofs lives on IPFS (it grows with q); the on-chain record
+// stores the bundle CID plus the bundle hash, prefixed "Q" so verifiers
+// know which verification procedure applies.
+
+// ProofBundle is the prover's collection of proofs for one claim. All
+// entries certify the same DID, area, report CID and wallet; they differ in
+// nonce and witness.
+type ProofBundle struct {
+	Proofs []*LocationProof `json:"proofs"`
+}
+
+// Quorum errors.
+var (
+	ErrQuorumTooSmall     = errors.New("core: not enough distinct valid witnesses in bundle")
+	ErrBundleInconsistent = errors.New("core: bundle proofs do not certify the same claim")
+	ErrNotQuorumRecord    = errors.New("core: on-chain record is not a quorum record")
+)
+
+// Validate checks internal consistency: every proof verifies and certifies
+// the same (DID, OLC, CID, wallet).
+func (b *ProofBundle) Validate() error {
+	if len(b.Proofs) == 0 {
+		return fmt.Errorf("%w: empty bundle", ErrBundleInconsistent)
+	}
+	first := b.Proofs[0].Request
+	for i, p := range b.Proofs {
+		if err := p.Verify(); err != nil {
+			return fmt.Errorf("core: bundle proof %d: %w", i, err)
+		}
+		r := p.Request
+		if r.DID != first.DID || r.OLC != first.OLC || r.CID != first.CID || r.Wallet != first.Wallet {
+			return fmt.Errorf("%w: proof %d", ErrBundleInconsistent, i)
+		}
+	}
+	return nil
+}
+
+// marshalBundle serializes the bundle for IPFS storage.
+func marshalBundle(b *ProofBundle) ([]byte, error) {
+	type wireProof struct {
+		DID        string `json:"did"`
+		OLC        string `json:"olc"`
+		Nonce      uint64 `json:"nonce"`
+		CID        string `json:"cid"`
+		Wallet     string `json:"wallet"`
+		Hash       string `json:"hash"`
+		Signature  string `json:"signature"`
+		WitnessPub string `json:"witnessPub"`
+	}
+	out := make([]wireProof, 0, len(b.Proofs))
+	for _, p := range b.Proofs {
+		out = append(out, wireProof{
+			DID:        string(p.Request.DID),
+			OLC:        p.Request.OLC,
+			Nonce:      p.Request.Nonce,
+			CID:        string(p.Request.CID),
+			Wallet:     hex.EncodeToString(p.Request.Wallet[:]),
+			Hash:       hex.EncodeToString(p.Hash[:]),
+			Signature:  hex.EncodeToString(p.Signature),
+			WitnessPub: hex.EncodeToString(p.WitnessPub),
+		})
+	}
+	return json.MarshalIndent(map[string]any{"proofs": out}, "", " ")
+}
+
+// unmarshalBundle parses the wire form back.
+func unmarshalBundle(data []byte) (*ProofBundle, error) {
+	var wire struct {
+		Proofs []struct {
+			DID        string `json:"did"`
+			OLC        string `json:"olc"`
+			Nonce      uint64 `json:"nonce"`
+			CID        string `json:"cid"`
+			Wallet     string `json:"wallet"`
+			Hash       string `json:"hash"`
+			Signature  string `json:"signature"`
+			WitnessPub string `json:"witnessPub"`
+		} `json:"proofs"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, fmt.Errorf("core: bundle: %w", err)
+	}
+	b := &ProofBundle{}
+	for _, w := range wire.Proofs {
+		p := &LocationProof{}
+		p.Request.DID = did.DID(w.DID)
+		p.Request.OLC = w.OLC
+		p.Request.Nonce = w.Nonce
+		p.Request.CID = ipfs.CID(w.CID)
+		wallet, err := hex.DecodeString(w.Wallet)
+		if err != nil || len(wallet) != 20 {
+			return nil, fmt.Errorf("core: bundle wallet: %v", err)
+		}
+		copy(p.Request.Wallet[:], wallet)
+		h, err := hex.DecodeString(w.Hash)
+		if err != nil || len(h) != 32 {
+			return nil, fmt.Errorf("core: bundle hash: %v", err)
+		}
+		copy(p.Hash[:], h)
+		if p.Signature, err = hex.DecodeString(w.Signature); err != nil {
+			return nil, fmt.Errorf("core: bundle signature: %w", err)
+		}
+		pub, err := hex.DecodeString(w.WitnessPub)
+		if err != nil {
+			return nil, fmt.Errorf("core: bundle witness key: %w", err)
+		}
+		p.WitnessPub = pub
+		b.Proofs = append(b.Proofs, p)
+	}
+	return b, nil
+}
+
+// quorumConcat builds the on-chain record for a quorum submission.
+func quorumConcat(bundleCID ipfs.CID, bundleHash [32]byte) []byte {
+	return []byte("Q-" + hex.EncodeToString(bundleHash[:]) + "-" + string(bundleCID))
+}
+
+// parseQuorumConcat decodes it.
+func parseQuorumConcat(data []byte) (ipfs.CID, [32]byte, error) {
+	var hash [32]byte
+	parts := bytes.SplitN(data, []byte("-"), 3)
+	if len(parts) != 3 || string(parts[0]) != "Q" {
+		return "", hash, ErrNotQuorumRecord
+	}
+	h, err := hex.DecodeString(string(parts[1]))
+	if err != nil || len(h) != 32 {
+		return "", hash, fmt.Errorf("core: quorum record hash: %v", err)
+	}
+	copy(hash[:], h)
+	return ipfs.CID(parts[2]), hash, nil
+}
+
+// RequestProofQuorum collects proofs from q distinct witnesses (each with
+// its own challenge–response and nonce) for the same claim.
+func (p *Prover) RequestProofQuorum(witnesses []*Witness, cid ipfs.CID, wallet [20]byte) (*ProofBundle, error) {
+	bundle := &ProofBundle{}
+	for _, w := range witnesses {
+		proof, err := p.RequestProof(w, cid, wallet)
+		if err != nil {
+			return nil, fmt.Errorf("core: quorum witness %s: %w", w.DID, err)
+		}
+		bundle.Proofs = append(bundle.Proofs, proof)
+	}
+	if err := bundle.Validate(); err != nil {
+		return nil, err
+	}
+	return bundle, nil
+}
+
+// SubmitProofQuorum stores the bundle on IPFS and stages the quorum record
+// on-chain, deploying the area contract when needed — the quorum analogue
+// of SubmitProof.
+func (p *Prover) SubmitProofQuorum(conn Connector, bundle *ProofBundle, rewardPerProver uint64) (*SubmissionResult, error) {
+	if err := bundle.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := marshalBundle(bundle)
+	if err != nil {
+		return nil, err
+	}
+	bundleCID, err := p.sys.IPFS.Add(string(p.DID), data)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.sys.IPFS.Pin(string(p.DID), bundleCID); err != nil {
+		return nil, err
+	}
+	bundleHash := polcrypto.Hash(data)
+
+	code := bundle.Proofs[0].Request.OLC
+	via, err := p.sys.NodeIDForOLC(code)
+	if err != nil {
+		return nil, err
+	}
+	record := quorumConcat(bundleCID, bundleHash)
+	h, hops, found, err := p.sys.LookupContract(via, code)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		handle, deployOp, err := conn.Deploy(p.accounts[conn.Name()], p.sys.Compiled, []lang.Value{
+			lang.BytesValue([]byte(code)),
+			lang.Uint64Value(p.DID.Uint64()),
+			lang.Uint64Value(rewardPerProver),
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, insertOp, err := conn.CallWithEscrowFunding(p.accounts[conn.Name()], handle, "insert_data", 0,
+			lang.BytesValue(record), lang.Uint64Value(p.DID.Uint64()))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.sys.PublishContract(via, code, handle); err != nil {
+			return nil, err
+		}
+		op := &OpResult{
+			Latency:  deployOp.Latency + insertOp.Latency,
+			Fee:      deployOp.Fee.Add(insertOp.Fee),
+			GasUsed:  deployOp.GasUsed + insertOp.GasUsed,
+			Receipts: append(deployOp.Receipts, insertOp.Receipts...),
+		}
+		return &SubmissionResult{Handle: handle, Deployed: true, Op: op, Hops: hops}, nil
+	}
+	_, op, err := conn.Call(p.accounts[conn.Name()], h, "insert_data", 0,
+		lang.BytesValue(record), lang.Uint64Value(p.DID.Uint64()))
+	if err != nil {
+		return nil, err
+	}
+	return &SubmissionResult{Handle: h, Deployed: false, Op: op, Hops: hops}, nil
+}
+
+// VerifyProverQuorum runs the quorum verification: fetch the bundle, check
+// its integrity against the on-chain hash, validate every proof, and count
+// the distinct CA-registered witnesses (excluding the prover itself). Only
+// when at least `quorum` independent witnesses certified the claim does the
+// on-chain verify (reward + garbage-in) proceed.
+func (v *Verifier) VerifyProverQuorum(conn Connector, h *Handle, prover did.DID, quorum int) (*Verification, error) {
+	if !v.sys.CA.IsVerifier(v.DID) {
+		return nil, ErrNotVerifier
+	}
+	acct := v.accounts[conn.Name()]
+	if acct == nil {
+		return nil, fmt.Errorf("core: verifier has no account on %s", conn.Name())
+	}
+	key := prover.Uint64()
+	raw, ok, err := conn.ReadMap(h, EasyMapName, key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: no staged data for %s", prover)
+	}
+	bundleCID, bundleHash, err := parseQuorumConcat(raw.Bytes)
+	if err != nil {
+		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
+	}
+	data, err := v.sys.IPFS.Get(bundleCID)
+	if err != nil {
+		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
+	}
+	if polcrypto.Hash(data) != bundleHash {
+		return &Verification{Prover: prover, Accepted: false, Reason: ErrHashMismatch.Error()}, nil
+	}
+	bundle, err := unmarshalBundle(data)
+	if err != nil {
+		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
+	}
+	if err := bundle.Validate(); err != nil {
+		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
+	}
+	req := bundle.Proofs[0].Request
+	if req.DID != prover {
+		return &Verification{Prover: prover, Accepted: false, Reason: ErrBundleInconsistent.Error()}, nil
+	}
+	// The contract's area must be the certified area.
+	posVal, err := conn.ReadGlobal(h, PositionGlobal)
+	if err != nil {
+		return nil, err
+	}
+	if string(posVal.Bytes) != req.OLC {
+		return &Verification{Prover: prover, Accepted: false, Reason: ErrHashMismatch.Error()}, nil
+	}
+
+	doc, err := v.sys.Registry.Resolve(prover)
+	if err != nil {
+		return nil, err
+	}
+	proverKey, err := doc.AuthenticationKey()
+	if err != nil {
+		return nil, err
+	}
+	distinct := make(map[string]bool)
+	for _, p := range bundle.Proofs {
+		if bytes.Equal(p.WitnessPub, proverKey) {
+			continue // self-signed entries never count
+		}
+		if !v.sys.CA.IsKnownWitness(p.WitnessPub) {
+			continue
+		}
+		distinct[string(p.WitnessPub)] = true
+	}
+	if len(distinct) < quorum {
+		return &Verification{
+			Prover: prover, Accepted: false,
+			Reason: fmt.Sprintf("%s: %d < %d", ErrQuorumTooSmall.Error(), len(distinct), quorum),
+		}, nil
+	}
+
+	// Report integrity, then the on-chain verify and garbage-in as usual.
+	reportData, err := v.sys.IPFS.Get(req.CID)
+	if err != nil {
+		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
+	}
+	var report Report
+	if err := json.Unmarshal(reportData, &report); err != nil {
+		return &Verification{Prover: prover, Accepted: false, Reason: "malformed report: " + err.Error()}, nil
+	}
+	_, op, err := conn.Call(acct, h, "verify", 0,
+		lang.Uint64Value(key), lang.AddressValue(req.Wallet))
+	if err != nil {
+		return nil, err
+	}
+	via, err := v.sys.NodeIDForOLC(req.OLC)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := v.sys.Cube.AppendCID(via, via, req.OLC, h.ID(), string(req.CID)); err != nil {
+		return nil, err
+	}
+	return &Verification{Prover: prover, Report: report, CID: req.CID, Accepted: true, Op: op}, nil
+}

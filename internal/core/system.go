@@ -1,0 +1,198 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sync"
+
+	"agnopol/internal/chain"
+	"agnopol/internal/did"
+	"agnopol/internal/hypercube"
+	"agnopol/internal/ipfs"
+	"agnopol/internal/lang"
+	"agnopol/internal/olc"
+)
+
+// DefaultHypercubeDimension is r for the DHT; the thesis example (Fig. 1.3)
+// uses r = 6.
+const DefaultHypercubeDimension = 6
+
+// System bundles the off-chain substrates every actor shares: the DID
+// registry (verifiable data registry), the IPFS swarm, the hypercube DHT,
+// the Certification Authority and the compiled PoL contract.
+type System struct {
+	Rand     *chain.Rand
+	Registry *did.Registry
+	Auth     *did.Authenticator
+	IPFS     *ipfs.Network
+	Cube     *hypercube.Network
+	CA       *CertificationAuthority
+	Compiled *lang.Compiled
+	// R is the hypercube dimension.
+	R int
+
+	mu       sync.Mutex
+	handles  map[string]*Handle
+	didIndex map[uint64]did.DID
+	dir      witnessDirectory
+}
+
+// NewSystem builds the shared substrate with a deterministic seed.
+func NewSystem(seed uint64) (*System, error) {
+	compiled, err := CompilePoL()
+	if err != nil {
+		return nil, err
+	}
+	rng := chain.NewRand(seed).Fork("core")
+	reg := did.NewRegistry()
+	s := &System{
+		Rand:     rng,
+		Registry: reg,
+		Auth:     did.NewAuthenticator(reg, rng.Fork("did-auth")),
+		IPFS:     ipfs.NewNetwork(),
+		Cube:     hypercube.MustNew(DefaultHypercubeDimension),
+		CA:       NewCertificationAuthority(),
+		Compiled: compiled,
+		R:        DefaultHypercubeDimension,
+		handles:  make(map[string]*Handle),
+		didIndex: make(map[uint64]did.DID),
+	}
+	return s, nil
+}
+
+// RegisterDID creates a DID for a public key and indexes its UInt
+// compression, mirroring the thesis' DID-generation smart contract (§2.1)
+// plus the CA's pseudonym mapping.
+func (s *System) RegisterDID(pub ed25519.PublicKey) (did.DID, error) {
+	d, err := s.Registry.Register(pub, 0)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.didIndex[d.Uint64()] = d
+	s.mu.Unlock()
+	return d, nil
+}
+
+// DIDByUint resolves the UInt map key back to the full DID (the CA knows
+// the pseudonym mapping, §2.1).
+func (s *System) DIDByUint(key uint64) (did.DID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.didIndex[key]
+	return d, ok
+}
+
+// RegisterHandle publishes a deployed contract handle under its ID so peers
+// that find the ID in the hypercube can attach to it.
+func (s *System) RegisterHandle(h *Handle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handles[h.ID()] = h
+}
+
+// HandleByID resolves a contract ID from the hypercube to a handle.
+func (s *System) HandleByID(id string) (*Handle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.handles[id]
+	return h, ok
+}
+
+// NodeIDForOLC computes the hypercube node responsible for an area via the
+// dual encoding.
+func (s *System) NodeIDForOLC(code string) (uint64, error) {
+	bs, err := olc.ToBitString(code, s.R)
+	if err != nil {
+		return 0, err
+	}
+	return bs.Uint64(), nil
+}
+
+// LookupContract queries the hypercube for the contract of an area
+// (Fig. 2.3 initial phase). via is the node the querying user enters the
+// DHT through.
+func (s *System) LookupContract(via uint64, code string) (*Handle, int, bool, error) {
+	target, err := s.NodeIDForOLC(code)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	entry, hops, ok, err := s.Cube.Get(via, target, code)
+	if err != nil || !ok {
+		return nil, hops, false, err
+	}
+	h, ok := s.HandleByID(entry.ContractID)
+	if !ok {
+		return nil, hops, false, fmt.Errorf("core: hypercube references unknown contract %q", entry.ContractID)
+	}
+	return h, hops, true, nil
+}
+
+// PublishContract stores a freshly deployed contract ID in the hypercube.
+func (s *System) PublishContract(via uint64, code string, h *Handle) (int, error) {
+	s.RegisterHandle(h)
+	target, err := s.NodeIDForOLC(code)
+	if err != nil {
+		return 0, err
+	}
+	return s.Cube.Put(via, target, code, &hypercube.Entry{ContractID: h.ID(), OLC: code})
+}
+
+// CertificationAuthority keeps the witness public-key list delivered to
+// verifiers (§2.1) and designates who may act as a verifier.
+type CertificationAuthority struct {
+	mu        sync.Mutex
+	witnesses map[string]ed25519.PublicKey
+	verifiers map[did.DID]bool
+}
+
+// NewCertificationAuthority returns an empty CA.
+func NewCertificationAuthority() *CertificationAuthority {
+	return &CertificationAuthority{
+		witnesses: make(map[string]ed25519.PublicKey),
+		verifiers: make(map[did.DID]bool),
+	}
+}
+
+// RegisterWitness records a witness public key; every new witness
+// communicates its key to the CA.
+func (ca *CertificationAuthority) RegisterWitness(pub ed25519.PublicKey) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	ca.witnesses[string(pub)] = append(ed25519.PublicKey(nil), pub...)
+}
+
+// WitnessList delivers the current witness keys (what verifiers iterate
+// during signature checks).
+func (ca *CertificationAuthority) WitnessList() []ed25519.PublicKey {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	out := make([]ed25519.PublicKey, 0, len(ca.witnesses))
+	for _, pub := range ca.witnesses {
+		out = append(out, pub)
+	}
+	return out
+}
+
+// IsKnownWitness reports whether a key belongs to a registered witness.
+func (ca *CertificationAuthority) IsKnownWitness(pub ed25519.PublicKey) bool {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	_, ok := ca.witnesses[string(pub)]
+	return ok
+}
+
+// DesignateVerifier marks a DID as a trusted verifier ("permissioned
+// verification": not everyone can verify, §2).
+func (ca *CertificationAuthority) DesignateVerifier(d did.DID) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	ca.verifiers[d] = true
+}
+
+// IsVerifier reports whether the DID may verify.
+func (ca *CertificationAuthority) IsVerifier(d did.DID) bool {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.verifiers[d]
+}

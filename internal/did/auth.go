@@ -1,0 +1,80 @@
+package did
+
+import (
+	"errors"
+	"fmt"
+
+	"agnopol/internal/polcrypto"
+)
+
+// Challenge is the random value a witness sends to a prover to check DID
+// control (Fig. 2.4, steps 1–2).
+type Challenge struct {
+	DID   DID
+	Nonce [32]byte
+}
+
+// ChallengeResponse is the prover's answer: a signature over the challenge
+// with the DID's authentication key (Fig. 2.4, step 3).
+type ChallengeResponse struct {
+	Challenge Challenge
+	Signature []byte
+}
+
+// Authenticator drives DID challenge–response on the witness side.
+type Authenticator struct {
+	registry *Registry
+	rand     interface{ Read([]byte) (int, error) }
+}
+
+// NewAuthenticator builds an authenticator resolving against registry and
+// drawing challenge nonces from rand.
+func NewAuthenticator(registry *Registry, rand interface{ Read([]byte) (int, error) }) *Authenticator {
+	return &Authenticator{registry: registry, rand: rand}
+}
+
+// NewChallenge issues a fresh challenge for the subject DID. The DID must
+// resolve; challenging an unregistered DID fails immediately.
+func (a *Authenticator) NewChallenge(subject DID) (Challenge, error) {
+	if _, err := a.registry.Resolve(subject); err != nil {
+		return Challenge{}, err
+	}
+	var c Challenge
+	c.DID = subject
+	if _, err := a.rand.Read(c.Nonce[:]); err != nil {
+		return Challenge{}, fmt.Errorf("did: challenge nonce: %w", err)
+	}
+	return c, nil
+}
+
+// SignChallenge is the holder-side response. kp must be the key pair whose
+// public half the DID document designates for authentication.
+func SignChallenge(kp *polcrypto.KeyPair, c Challenge) ChallengeResponse {
+	return ChallengeResponse{Challenge: c, Signature: kp.Sign(challengeMessage(c))}
+}
+
+// ErrAuthFailed reports a challenge response that does not verify under the
+// DID's authentication key.
+var ErrAuthFailed = errors.New("did: authentication failed")
+
+// VerifyResponse checks the response against the DID document resolved from
+// the registry. A nil error means the responder controls the DID.
+func (a *Authenticator) VerifyResponse(resp ChallengeResponse) error {
+	doc, err := a.registry.Resolve(resp.Challenge.DID)
+	if err != nil {
+		return err
+	}
+	key, err := doc.AuthenticationKey()
+	if err != nil {
+		return err
+	}
+	if !polcrypto.Verify(key, challengeMessage(resp.Challenge), resp.Signature) {
+		return fmt.Errorf("%w: %s", ErrAuthFailed, resp.Challenge.DID)
+	}
+	return nil
+}
+
+func challengeMessage(c Challenge) []byte {
+	msg := []byte("did-auth:" + string(c.DID) + ":")
+	return append(msg, c.Nonce[:]...)
+}

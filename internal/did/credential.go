@@ -1,0 +1,140 @@
+package did
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"agnopol/internal/polcrypto"
+)
+
+// Verifiable Credentials — the SSI building block the thesis plans on top
+// of DIDs ("In a new version of this project, they will issue Verifiable
+// Credentials to the users that have a DID", §2.1; §1.6). A credential is a
+// set of claims about a subject DID, signed by an issuer DID; anyone can
+// verify it against the issuer's DID document without contacting the
+// issuer.
+
+// Credential is a W3C-style verifiable credential.
+type Credential struct {
+	ID      string            `json:"id"`
+	Type    string            `json:"type"`
+	Issuer  DID               `json:"issuer"`
+	Subject DID               `json:"credentialSubject"`
+	Claims  map[string]string `json:"claims"`
+	// Issued and Expires are simulated timestamps; Expires zero means no
+	// expiry.
+	Issued  time.Duration `json:"issued"`
+	Expires time.Duration `json:"expires"`
+	Proof   []byte        `json:"proof"` // issuer signature
+}
+
+// signingInput is the canonical byte string the issuer signs. Claims are
+// serialized through encoding/json, which orders map keys, so the input is
+// canonical.
+func (c *Credential) signingInput() ([]byte, error) {
+	cp := *c
+	cp.Proof = nil
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return nil, fmt.Errorf("did: credential canonicalization: %w", err)
+	}
+	return data, nil
+}
+
+// Credential errors.
+var (
+	ErrCredentialExpired = errors.New("did: credential expired")
+	ErrCredentialForged  = errors.New("did: credential signature invalid")
+	ErrWrongSubject      = errors.New("did: credential subject mismatch")
+)
+
+// IssueCredential creates and signs a credential as issuer. issuerKey must
+// be the key the issuer's DID document designates for authentication.
+func IssueCredential(issuerKey *polcrypto.KeyPair, issuer, subject DID, credType string,
+	claims map[string]string, now, expires time.Duration) (*Credential, error) {
+	c := &Credential{
+		ID:      "urn:credential:" + polcrypto.HashHex([]byte(string(issuer) + string(subject) + credType))[:16],
+		Type:    credType,
+		Issuer:  issuer,
+		Subject: subject,
+		Claims:  claims,
+		Issued:  now,
+		Expires: expires,
+	}
+	input, err := c.signingInput()
+	if err != nil {
+		return nil, err
+	}
+	c.Proof = issuerKey.Sign(input)
+	return c, nil
+}
+
+// VerifyCredential checks a credential against the registry: the issuer's
+// DID resolves, its authentication key opens the proof, and the credential
+// has not expired at `now`.
+func VerifyCredential(reg *Registry, c *Credential, now time.Duration) error {
+	doc, err := reg.Resolve(c.Issuer)
+	if err != nil {
+		return fmt.Errorf("did: credential issuer: %w", err)
+	}
+	key, err := doc.AuthenticationKey()
+	if err != nil {
+		return err
+	}
+	input, err := c.signingInput()
+	if err != nil {
+		return err
+	}
+	if !polcrypto.Verify(key, input, c.Proof) {
+		return ErrCredentialForged
+	}
+	if c.Expires != 0 && now >= c.Expires {
+		return fmt.Errorf("%w at %v", ErrCredentialExpired, c.Expires)
+	}
+	return nil
+}
+
+// Presentation is a credential presented by its holder with a proof of DID
+// control bound to a verifier-chosen nonce (prevents replaying someone
+// else's presentation).
+type Presentation struct {
+	Credential *Credential
+	Nonce      [32]byte
+	// HolderSig signs (credential id ‖ nonce) with the subject's key.
+	HolderSig []byte
+}
+
+// Present builds a presentation of a credential for a challenge nonce.
+func Present(holderKey *polcrypto.KeyPair, c *Credential, nonce [32]byte) *Presentation {
+	return &Presentation{
+		Credential: c,
+		Nonce:      nonce,
+		HolderSig:  holderKey.Sign(presentationInput(c, nonce)),
+	}
+}
+
+func presentationInput(c *Credential, nonce [32]byte) []byte {
+	return append([]byte("vp:"+c.ID+":"), nonce[:]...)
+}
+
+// VerifyPresentation checks the credential itself and that the presenter
+// controls the subject DID.
+func VerifyPresentation(reg *Registry, p *Presentation, now time.Duration) error {
+	if err := VerifyCredential(reg, p.Credential, now); err != nil {
+		return err
+	}
+	doc, err := reg.Resolve(p.Credential.Subject)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrWrongSubject, err)
+	}
+	key, err := doc.AuthenticationKey()
+	if err != nil {
+		return err
+	}
+	if !polcrypto.Verify(key, presentationInput(p.Credential, p.Nonce), p.HolderSig) {
+		return fmt.Errorf("%w: holder proof invalid", ErrWrongSubject)
+	}
+	return nil
+}

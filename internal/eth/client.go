@@ -1,0 +1,221 @@
+package eth
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"agnopol/internal/chain"
+	"agnopol/internal/evm"
+)
+
+// Client is the node-provider view of a chain (the Infura/Quicknode role in
+// the paper): it submits transactions and waits for confirmations, charging
+// the RPC round-trip latency to the simulated clock. The latency between
+// Submit and the confirmed Receipt is exactly what the paper's figures plot.
+type Client struct {
+	chain *Chain
+	rng   *chain.Rand
+}
+
+// NewClient opens a client against a chain.
+func NewClient(c *Chain) *Client {
+	return &Client{chain: c, rng: c.rng.Fork("client")}
+}
+
+// Chain exposes the underlying chain (for experiment bookkeeping).
+func (cl *Client) Chain() *Chain { return cl.chain }
+
+func (cl *Client) rpcLatency() time.Duration {
+	cfg := cl.chain.cfg
+	jitter := time.Duration(cl.rng.Float64() * float64(cfg.RPCLatencyJitter))
+	return cfg.RPCLatencyMean + jitter
+}
+
+// APIExtraDelay samples and applies the connector's post-call
+// event-subscription delay (see Config.APIExtraDelayMean); it returns the
+// sampled duration.
+func (cl *Client) APIExtraDelay() time.Duration {
+	cfg := cl.chain.cfg
+	if cfg.APIExtraDelayMean == 0 {
+		return 0
+	}
+	d := cfg.APIExtraDelayMean + time.Duration((cl.rng.Float64()*2-1)*float64(cfg.APIExtraDelayJitter))
+	if d < 0 {
+		d = 0
+	}
+	cl.chain.clock.AdvanceTo(cl.chain.clock.Now() + d)
+	return d
+}
+
+// ErrTimeout reports a transaction not confirmed within the wait budget.
+var ErrTimeout = errors.New("eth: transaction not confirmed in time")
+
+// maxWaitSlots bounds SubmitAndWait so a drowned transaction surfaces as an
+// error instead of an endless simulation.
+const maxWaitSlots = 600
+
+// SubmitAndWait signs nothing (the tx must be signed), submits it, advances
+// the chain until the transaction is included plus the configured number of
+// confirmations, and returns the receipt with client-observed timestamps.
+func (cl *Client) SubmitAndWait(tx *Tx) (*chain.Receipt, error) {
+	submitted := cl.chain.clock.Now()
+	// The RPC hop delays when the network sees the transaction.
+	cl.chain.clock.AdvanceTo(submitted + cl.rpcLatency())
+	h, err := cl.chain.Submit(tx)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < maxWaitSlots; i++ {
+		cl.chain.Step()
+		rcpt, ok := cl.chain.Receipt(h)
+		if !ok {
+			continue
+		}
+		// Wait for the configured confirmation depth.
+		for cl.chain.Head().Number < rcpt.BlockNumber+uint64(cl.chain.cfg.Confirmations) {
+			cl.chain.Step()
+		}
+		observed := cl.chain.Head().Time + cl.rpcLatency()
+		cl.chain.clock.AdvanceTo(observed)
+		rcpt.Submitted = submitted
+		rcpt.Included = observed
+		return rcpt, nil
+	}
+	return nil, fmt.Errorf("%w after %d slots", ErrTimeout, maxWaitSlots)
+}
+
+// DefaultGasLimit is the limit clients attach when not estimating.
+const DefaultGasLimit = 4_000_000
+
+// NewTx builds a signed transaction from an account with the chain's
+// default fee policy (base fee headroom ×2 plus the default tip).
+func (cl *Client) NewTx(acct *Account, to *chain.Address, value *big.Int, data []byte, gasLimit uint64) *Tx {
+	if value == nil {
+		value = new(big.Int)
+	}
+	if gasLimit == 0 {
+		gasLimit = DefaultGasLimit
+	}
+	maxFee := new(big.Int).Mul(cl.chain.baseFee, big.NewInt(2))
+	maxFee.Add(maxFee, cl.chain.cfg.DefaultTip)
+	tx := &Tx{
+		From:     acct.Address,
+		Nonce:    cl.chain.PendingNonce(acct.Address),
+		To:       to,
+		Value:    value,
+		Data:     data,
+		GasLimit: gasLimit,
+		MaxFee:   maxFee,
+		MaxTip:   new(big.Int).Set(cl.chain.cfg.DefaultTip),
+	}
+	tx.Sign(acct)
+	return tx
+}
+
+// Deploy submits a contract-creation transaction (code + constructor
+// calldata) and returns the receipt and new contract address.
+func (cl *Client) Deploy(acct *Account, code, ctorData []byte, value *big.Int, gasLimit uint64) (*chain.Receipt, chain.Address, error) {
+	tx := cl.NewTx(acct, nil, value, PackDeployData(code, ctorData), gasLimit)
+	addr := chain.ContractAddress(acct.Address, tx.Nonce)
+	rcpt, err := cl.SubmitAndWait(tx)
+	if err != nil {
+		return nil, chain.Address{}, err
+	}
+	if rcpt.Reverted {
+		return rcpt, chain.Address{}, fmt.Errorf("eth: deployment reverted: %s", rcpt.RevertMsg)
+	}
+	return rcpt, addr, nil
+}
+
+// Call submits a contract call and waits for its confirmation.
+func (cl *Client) Call(acct *Account, contract chain.Address, data []byte, value *big.Int, gasLimit uint64) (*chain.Receipt, error) {
+	tx := cl.NewTx(acct, &contract, value, data, gasLimit)
+	return cl.SubmitAndWait(tx)
+}
+
+// View executes a read-only call against current state: free, no
+// transaction, no time advance beyond the RPC hop (§4.1.2: views have no
+// cost).
+func (cl *Client) View(contract chain.Address, data []byte) ([]byte, error) {
+	code, ok := cl.chain.st.code[contract]
+	if !ok {
+		return nil, fmt.Errorf("eth: no contract at %s", contract)
+	}
+	// Run against a copy-on-write journal; evm.Execute reverts nothing on
+	// success, so guard state by using a throwaway overlay.
+	overlay := &viewState{inner: cl.chain.st}
+	res := evm.Execute(evm.Context{
+		State:       overlay,
+		Caller:      chain.Address{},
+		Address:     contract,
+		Value:       new(big.Int),
+		CallData:    data,
+		GasLimit:    DefaultGasLimit,
+		BlockNumber: cl.chain.Head().Number,
+		Timestamp:   uint64(cl.chain.Head().Time / time.Second),
+	}, code)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	if res.Reverted {
+		return nil, fmt.Errorf("eth: view reverted: %s", res.RevertMsg)
+	}
+	return res.ReturnData, nil
+}
+
+// viewState lets views run without mutating the chain.
+type viewState struct {
+	inner    *state
+	balances map[chain.Address]*big.Int
+	storage  map[chain.Address]map[chain.Hash32]chain.Hash32
+}
+
+var _ evm.StateDB = (*viewState)(nil)
+
+func (v *viewState) GetBalance(a chain.Address) *big.Int {
+	if v.balances != nil {
+		if b, ok := v.balances[a]; ok {
+			return new(big.Int).Set(b)
+		}
+	}
+	return v.inner.GetBalance(a)
+}
+
+func (v *viewState) AddBalance(a chain.Address, d *big.Int) {
+	if v.balances == nil {
+		v.balances = make(map[chain.Address]*big.Int)
+	}
+	v.balances[a] = new(big.Int).Add(v.GetBalance(a), d)
+}
+
+func (v *viewState) SubBalance(a chain.Address, d *big.Int) {
+	if v.balances == nil {
+		v.balances = make(map[chain.Address]*big.Int)
+	}
+	v.balances[a] = new(big.Int).Sub(v.GetBalance(a), d)
+}
+
+func (v *viewState) GetStorage(addr chain.Address, key chain.Hash32) chain.Hash32 {
+	if m, ok := v.storage[addr]; ok {
+		if val, ok := m[key]; ok {
+			return val
+		}
+	}
+	return v.inner.GetStorage(addr, key)
+}
+
+func (v *viewState) SetStorage(addr chain.Address, key, value chain.Hash32) {
+	if v.storage == nil {
+		v.storage = make(map[chain.Address]map[chain.Hash32]chain.Hash32)
+	}
+	m, ok := v.storage[addr]
+	if !ok {
+		m = make(map[chain.Hash32]chain.Hash32)
+		v.storage[addr] = m
+	}
+	m[key] = value
+}
+
+func (v *viewState) AccountExists(a chain.Address) bool { return v.inner.AccountExists(a) }

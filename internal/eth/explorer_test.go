@@ -1,0 +1,90 @@
+package eth
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"agnopol/internal/evm"
+)
+
+func TestExplorerHistory(t *testing.T) {
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(eth(1))
+	bob := c.NewAccount(eth(1))
+
+	a := evm.NewAssembler()
+	a.Op(evm.STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr, err := cl.Deploy(alice, code, nil, nil, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Call(bob, addr, []byte{0xde, 0xad, 0xbe, 0xef}, big.NewInt(5), 100000); err != nil {
+		t.Fatal(err)
+	}
+
+	records := c.HistoryOf(addr)
+	if len(records) != 2 {
+		t.Fatalf("history has %d records, want 2", len(records))
+	}
+	if records[0].Method != "Contract Creation" || !records[0].Contract {
+		t.Fatalf("first record %+v", records[0])
+	}
+	if records[1].Method != "0xdeadbeef" {
+		t.Fatalf("second record method %q", records[1].Method)
+	}
+	if records[1].From != bob.Address || records[1].Value.Int64() != 5 {
+		t.Fatalf("second record %+v", records[1])
+	}
+	if records[0].Block >= records[1].Block {
+		t.Fatal("history not in chain order")
+	}
+
+	// Alice's wallet history includes the deployment.
+	if got := c.HistoryOf(alice.Address); len(got) != 1 {
+		t.Fatalf("alice history %d records", len(got))
+	}
+
+	out := FormatHistory(addr, records, c.cfg.Unit)
+	for _, want := range []string{"Contract Creation", "0xdeadbeef", "Txn Fee", addr.String()} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted history missing %q:\n%s", want, out)
+		}
+	}
+	// Newest first: creation appears after the call in the rendering.
+	if strings.Index(out, "Contract Creation") < strings.Index(out, "0xdeadbeef") {
+		t.Fatalf("history not newest-first:\n%s", out)
+	}
+}
+
+func TestExplorerRecordsReverted(t *testing.T) {
+	c := newTestChain(t)
+	cl := NewClient(c)
+	alice := c.NewAccount(eth(1))
+	b := evm.NewAssembler()
+	b.Op(evm.CALLDATASIZE).PushLabel("rev").Op(evm.JUMPI).Op(evm.STOP)
+	b.Label("rev").PushUint(0).PushUint(0).Op(evm.REVERT)
+	code, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr, err := cl.Deploy(alice, code, nil, nil, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Call(alice, addr, []byte{1}, nil, 100000); err != nil {
+		t.Fatal(err)
+	}
+	records := c.HistoryOf(addr)
+	if len(records) != 2 || !records[1].Reverted {
+		t.Fatalf("reverted call not recorded: %+v", records)
+	}
+	if !strings.Contains(FormatHistory(addr, records, c.cfg.Unit), "(reverted)") {
+		t.Fatal("reverted marker missing from rendering")
+	}
+}

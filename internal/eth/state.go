@@ -1,0 +1,96 @@
+// Package eth is a discrete-event simulator of the Ethereum-family chains
+// the paper evaluates on (Ropsten, Goerli, Polygon Mumbai): EIP-1559 base
+// fee dynamics, a priority-fee-ordered mempool competing with background
+// traffic, 12-second proof-of-stake slots with proposer/committee selection,
+// contract execution through the EVM (package evm), and a client layer whose
+// submit-to-confirmation latency is what the paper's figures plot.
+package eth
+
+import (
+	"math/big"
+
+	"agnopol/internal/chain"
+	"agnopol/internal/evm"
+	"agnopol/internal/polcrypto"
+)
+
+// Account is an externally-owned account with its signing key. Nonces are
+// not tracked locally: clients query the chain's pending nonce, as real
+// wallets do, so a rejected submission never wedges the account.
+type Account struct {
+	Key     *polcrypto.KeyPair
+	Address chain.Address
+}
+
+// state is the world state: balances, nonces, contract code and storage.
+// It implements evm.StateDB.
+type state struct {
+	balances map[chain.Address]*big.Int
+	nonces   map[chain.Address]uint64
+	code     map[chain.Address][]byte
+	storage  map[chain.Address]map[chain.Hash32]chain.Hash32
+}
+
+func newState() *state {
+	return &state{
+		balances: make(map[chain.Address]*big.Int),
+		nonces:   make(map[chain.Address]uint64),
+		code:     make(map[chain.Address][]byte),
+		storage:  make(map[chain.Address]map[chain.Hash32]chain.Hash32),
+	}
+}
+
+var _ evm.StateDB = (*state)(nil)
+
+func (s *state) GetBalance(a chain.Address) *big.Int {
+	if b, ok := s.balances[a]; ok {
+		return new(big.Int).Set(b)
+	}
+	return new(big.Int)
+}
+
+func (s *state) AddBalance(a chain.Address, v *big.Int) {
+	b, ok := s.balances[a]
+	if !ok {
+		b = new(big.Int)
+		s.balances[a] = b
+	}
+	b.Add(b, v)
+}
+
+func (s *state) SubBalance(a chain.Address, v *big.Int) {
+	b, ok := s.balances[a]
+	if !ok {
+		b = new(big.Int)
+		s.balances[a] = b
+	}
+	b.Sub(b, v)
+}
+
+func (s *state) GetStorage(addr chain.Address, key chain.Hash32) chain.Hash32 {
+	if m, ok := s.storage[addr]; ok {
+		return m[key]
+	}
+	return chain.Hash32{}
+}
+
+func (s *state) SetStorage(addr chain.Address, key, value chain.Hash32) {
+	m, ok := s.storage[addr]
+	if !ok {
+		m = make(map[chain.Hash32]chain.Hash32)
+		s.storage[addr] = m
+	}
+	if (value == chain.Hash32{}) {
+		delete(m, key)
+		return
+	}
+	m[key] = value
+}
+
+func (s *state) AccountExists(a chain.Address) bool {
+	if _, ok := s.balances[a]; ok {
+		return true
+	}
+	_, ok := s.code[a]
+	return ok
+}

@@ -1,0 +1,471 @@
+package evm
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"agnopol/internal/chain"
+)
+
+func run(t *testing.T, build func(a *Assembler), opts ...func(*Context)) Result {
+	t.Helper()
+	a := NewAssembler()
+	build(a)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := Context{
+		State:    NewMemState(),
+		GasLimit: 1_000_000,
+		Value:    new(big.Int),
+	}
+	for _, o := range opts {
+		o(&ctx)
+	}
+	return Execute(ctx, code)
+}
+
+// returnTop makes a program return its stack top as 32 bytes.
+func returnTop(a *Assembler) {
+	a.PushUint(0).Op(MSTORE).PushUint(32).PushUint(0).Op(RETURN)
+}
+
+func wantReturn(t *testing.T, res Result, want uint64) {
+	t.Helper()
+	if res.Err != nil || res.Reverted {
+		t.Fatalf("execution failed: %+v", res)
+	}
+	got := new(big.Int).SetBytes(res.ReturnData).Uint64()
+	if got != want {
+		t.Fatalf("returned %d, want %d", got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(a *Assembler)
+		want  uint64
+	}{
+		// Noncommutative ops: top operand is the left-hand side.
+		{"sub", func(a *Assembler) { a.PushUint(3).PushUint(10).Op(SUB); returnTop(a) }, 7},
+		{"div", func(a *Assembler) { a.PushUint(4).PushUint(20).Op(DIV); returnTop(a) }, 5},
+		{"mod", func(a *Assembler) { a.PushUint(7).PushUint(20).Op(MOD); returnTop(a) }, 6},
+		{"div-by-zero", func(a *Assembler) { a.PushUint(0).PushUint(20).Op(DIV); returnTop(a) }, 0},
+		{"mod-by-zero", func(a *Assembler) { a.PushUint(0).PushUint(20).Op(MOD); returnTop(a) }, 0},
+		{"add", func(a *Assembler) { a.PushUint(2).PushUint(40).Op(ADD); returnTop(a) }, 42},
+		{"mul", func(a *Assembler) { a.PushUint(6).PushUint(7).Op(MUL); returnTop(a) }, 42},
+		{"lt-true", func(a *Assembler) { a.PushUint(9).PushUint(3).Op(LT); returnTop(a) }, 1},
+		{"lt-false", func(a *Assembler) { a.PushUint(3).PushUint(9).Op(LT); returnTop(a) }, 0},
+		{"gt", func(a *Assembler) { a.PushUint(3).PushUint(9).Op(GT); returnTop(a) }, 1},
+		{"eq", func(a *Assembler) { a.PushUint(5).PushUint(5).Op(EQ); returnTop(a) }, 1},
+		{"iszero", func(a *Assembler) { a.PushUint(0).Op(ISZERO); returnTop(a) }, 1},
+		{"and", func(a *Assembler) { a.PushUint(0b1100).PushUint(0b1010).Op(AND); returnTop(a) }, 0b1000},
+		{"or", func(a *Assembler) { a.PushUint(0b1100).PushUint(0b1010).Op(OR); returnTop(a) }, 0b1110},
+		{"xor", func(a *Assembler) { a.PushUint(0b1100).PushUint(0b1010).Op(XOR); returnTop(a) }, 0b0110},
+		{"shl", func(a *Assembler) { a.PushUint(3).PushUint(4).Op(SHL); returnTop(a) }, 48},
+		{"shr", func(a *Assembler) { a.PushUint(48).PushUint(4).Op(SHR); returnTop(a) }, 3},
+		{"exp", func(a *Assembler) { a.PushUint(10).PushUint(2).Op(EXP); returnTop(a) }, 1024},
+		{"byte", func(a *Assembler) { a.PushUint(0xAB).PushUint(31).Op(BYTE); returnTop(a) }, 0xAB},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			wantReturn(t, run(t, c.build), c.want)
+		})
+	}
+}
+
+func TestArithmeticWrapsAt256Bits(t *testing.T) {
+	maxWord := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+	res := run(t, func(a *Assembler) {
+		a.PushUint(1).Push(maxWord).Op(ADD)
+		returnTop(a)
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if new(big.Int).SetBytes(res.ReturnData).Sign() != 0 {
+		t.Fatalf("max+1 = %x, want 0 (wraparound)", res.ReturnData)
+	}
+	// SUB underflow wraps to max.
+	res = run(t, func(a *Assembler) {
+		a.PushUint(1).PushUint(0).Op(SUB)
+		returnTop(a)
+	})
+	if got := new(big.Int).SetBytes(res.ReturnData); got.Cmp(maxWord) != 0 {
+		t.Fatalf("0-1 = %x, want 2^256-1", got)
+	}
+}
+
+func TestStackErrors(t *testing.T) {
+	res := run(t, func(a *Assembler) { a.Op(ADD) })
+	if !errors.Is(res.Err, ErrStackUnderflow) {
+		t.Fatalf("err = %v, want underflow", res.Err)
+	}
+	if res.GasUsed != 1_000_000 {
+		t.Fatal("exceptional halt must consume all gas")
+	}
+}
+
+func TestInvalidJump(t *testing.T) {
+	res := run(t, func(a *Assembler) { a.PushUint(1).Op(JUMP) })
+	if !errors.Is(res.Err, ErrInvalidJump) {
+		t.Fatalf("err = %v, want invalid jump", res.Err)
+	}
+	// Jumping into PUSH data is invalid even if the byte is 0x5b.
+	a := NewAssembler()
+	a.PushBytes([]byte{byte(JUMPDEST)}) // PUSH1 0x5b: data byte at offset 1
+	a.Op(POP)
+	a.PushUint(1).Op(JUMP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = Execute(Context{State: NewMemState(), GasLimit: 100000, Value: new(big.Int)}, code)
+	if !errors.Is(res.Err, ErrInvalidJump) {
+		t.Fatalf("jump into push data: err = %v", res.Err)
+	}
+}
+
+func TestJumpFlow(t *testing.T) {
+	res := run(t, func(a *Assembler) {
+		a.PushUint(1).JumpI("skip")
+		a.PushUint(111) // skipped
+		returnTop(a)
+		a.Label("skip")
+		a.PushUint(222)
+		returnTop(a)
+	})
+	wantReturn(t, res, 222)
+}
+
+func TestStorageAndRefunds(t *testing.T) {
+	st := NewMemState()
+	// Store then clear a slot: clearing earns the Rsclear refund, capped
+	// at gasUsed/5 by the chain layer (here we check the raw counter).
+	a := NewAssembler()
+	a.PushUint(7).PushUint(1).Op(SSTORE) // slot1 = 7 (cold, set: 22100)
+	a.PushUint(0).PushUint(1).Op(SSTORE) // slot1 = 0 (warm, clear: 2900 + refund)
+	a.Op(STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Execute(Context{State: st, GasLimit: 100000, Value: new(big.Int)}, code)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// Second write hits a *dirty* slot (already written this tx), which
+	// EIP-2200/2929 charges at warm-access cost, not Gsreset.
+	wantGas := uint64(3+3) + (GasColdSLoad + GasSSet) + (3 + 3) + GasWarmAccess
+	if res.GasUsed != wantGas {
+		t.Fatalf("gas = %d, want %d", res.GasUsed, wantGas)
+	}
+	if res.Refund != RefundSClear {
+		t.Fatalf("refund = %d, want %d", res.Refund, RefundSClear)
+	}
+	if st.GetStorage(chain.Address{}, wordKey(1)) != (chain.Hash32{}) {
+		t.Fatal("slot not cleared")
+	}
+}
+
+func wordKey(v uint64) chain.Hash32 {
+	var h chain.Hash32
+	new(big.Int).SetUint64(v).FillBytes(h[:])
+	return h
+}
+
+func TestWarmColdAccounting(t *testing.T) {
+	// Two SLOADs of the same slot: cold then warm.
+	res := run(t, func(a *Assembler) {
+		a.PushUint(5).Op(SLOAD, POP)
+		a.PushUint(5).Op(SLOAD, POP)
+		a.Op(STOP)
+	})
+	want := uint64(3) + GasColdSLoad + 2 + 3 + GasWarmAccess + 2
+	if res.GasUsed != want {
+		t.Fatalf("gas = %d, want %d", res.GasUsed, want)
+	}
+}
+
+func TestSStoreDirtyWriteCheap(t *testing.T) {
+	// Writing the same slot twice in one tx: second write is dirty (100).
+	res := run(t, func(a *Assembler) {
+		a.PushUint(1).PushUint(9).Op(SSTORE)
+		a.PushUint(2).PushUint(9).Op(SSTORE)
+		a.Op(STOP)
+	})
+	want := uint64(6) + GasColdSLoad + GasSSet + 6 + GasWarmAccess
+	if res.GasUsed != want {
+		t.Fatalf("gas = %d, want %d", res.GasUsed, want)
+	}
+}
+
+func TestRevertRestoresState(t *testing.T) {
+	st := NewMemState()
+	a := NewAssembler()
+	a.PushUint(7).PushUint(1).Op(SSTORE)
+	a.PushUint(0).PushUint(0).Op(REVERT)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Execute(Context{State: st, GasLimit: 100000, Value: new(big.Int)}, code)
+	if !res.Reverted {
+		t.Fatal("expected revert")
+	}
+	if st.GetStorage(chain.Address{}, wordKey(1)) != (chain.Hash32{}) {
+		t.Fatal("reverted SSTORE persisted")
+	}
+	if res.Refund != 0 {
+		t.Fatal("revert must zero the refund counter")
+	}
+}
+
+func TestRevertMessage(t *testing.T) {
+	res := run(t, func(a *Assembler) {
+		msg := []byte("nope")
+		padded := make([]byte, 32)
+		copy(padded, msg)
+		a.PushBytes(padded).PushUint(0).Op(MSTORE)
+		a.PushUint(4).PushUint(0).Op(REVERT)
+	})
+	if !res.Reverted || res.RevertMsg != "nope" {
+		t.Fatalf("revert msg = %q", res.RevertMsg)
+	}
+}
+
+func TestCallTransfersValue(t *testing.T) {
+	st := NewMemState()
+	self := chain.AddressFromBytes([]byte("self"))
+	to := chain.AddressFromBytes([]byte("to"))
+	st.AddBalance(self, big.NewInt(100))
+	a := NewAssembler()
+	a.PushUint(0).PushUint(0).PushUint(0).PushUint(0) // out/in
+	a.PushUint(40)                                    // value
+	a.Push(new(big.Int).SetBytes(to[:]))              // to
+	a.PushUint(0).Op(CALL)                            // gas
+	returnTop(a)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Execute(Context{State: st, Address: self, GasLimit: 100000, Value: new(big.Int)}, code)
+	wantReturn(t, res, 1)
+	if st.GetBalance(to).Int64() != 40 {
+		t.Fatalf("recipient balance %s", st.GetBalance(to))
+	}
+	if st.GetBalance(self).Int64() != 60 {
+		t.Fatalf("sender balance %s", st.GetBalance(self))
+	}
+}
+
+func TestCallInsufficientBalanceReturnsZero(t *testing.T) {
+	st := NewMemState()
+	self := chain.AddressFromBytes([]byte("poor"))
+	a := NewAssembler()
+	a.PushUint(0).PushUint(0).PushUint(0).PushUint(0)
+	a.PushUint(40)
+	a.PushUint(0xdead)
+	a.PushUint(0).Op(CALL)
+	returnTop(a)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Execute(Context{State: st, Address: self, GasLimit: 100000, Value: new(big.Int)}, code)
+	wantReturn(t, res, 0)
+}
+
+func TestOutOfGas(t *testing.T) {
+	a := NewAssembler()
+	a.PushUint(1).PushUint(1).Op(SSTORE).Op(STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Execute(Context{State: NewMemState(), GasLimit: 1000, Value: new(big.Int)}, code)
+	if !errors.Is(res.Err, ErrOutOfGas) {
+		t.Fatalf("err = %v, want out of gas", res.Err)
+	}
+	if res.GasUsed != 1000 {
+		t.Fatal("OOG must consume the full limit")
+	}
+}
+
+func TestMemoryExpansionGas(t *testing.T) {
+	// MSTORE at offset 0 vs offset 4096: the latter pays quadratic
+	// expansion.
+	near := run(t, func(a *Assembler) {
+		a.PushUint(1).PushUint(0).Op(MSTORE, STOP)
+	})
+	far := run(t, func(a *Assembler) {
+		a.PushUint(1).PushUint(4096).Op(MSTORE, STOP)
+	})
+	words := uint64((4096 + 32 + 31) / 32)
+	wantDelta := memoryGas(words) - memoryGas(1)
+	if far.GasUsed-near.GasUsed != wantDelta {
+		t.Fatalf("expansion delta = %d, want %d", far.GasUsed-near.GasUsed, wantDelta)
+	}
+}
+
+func TestIntrinsicGas(t *testing.T) {
+	if got := IntrinsicGas(nil, false); got != GasTransaction {
+		t.Fatalf("empty tx intrinsic %d", got)
+	}
+	data := []byte{0, 0, 1, 2}
+	want := uint64(GasTransaction + 2*GasTxDataZero + 2*GasTxDataNonZero)
+	if got := IntrinsicGas(data, false); got != want {
+		t.Fatalf("intrinsic %d, want %d", got, want)
+	}
+	if got := IntrinsicGas(nil, true); got != GasTransaction+GasTxCreate {
+		t.Fatalf("create intrinsic %d", got)
+	}
+}
+
+func TestCalldataAndEnvironment(t *testing.T) {
+	caller := chain.AddressFromBytes([]byte("caller"))
+	res := run(t, func(a *Assembler) {
+		a.Op(CALLER)
+		returnTop(a)
+	}, func(c *Context) { c.Caller = caller })
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	var got chain.Address
+	copy(got[:], res.ReturnData[12:])
+	if got != caller {
+		t.Fatalf("CALLER = %s", got)
+	}
+
+	res = run(t, func(a *Assembler) {
+		a.PushUint(0).Op(CALLDATALOAD)
+		returnTop(a)
+	}, func(c *Context) {
+		c.CallData = append(make([]byte, 24), 0, 0, 0, 0, 0, 0, 0, 99)
+	})
+	wantReturn(t, res, 99)
+
+	res = run(t, func(a *Assembler) { a.Op(CALLDATASIZE); returnTop(a) },
+		func(c *Context) { c.CallData = make([]byte, 77) })
+	wantReturn(t, res, 77)
+
+	res = run(t, func(a *Assembler) { a.Op(TIMESTAMP); returnTop(a) },
+		func(c *Context) { c.Timestamp = 1234 })
+	wantReturn(t, res, 1234)
+
+	res = run(t, func(a *Assembler) { a.Op(NUMBER); returnTop(a) },
+		func(c *Context) { c.BlockNumber = 55 })
+	wantReturn(t, res, 55)
+}
+
+func TestLogs(t *testing.T) {
+	res := run(t, func(a *Assembler) {
+		a.PushBytes(append([]byte("event!"), make([]byte, 26)...)).PushUint(0).Op(MSTORE)
+		a.PushUint(0xfeed) // topic
+		a.PushUint(6).PushUint(0)
+		a.Op(LOG1, STOP)
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Logs) != 1 {
+		t.Fatalf("logs = %d", len(res.Logs))
+	}
+	if string(res.Logs[0].Data) != "event!" {
+		t.Fatalf("log data %q", res.Logs[0].Data)
+	}
+	if len(res.Logs[0].Topics) != 1 || res.Logs[0].Topics[0] != wordKey(0xfeed) {
+		t.Fatalf("topics %v", res.Logs[0].Topics)
+	}
+}
+
+func TestDupSwap(t *testing.T) {
+	res := run(t, func(a *Assembler) {
+		a.PushUint(1).PushUint(2).PushUint(3)
+		a.Op(SWAP2) // [3,2,1]
+		a.Op(DUP3)  // [3,2,1,3]
+		a.Op(ADD)   // [3,2,4]
+		returnTop(a)
+	})
+	wantReturn(t, res, 4)
+}
+
+// TestGasMonotonicInDataSize: executing the same storage-writing loop with
+// more iterations must cost strictly more gas.
+func TestGasMonotonicInDataSize(t *testing.T) {
+	gasFor := func(n uint64) uint64 {
+		a := NewAssembler()
+		a.PushUint(0)
+		a.Label("loop")
+		a.Op(DUP1).PushUint(n).Op(SWAP1, LT, ISZERO)
+		a.PushLabel("end").Op(JUMPI)
+		a.PushUint(1).Op(DUP2, SSTORE)
+		a.PushUint(1).Op(ADD)
+		a.Jump("loop")
+		a.Label("end").Op(STOP)
+		code, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Execute(Context{State: NewMemState(), GasLimit: 10_000_000, Value: new(big.Int)}, code)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res.GasUsed
+	}
+	err := quick.Check(func(x uint8) bool {
+		n := uint64(x)%20 + 1
+		return gasFor(n+1) > gasFor(n)
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleRoundTrips(t *testing.T) {
+	a := NewAssembler()
+	a.PushUint(5).PushUint(3).Op(ADD)
+	a.Jump("end")
+	a.Label("end").Op(STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(code)
+	for _, want := range []string{"PUSH1 0x05", "ADD", "JUMPDEST", "STOP"} {
+		if !contains(dis, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	a := NewAssembler()
+	a.Jump("nowhere")
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+	b := NewAssembler()
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}

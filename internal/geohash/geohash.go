@@ -1,0 +1,194 @@
+// Package geohash implements the Geohash location encoding (§1.3.1) and
+// FOAM-style Crypto-Spatial Coordinates (§1.7.1): deriving a deterministic
+// smart-contract address for any physical location.
+//
+// The paper compares Geohash with Open Location Code and picks OLC; this
+// package exists so the comparison is executable — including Geohash's
+// documented disadvantage that one location can be covered by multiple
+// codes of different lengths ("c216ne4" and "c216new" both decode to the
+// same coordinates).
+package geohash
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"agnopol/internal/chain"
+	"agnopol/internal/polcrypto"
+)
+
+// Alphabet is the base-32 Geohash digit set (0-9 and a-z excluding a, i,
+// l, o).
+const Alphabet = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+var digitValue = func() map[byte]int {
+	m := make(map[byte]int, len(Alphabet))
+	for i := 0; i < len(Alphabet); i++ {
+		m[Alphabet[i]] = i
+	}
+	return m
+}()
+
+// Box is the cell a geohash designates.
+type Box struct {
+	MinLat, MaxLat float64
+	MinLng, MaxLng float64
+}
+
+// Center returns the midpoint of the box.
+func (b Box) Center() (lat, lng float64) {
+	return (b.MinLat + b.MaxLat) / 2, (b.MinLng + b.MaxLng) / 2
+}
+
+// Contains reports whether a coordinate is inside the box.
+func (b Box) Contains(lat, lng float64) bool {
+	return lat >= b.MinLat && lat <= b.MaxLat && lng >= b.MinLng && lng <= b.MaxLng
+}
+
+// Encode produces a geohash of the given precision (characters). Bits
+// alternate longitude/latitude starting with longitude, 5 bits per
+// character.
+func Encode(lat, lng float64, precision int) (string, error) {
+	if precision < 1 || precision > 22 {
+		return "", fmt.Errorf("geohash: precision %d out of range (1..22)", precision)
+	}
+	if lat < -90 || lat > 90 || lng < -180 || lng > 180 {
+		return "", fmt.Errorf("geohash: coordinates (%v,%v) out of range", lat, lng)
+	}
+	var sb strings.Builder
+	latLo, latHi := -90.0, 90.0
+	lngLo, lngHi := -180.0, 180.0
+	even := true // longitude bit next
+	bit, idx := 0, 0
+	for sb.Len() < precision {
+		if even {
+			mid := (lngLo + lngHi) / 2
+			if lng >= mid {
+				idx = idx<<1 | 1
+				lngLo = mid
+			} else {
+				idx <<= 1
+				lngHi = mid
+			}
+		} else {
+			mid := (latLo + latHi) / 2
+			if lat >= mid {
+				idx = idx<<1 | 1
+				latLo = mid
+			} else {
+				idx <<= 1
+				latHi = mid
+			}
+		}
+		even = !even
+		bit++
+		if bit == 5 {
+			sb.WriteByte(Alphabet[idx])
+			bit, idx = 0, 0
+		}
+	}
+	return sb.String(), nil
+}
+
+// ErrInvalid reports a malformed geohash.
+var ErrInvalid = errors.New("geohash: invalid code")
+
+// Decode returns the bounding box of a geohash.
+func Decode(code string) (Box, error) {
+	if code == "" {
+		return Box{}, fmt.Errorf("%w: empty", ErrInvalid)
+	}
+	b := Box{MinLat: -90, MaxLat: 90, MinLng: -180, MaxLng: 180}
+	even := true
+	for i := 0; i < len(code); i++ {
+		d, ok := digitValue[lower(code[i])]
+		if !ok {
+			return Box{}, fmt.Errorf("%w: character %q", ErrInvalid, code[i])
+		}
+		for mask := 16; mask > 0; mask >>= 1 {
+			if even {
+				mid := (b.MinLng + b.MaxLng) / 2
+				if d&mask != 0 {
+					b.MinLng = mid
+				} else {
+					b.MaxLng = mid
+				}
+			} else {
+				mid := (b.MinLat + b.MaxLat) / 2
+				if d&mask != 0 {
+					b.MinLat = mid
+				} else {
+					b.MaxLat = mid
+				}
+			}
+			even = !even
+		}
+	}
+	return b, nil
+}
+
+func lower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c - 'A' + 'a'
+	}
+	return c
+}
+
+// Neighbors returns the 8 geohashes surrounding a code at the same
+// precision, by decoding to the box center and re-encoding offset points —
+// the zone-discovery primitive FOAM's radio anchors use.
+func Neighbors(code string) ([]string, error) {
+	b, err := Decode(code)
+	if err != nil {
+		return nil, err
+	}
+	cLat, cLng := b.Center()
+	dLat := b.MaxLat - b.MinLat
+	dLng := b.MaxLng - b.MinLng
+	var out []string
+	for _, dy := range []float64{-1, 0, 1} {
+		for _, dx := range []float64{-1, 0, 1} {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			lat := cLat + dy*dLat
+			lng := cLng + dx*dLng
+			if lat > 90 || lat < -90 {
+				continue
+			}
+			for lng > 180 {
+				lng -= 360
+			}
+			for lng < -180 {
+				lng += 360
+			}
+			n, err := Encode(lat, lng, len(code))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// CSC is a FOAM-style Crypto-Spatial Coordinate: the deterministic contract
+// address bound to a geohash cell, "accessible for decentralized
+// applications" (§1.7.1). The address is derived from the geohash alone, so
+// every participant computes the same one.
+type CSC struct {
+	Geohash string
+	Address chain.Address
+}
+
+// ToCSC derives the Crypto-Spatial Coordinate of a location at the given
+// geohash precision.
+func ToCSC(lat, lng float64, precision int) (CSC, error) {
+	gh, err := Encode(lat, lng, precision)
+	if err != nil {
+		return CSC{}, err
+	}
+	h := polcrypto.Hash([]byte("csc:" + gh))
+	return CSC{Geohash: gh, Address: chain.AddressFromBytes(h[:])}, nil
+}

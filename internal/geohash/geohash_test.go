@@ -1,0 +1,170 @@
+package geohash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeKnownVectors(t *testing.T) {
+	cases := []struct {
+		lat, lng  float64
+		precision int
+		want      string
+	}{
+		// Classic reference points.
+		{57.64911, 10.40744, 11, "u4pruydqqvj"},
+		{42.6, -5.6, 5, "ezs42"},
+		{-25.382708, -49.265506, 8, "6gkzwgjz"},
+		{0, 0, 5, "s0000"},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.lat, c.lng, c.precision)
+		if err != nil {
+			t.Errorf("Encode(%v,%v,%d): %v", c.lat, c.lng, c.precision, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Encode(%v,%v,%d) = %q, want %q", c.lat, c.lng, c.precision, got, c.want)
+		}
+	}
+}
+
+func TestDecodeContains(t *testing.T) {
+	err := quick.Check(func(latRaw, lngRaw float64, pRaw uint8) bool {
+		lat := math.Mod(math.Abs(latRaw), 180) - 90
+		lng := math.Mod(math.Abs(lngRaw), 360) - 180
+		if math.IsNaN(lat) || math.IsNaN(lng) {
+			return true
+		}
+		p := int(pRaw)%10 + 1
+		code, err := Encode(lat, lng, p)
+		if err != nil {
+			return false
+		}
+		box, err := Decode(code)
+		if err != nil {
+			return false
+		}
+		return box.Contains(lat, lng)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{"", "ezs4a", "hello world", "ü"} {
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("Decode(%q) accepted", bad)
+		}
+	}
+}
+
+// TestMultipleCodesSameLocation reproduces the disadvantage the paper cites
+// for Geohash (§1.3.1): a single location is covered by several codes —
+// every prefix of a geohash also contains the point, and at a fixed
+// precision, points near a cell border have neighbours whose center rounds
+// to the same displayed coordinates.
+func TestMultipleCodesSameLocation(t *testing.T) {
+	lat, lng := 45.37, -121.7
+	long, err := Encode(lat, lng, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 7; p++ {
+		prefix := long[:p]
+		box, err := Decode(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !box.Contains(lat, lng) {
+			t.Fatalf("prefix %q does not contain the point", prefix)
+		}
+	}
+}
+
+func TestPrecisionShrinksCell(t *testing.T) {
+	lat, lng := 44.4949, 11.3426
+	prev := math.Inf(1)
+	for p := 1; p <= 10; p++ {
+		code, err := Encode(lat, lng, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		box, err := Decode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := (box.MaxLat - box.MinLat) * (box.MaxLng - box.MinLng)
+		if size >= prev {
+			t.Fatalf("precision %d cell %g not smaller than %g", p, size, prev)
+		}
+		prev = size
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	ns, err := Neighbors("u4pru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 8 {
+		t.Fatalf("neighbors = %d, want 8", len(ns))
+	}
+	seen := map[string]bool{"u4pru": true}
+	for _, n := range ns {
+		if seen[n] {
+			t.Fatalf("duplicate/self neighbor %q", n)
+		}
+		seen[n] = true
+		if len(n) != 5 {
+			t.Fatalf("neighbor %q has wrong precision", n)
+		}
+	}
+}
+
+func TestCSCDeterministic(t *testing.T) {
+	a, err := ToCSC(44.4949, 11.3426, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ToCSC(44.4949, 11.3426, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("CSC not deterministic")
+	}
+	// A different cell gets a different contract address.
+	c, err := ToCSC(45.4642, 9.19, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Address == a.Address {
+		t.Fatal("distinct cells share a CSC address")
+	}
+	// Every device in the same cell computes the same address.
+	d, err := ToCSC(44.49491, 11.34261, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Address != a.Address {
+		t.Fatal("same-cell points disagree on the CSC address")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(91, 0, 5); err == nil {
+		t.Fatal("latitude 91 accepted")
+	}
+	if _, err := Encode(0, 181, 5); err == nil {
+		t.Fatal("longitude 181 accepted")
+	}
+	if _, err := Encode(0, 0, 0); err == nil {
+		t.Fatal("precision 0 accepted")
+	}
+	if _, err := Encode(0, 0, 23); err == nil {
+		t.Fatal("precision 23 accepted")
+	}
+}

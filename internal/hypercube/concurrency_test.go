@@ -1,0 +1,49 @@
+package hypercube
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAccess hammers the DHT from many goroutines; run with
+// -race this doubles as the synchronization check for the shared network.
+func TestConcurrentAccess(t *testing.T) {
+	n := MustNew(8)
+	const workers = 16
+	const opsPerWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				target := uint64((w*31 + i*17) % n.Size())
+				via := uint64((w + i) % n.Size())
+				key := fmt.Sprintf("area-%d", target)
+				switch i % 3 {
+				case 0:
+					if _, err := n.Put(via, target, key, &Entry{OLC: key, ContractID: "c"}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, _, _, err := n.Get(via, target, key); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, err := n.AppendCID(via, target, key, "c", fmt.Sprintf("bafy-%d-%d", w, i)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := n.Stats()
+	if s.Lookups != workers*opsPerWorker {
+		t.Fatalf("lookups = %d, want %d", s.Lookups, workers*opsPerWorker)
+	}
+}

@@ -1,0 +1,191 @@
+package hypercube
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidatesDimension(t *testing.T) {
+	for _, r := range []int{0, -1, 21} {
+		if _, err := New(r); err == nil {
+			t.Errorf("New(%d) accepted", r)
+		}
+	}
+	n, err := New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size() != 64 {
+		t.Fatalf("size %d, want 64", n.Size())
+	}
+}
+
+func TestNeighborsDifferByOneBit(t *testing.T) {
+	n := MustNew(5)
+	for id := uint64(0); id < uint64(n.Size()); id += 7 {
+		neigh := n.Neighbors(id)
+		if len(neigh) != 5 {
+			t.Fatalf("node %d has %d neighbors, want 5", id, len(neigh))
+		}
+		for _, m := range neigh {
+			if bits.OnesCount64(id^m) != 1 {
+				t.Fatalf("nodes %d and %d differ in %d bits", id, m, bits.OnesCount64(id^m))
+			}
+		}
+	}
+}
+
+// TestRouteIsGreedyAndBounded: the path length equals the Hamming distance,
+// hence is at most r, and every hop flips exactly one bit (§1.3).
+func TestRouteIsGreedyAndBounded(t *testing.T) {
+	n := MustNew(8)
+	err := quick.Check(func(a, b uint8) bool {
+		from, to := uint64(a), uint64(b)
+		path := n.Route(from, to)
+		if path[0] != from || path[len(path)-1] != to {
+			return false
+		}
+		if len(path)-1 != bits.OnesCount64(from^to) {
+			return false
+		}
+		for i := 1; i < len(path); i++ {
+			if bits.OnesCount64(path[i-1]^path[i]) != 1 {
+				return false
+			}
+		}
+		return len(path)-1 <= n.Dimension()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	n := MustNew(6)
+	entry := &Entry{ContractID: "goerli/0xabc", OLC: "8FPHF8VV+X2", CIDs: []string{"bafy1"}}
+	hops, err := n.Put(3, 42, "8FPHF8VV+X2", entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bits.OnesCount64(3 ^ 42); hops != want {
+		t.Fatalf("put took %d hops, want %d", hops, want)
+	}
+	got, _, ok, err := n.Get(60, 42, "8FPHF8VV+X2")
+	if err != nil || !ok {
+		t.Fatalf("get failed: ok=%v err=%v", ok, err)
+	}
+	if got.ContractID != entry.ContractID || len(got.CIDs) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	// Mutating the returned entry must not affect stored state.
+	got.CIDs[0] = "tampered"
+	again, _, _, err := n.Get(0, 42, "8FPHF8VV+X2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CIDs[0] != "bafy1" {
+		t.Fatal("stored entry was mutated through the returned copy")
+	}
+}
+
+func TestGetMissingKeyword(t *testing.T) {
+	n := MustNew(4)
+	_, _, ok, err := n.Get(0, 5, "nothing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("missing keyword reported found")
+	}
+}
+
+func TestIDRangeChecks(t *testing.T) {
+	n := MustNew(4)
+	if _, err := n.Put(16, 0, "k", &Entry{}); err == nil {
+		t.Fatal("via out of range accepted")
+	}
+	if _, err := n.Put(0, 16, "k", &Entry{}); err == nil {
+		t.Fatal("target out of range accepted")
+	}
+	if _, _, _, err := n.Get(0, 99, "k"); err == nil {
+		t.Fatal("get target out of range accepted")
+	}
+}
+
+func TestAppendCIDCreatesAndAppends(t *testing.T) {
+	n := MustNew(5)
+	if _, err := n.AppendCID(0, 9, "area", "ctc-1", "bafyA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AppendCID(1, 9, "area", "ctc-1", "bafyB"); err != nil {
+		t.Fatal(err)
+	}
+	e, _, ok, err := n.Get(0, 9, "area")
+	if err != nil || !ok {
+		t.Fatal("entry missing after AppendCID")
+	}
+	if len(e.CIDs) != 2 || e.CIDs[0] != "bafyA" || e.CIDs[1] != "bafyB" {
+		t.Fatalf("CIDs = %v", e.CIDs)
+	}
+	if e.ContractID != "ctc-1" {
+		t.Fatalf("contract ID %q", e.ContractID)
+	}
+}
+
+func TestRangeQueryHammingBall(t *testing.T) {
+	n := MustNew(4)
+	// Store at nodes 0 (distance 0), 1 (distance 1), 3 (distance 2), 15
+	// (distance 4) relative to target 0.
+	for _, id := range []uint64{0, 1, 3, 15} {
+		if _, err := n.Put(0, id, "k", &Entry{ContractID: "c", OLC: "k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := n.RangeQuery(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("range query ≤2 hops returned %d entries, want 3", len(got))
+	}
+	all, err := n.RangeQuery(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("range query ≤4 hops returned %d entries, want 4", len(all))
+	}
+}
+
+func TestStatsAverageHops(t *testing.T) {
+	n := MustNew(6)
+	if _, err := n.Put(0, 63, "a", &Entry{}); err != nil { // 6 hops
+		t.Fatal(err)
+	}
+	if _, _, _, err := n.Get(63, 63, "a"); err != nil { // 0 hops
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Lookups != 2 {
+		t.Fatalf("lookups %d, want 2", s.Lookups)
+	}
+	if s.AvgHops != 3 {
+		t.Fatalf("avg hops %v, want 3", s.AvgHops)
+	}
+	if s.MaxHops != 6 {
+		t.Fatalf("max hops %d, want 6", s.MaxHops)
+	}
+}
+
+func TestEntryJSONMatchesThesisShape(t *testing.T) {
+	e := &Entry{ContractID: "app/5", OLC: "8FPH+XX", CIDs: []string{"bafy1", "bafy2"}}
+	data, err := e.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"contractId":"app/5","olc":"8FPH+XX","cids":["bafy1","bafy2"]}`
+	if string(data) != want {
+		t.Fatalf("JSON = %s, want %s", data, want)
+	}
+}

@@ -1,0 +1,196 @@
+// Package ipfs simulates the InterPlanetary File System as the paper uses
+// it: a content-addressed peer-to-peer store. Objects get a CID derived from
+// hashing their content (SHA-256, as IPFS does); a DHT maps each CID to the
+// peers providing it; and — reproducing the availability caveat in §1.5 —
+// content that nobody pins can disappear from the network.
+package ipfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"agnopol/internal/polcrypto"
+)
+
+// CID is a content identifier: the multibase-style rendering of the SHA-256
+// digest of the content, prefixed with a version tag.
+type CID string
+
+// ComputeCID derives the content identifier for data.
+func ComputeCID(data []byte) CID {
+	return CID("bafy" + polcrypto.HashHex(data))
+}
+
+// Verify reports whether data actually hashes to this CID — the integrity
+// property that lets the PoL verifier trust report bytes fetched from any
+// peer.
+func (c CID) Verify(data []byte) bool {
+	return ComputeCID(data) == c
+}
+
+var (
+	// ErrNotFound reports that no reachable peer provides the content.
+	ErrNotFound = errors.New("ipfs: content not found")
+	// ErrNoPeer reports an operation against an unknown peer.
+	ErrNoPeer = errors.New("ipfs: unknown peer")
+)
+
+type object struct {
+	data   []byte
+	pinned map[string]bool // peer -> pinned
+	cached map[string]bool // peer -> has a (gc-able) copy
+}
+
+// Network is the simulated IPFS swarm.
+type Network struct {
+	mu      sync.RWMutex
+	peers   map[string]bool
+	objects map[CID]*object
+}
+
+// NewNetwork creates an empty swarm.
+func NewNetwork() *Network {
+	return &Network{
+		peers:   make(map[string]bool),
+		objects: make(map[CID]*object),
+	}
+}
+
+// AddPeer registers a peer by name. Adding an existing peer is a no-op.
+func (n *Network) AddPeer(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[name] = true
+}
+
+// Add stores data from the given peer and returns its CID. The uploading
+// peer holds a cached (unpinned) copy; call Pin to make it durable.
+func (n *Network) Add(peer string, data []byte) (CID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.peers[peer] {
+		return "", fmt.Errorf("%w: %q", ErrNoPeer, peer)
+	}
+	cid := ComputeCID(data)
+	obj, ok := n.objects[cid]
+	if !ok {
+		obj = &object{
+			data:   append([]byte(nil), data...),
+			pinned: make(map[string]bool),
+			cached: make(map[string]bool),
+		}
+		n.objects[cid] = obj
+	}
+	obj.cached[peer] = true
+	return cid, nil
+}
+
+// Pin makes the peer a durable provider of the content.
+func (n *Network) Pin(peer string, cid CID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.peers[peer] {
+		return fmt.Errorf("%w: %q", ErrNoPeer, peer)
+	}
+	obj, ok := n.objects[cid]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, cid)
+	}
+	obj.pinned[peer] = true
+	obj.cached[peer] = true
+	return nil
+}
+
+// Unpin releases the peer's pin; the copy survives as cache until GC.
+func (n *Network) Unpin(peer string, cid CID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	obj, ok := n.objects[cid]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, cid)
+	}
+	delete(obj.pinned, peer)
+	return nil
+}
+
+// Get fetches the content by CID from any provider, verifying integrity
+// against the CID before returning.
+func (n *Network) Get(cid CID) ([]byte, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	obj, ok := n.objects[cid]
+	if !ok || (len(obj.pinned) == 0 && len(obj.cached) == 0) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, cid)
+	}
+	if !cid.Verify(obj.data) {
+		return nil, fmt.Errorf("ipfs: integrity failure for %s", cid)
+	}
+	return append([]byte(nil), obj.data...), nil
+}
+
+// Providers returns the sorted peers currently holding the content.
+func (n *Network) Providers(cid CID) []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	obj, ok := n.objects[cid]
+	if !ok {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for p := range obj.pinned {
+		seen[p] = true
+	}
+	for p := range obj.cached {
+		seen[p] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GarbageCollect drops all unpinned cached copies, the §1.5 failure mode:
+// content with no pinning provider disappears from the network. It returns
+// the CIDs that became unavailable.
+func (n *Network) GarbageCollect() []CID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var lost []CID
+	for cid, obj := range n.objects {
+		for p := range obj.cached {
+			if !obj.pinned[p] {
+				delete(obj.cached, p)
+			}
+		}
+		if len(obj.pinned) == 0 && len(obj.cached) == 0 {
+			lost = append(lost, cid)
+			delete(n.objects, cid)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	return lost
+}
+
+// Stats describes swarm contents.
+type Stats struct {
+	Peers   int
+	Objects int
+	Pinned  int
+}
+
+// Stats returns current swarm statistics.
+func (n *Network) Stats() Stats {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s := Stats{Peers: len(n.peers), Objects: len(n.objects)}
+	for _, obj := range n.objects {
+		if len(obj.pinned) > 0 {
+			s.Pinned++
+		}
+	}
+	return s
+}

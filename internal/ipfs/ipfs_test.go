@@ -1,0 +1,174 @@
+package ipfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddGetRoundTrip(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("alice")
+	data := []byte(`{"title":"report"}`)
+	cid, err := n.Add("alice", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Get(cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCIDIsContentAddressed(t *testing.T) {
+	err := quick.Check(func(a, b []byte) bool {
+		ca, cb := ComputeCID(a), ComputeCID(b)
+		if string(a) == string(b) {
+			return ca == cb
+		}
+		return ca != cb
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIDVerify(t *testing.T) {
+	data := []byte("content")
+	cid := ComputeCID(data)
+	if !cid.Verify(data) {
+		t.Fatal("honest content rejected")
+	}
+	if cid.Verify([]byte("tampered")) {
+		t.Fatal("tampered content accepted")
+	}
+}
+
+func TestAddRequiresRegisteredPeer(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Add("ghost", []byte("x")); !errors.Is(err, ErrNoPeer) {
+		t.Fatalf("err = %v, want ErrNoPeer", err)
+	}
+}
+
+func TestSameContentMultipleProviders(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("a")
+	n.AddPeer("b")
+	cid1, err := n.Add("a", []byte("shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid2, err := n.Add("b", []byte("shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cid1 != cid2 {
+		t.Fatal("same content produced different CIDs")
+	}
+	providers := n.Providers(cid1)
+	if len(providers) != 2 || providers[0] != "a" || providers[1] != "b" {
+		t.Fatalf("providers = %v", providers)
+	}
+}
+
+func TestGarbageCollectDropsUnpinned(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("alice")
+	n.AddPeer("bob")
+	pinned, err := n.Add("alice", []byte("keep me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Pin("alice", pinned); err != nil {
+		t.Fatal(err)
+	}
+	ephemeral, err := n.Add("bob", []byte("lose me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := n.GarbageCollect()
+	if len(lost) != 1 || lost[0] != ephemeral {
+		t.Fatalf("lost = %v, want [%s]", lost, ephemeral)
+	}
+	if _, err := n.Get(ephemeral); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unpinned content still available: %v", err)
+	}
+	if _, err := n.Get(pinned); err != nil {
+		t.Fatalf("pinned content lost: %v", err)
+	}
+}
+
+func TestUnpinThenGC(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("alice")
+	cid, err := n.Add("alice", []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Pin("alice", cid); err != nil {
+		t.Fatal(err)
+	}
+	n.GarbageCollect()
+	if _, err := n.Get(cid); err != nil {
+		t.Fatal("pinned content collected")
+	}
+	if err := n.Unpin("alice", cid); err != nil {
+		t.Fatal(err)
+	}
+	n.GarbageCollect()
+	if _, err := n.Get(cid); err == nil {
+		t.Fatal("unpinned content survived GC")
+	}
+}
+
+func TestPinUnknownContent(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("alice")
+	if err := n.Pin("alice", "bafy-missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("a")
+	cid, err := n.Add("a", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Add("a", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Pin("a", cid); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Peers != 1 || s.Objects != 2 || s.Pinned != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("a")
+	cid, err := n.Add("a", []byte("orig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Get(cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 'X'
+	again, err := n.Get(cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != "orig" {
+		t.Fatal("stored content mutated through returned slice")
+	}
+}

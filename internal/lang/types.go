@@ -1,0 +1,78 @@
+// Package lang is the blockchain-agnostic smart-contract language at the
+// heart of the paper: the same program — Participants, APIs, Views, Maps and
+// a ParallelReduce-style interaction loop, mirroring Reach's model (§2.9.3,
+// §4.1) — is compiled from a single source to two backends, Ethereum
+// (EVM bytecode, package evm) and Algorand (TEAL assembly, package avm).
+//
+// Like Reach, compilation runs a static verification pass over the program
+// (token linearity, guarded transfers, assertion theorems; Fig. 2.11) and a
+// conservative cost analysis (Fig. 5.1) before emitting code.
+package lang
+
+import "fmt"
+
+// Type is a value type of the language.
+type Type int
+
+// The language's types. TAddress values are chain account addresses; TBytes
+// are arbitrary byte strings (Reach's Bytes(N)); TUInt is the 64-bit
+// unsigned integer Reach maps to UInt.
+const (
+	TInvalid Type = iota
+	TUInt
+	TBool
+	TBytes
+	TAddress
+)
+
+func (t Type) String() string {
+	switch t {
+	case TUInt:
+		return "UInt"
+	case TBool:
+		return "Bool"
+	case TBytes:
+		return "Bytes"
+	case TAddress:
+		return "Address"
+	default:
+		return "Invalid"
+	}
+}
+
+// Value is a runtime value crossing the frontend/backend boundary: API
+// arguments and returns, view results and constructor parameters.
+type Value struct {
+	Type  Type
+	Uint  uint64
+	Bytes []byte
+	Addr  [20]byte
+	Bool  bool
+}
+
+// Uint64Value wraps a TUInt.
+func Uint64Value(v uint64) Value { return Value{Type: TUInt, Uint: v} }
+
+// BytesValue wraps a TBytes.
+func BytesValue(b []byte) Value { return Value{Type: TBytes, Bytes: b} }
+
+// AddressValue wraps a TAddress.
+func AddressValue(a [20]byte) Value { return Value{Type: TAddress, Addr: a} }
+
+// BoolValue wraps a TBool.
+func BoolValue(b bool) Value { return Value{Type: TBool, Bool: b} }
+
+func (v Value) String() string {
+	switch v.Type {
+	case TUInt:
+		return fmt.Sprintf("%d", v.Uint)
+	case TBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case TBytes:
+		return fmt.Sprintf("%q", v.Bytes)
+	case TAddress:
+		return fmt.Sprintf("0x%x", v.Addr)
+	default:
+		return "<invalid>"
+	}
+}

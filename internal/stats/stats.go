@@ -1,0 +1,127 @@
+// Package stats provides the summary statistics and plain-text renderings
+// (tables, bar charts) the evaluation harness uses to regenerate the
+// paper's Tables 5.1–5.4 and Figures 5.2–5.5.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Summary is the per-series aggregate the paper's tables report.
+type Summary struct {
+	N      int
+	Mean   float64
+	Max    float64
+	Min    float64
+	StdDev float64
+	Sum    float64
+}
+
+// Summarize computes the aggregate of a sample.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	// Welford's online algorithm keeps the variance numerically stable.
+	mean, m2 := 0.0, 0.0
+	for i, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		delta := x - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (x - mean)
+	}
+	s.Mean = mean
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(m2 / float64(len(xs)-1))
+	}
+	return s
+}
+
+// SummarizeDurations converts to seconds and summarizes.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Summarize(xs)
+}
+
+// Table renders a fixed-width text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		sb.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&sb, " %-*s |", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sb.WriteString("|")
+	for _, w := range widths {
+		sb.WriteString(strings.Repeat("-", w+2))
+		sb.WriteString("|")
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// BarChart renders a horizontal ASCII bar chart, one bar per labelled
+// value — the textual stand-in for the paper's per-user bar figures.
+func BarChart(title string, labels []string, values []float64, unit string) string {
+	const width = 50
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for i, v := range values {
+		n := int(v / maxV * width)
+		if n < 1 && v > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "  %-*s |%s %.2f %s\n", labelW, labels[i], strings.Repeat("█", n), v, unit)
+	}
+	return sb.String()
+}
+
+// FormatSeconds renders a seconds value the way the tables do ("56.15s").
+func FormatSeconds(v float64) string { return fmt.Sprintf("%.2fs", v) }

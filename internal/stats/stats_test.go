@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std dev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.StdDev != 0 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeInvariants(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if s.Mean != 2 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"Testnet", "Mean"}, [][]string{
+		{"Goerli", "56.15s"},
+		{"Algorand", "28.53s"},
+	})
+	for _, want := range []string{"Testnet", "Goerli", "28.53s", "|--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Fig X", []string{"user 0", "user 1"}, []float64{10, 20}, "s")
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "user 1") {
+		t.Fatalf("chart:\n%s", out)
+	}
+	// The larger value must render a longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Fatalf("bars not proportional:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	out := BarChart("Z", []string{"a"}, []float64{0}, "s")
+	if !strings.Contains(out, "0.00 s") {
+		t.Fatalf("chart:\n%s", out)
+	}
+}

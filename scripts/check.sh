@@ -1,0 +1,30 @@
+#!/bin/sh
+# Full repository check: build, vet, tests (with race detector), examples,
+# and a single pass of every benchmark. This is what CI would run.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== tests (race) =="
+go test -race ./...
+
+echo "== examples =="
+for ex in quickstart crowdsensing geofence badgehunt greentoken; do
+    echo "-- examples/$ex"
+    go run "./examples/$ex" > /dev/null
+done
+
+echo "== tools =="
+go run ./cmd/polc > /dev/null
+go run ./cmd/polc -v2 > /dev/null
+go run ./cmd/polsim -chain algorand > /dev/null
+
+echo "== benchmarks (1 iteration) =="
+go test -bench=. -benchmem -benchtime=1x ./... > /dev/null
+
+echo "ALL CHECKS PASSED"
