@@ -5,32 +5,47 @@
 //	polbench -figures         # Figures 5.2–5.5 (a–d)
 //	polbench -fig 5.3b        # one figure
 //	polbench -seed 7          # change the experiment seed
+//	polbench -fig 5.2 -metrics            # dump the metrics registry
+//	polbench -fig 5.2 -trace trace.json   # chrome://tracing span export
+//	polbench -tables -json                # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"agnopol/internal/core"
+	"agnopol/internal/obs"
 	"agnopol/internal/sim"
+	"agnopol/internal/stats"
 )
 
 func main() {
 	var (
-		tables   = flag.Bool("tables", false, "regenerate Tables 5.1–5.4")
-		figures  = flag.Bool("figures", false, "regenerate Figures 5.2–5.5")
-		analysis = flag.Bool("analysis", false, "regenerate Fig 5.1 (conservative analysis)")
-		fig      = flag.String("fig", "", "regenerate one figure, e.g. 5.3b")
-		seed     = flag.Uint64("seed", 7, "experiment seed")
+		tables    = flag.Bool("tables", false, "regenerate Tables 5.1–5.4")
+		figures   = flag.Bool("figures", false, "regenerate Figures 5.2–5.5")
+		analysis  = flag.Bool("analysis", false, "regenerate Fig 5.1 (conservative analysis)")
+		fig       = flag.String("fig", "", "regenerate one figure, e.g. 5.3b")
+		seed      = flag.Uint64("seed", 7, "experiment seed")
+		metrics   = flag.Bool("metrics", false, "dump the metrics registry (Prometheus text format) after the runs")
+		tracePath = flag.String("trace", "", "write a chrome://tracing JSON export of the runs to this file")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results instead of tables and charts")
 	)
 	flag.Parse()
 	if !*tables && !*figures && !*analysis && *fig == "" {
 		*tables, *figures, *analysis = true, true, true
 	}
 
-	if *analysis {
+	var o *obs.Obs
+	if *metrics || *tracePath != "" {
+		o = obs.New()
+	}
+	var experiments []experimentJSON
+
+	if *analysis && !*jsonOut {
 		compiled, err := core.CompilePoL()
 		if err != nil {
 			fatal(err)
@@ -43,38 +58,121 @@ func main() {
 	}
 
 	if *fig != "" {
+		found := false
 		for _, spec := range sim.FigureSpecs {
 			if strings.Contains(spec.ID, "Fig "+*fig+" ") {
-				runFigure(spec, *seed)
-				return
+				experiments = append(experiments, runFigure(spec, *seed, o, *jsonOut))
+				found = true
+				break
 			}
 		}
-		fatal(fmt.Errorf("unknown figure %q", *fig))
-	}
-
-	if *figures {
-		for _, spec := range sim.FigureSpecs {
-			runFigure(spec, *seed)
+		if !found {
+			fatal(fmt.Errorf("unknown figure %q", *fig))
 		}
 	}
 
-	if *tables {
-		ts, _, err := sim.RunTables(*seed)
+	if *fig == "" && *figures {
+		for _, spec := range sim.FigureSpecs {
+			experiments = append(experiments, runFigure(spec, *seed, o, *jsonOut))
+		}
+	}
+
+	if *fig == "" && *tables {
+		ts, byUsers, err := sim.RunTablesObserved(*seed, o)
 		if err != nil {
 			fatal(err)
 		}
-		for _, t := range ts {
-			fmt.Println(t)
+		if *jsonOut {
+			for _, users := range []int{16, 32} {
+				for _, c := range sim.AllChains {
+					if r, ok := byUsers[users][c]; ok {
+						experiments = append(experiments, resultJSON("", r))
+					}
+				}
+			}
+		} else {
+			for _, t := range ts {
+				fmt.Println(t)
+			}
 		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(experiments); err != nil {
+			fatal(err)
+		}
+	}
+	if o != nil {
+		o.ExportProfiles()
+	}
+	if *metrics {
+		fmt.Print(o.Registry.Text())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := o.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "polbench: trace written to %s\n", *tracePath)
 	}
 }
 
-func runFigure(spec sim.FigureSpec, seed uint64) {
-	f, _, err := sim.RunFigure(spec, seed)
+// opJSON is the machine-readable aggregate of one operation series.
+type opJSON struct {
+	MeanSeconds   float64 `json:"mean_seconds"`
+	MaxSeconds    float64 `json:"max_seconds"`
+	MinSeconds    float64 `json:"min_seconds"`
+	StdDevSeconds float64 `json:"stddev_seconds"`
+	Fees          string  `json:"fees"`
+	FeesEuro      float64 `json:"fees_euro"`
+	Gas           uint64  `json:"gas"`
+	N             int     `json:"n"`
+}
+
+// experimentJSON is one experiment in -json output.
+type experimentJSON struct {
+	ID     string `json:"id,omitempty"`
+	Chain  string `json:"chain"`
+	Users  int    `json:"users"`
+	Deploy opJSON `json:"deploy"`
+	Attach opJSON `json:"attach"`
+}
+
+func opJSONOf(s stats.Summary, fees string, euro float64, gas uint64) opJSON {
+	return opJSON{
+		MeanSeconds: s.Mean, MaxSeconds: s.Max, MinSeconds: s.Min,
+		StdDevSeconds: s.StdDev, Fees: fees, FeesEuro: euro, Gas: gas, N: s.N,
+	}
+}
+
+func resultJSON(id string, r *sim.Result) experimentJSON {
+	return experimentJSON{
+		ID:     id,
+		Chain:  string(r.Chain),
+		Users:  r.Users,
+		Deploy: opJSONOf(r.DeploySummary, r.DeployFees.String(), r.DeployFees.Euros(), r.DeployGas),
+		Attach: opJSONOf(r.AttachSummary, r.AttachFees.String(), r.AttachFees.Euros(), r.AttachGas),
+	}
+}
+
+func runFigure(spec sim.FigureSpec, seed uint64, o *obs.Obs, jsonOut bool) experimentJSON {
+	f, r, err := sim.RunFigureObserved(spec, seed, o)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(f)
+	if !jsonOut {
+		fmt.Println(f)
+	}
+	return resultJSON(spec.ID, r)
 }
 
 func fatal(err error) {

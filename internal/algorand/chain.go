@@ -9,6 +9,7 @@ import (
 
 	"agnopol/internal/avm"
 	"agnopol/internal/chain"
+	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
 )
 
@@ -140,6 +141,9 @@ type Chain struct {
 	pending  []*pendingGroup
 	receipts map[chain.Hash32]*chain.Receipt
 	feeSink  chain.Address
+
+	// obs holds the chain's instrumentation; nil when uninstrumented.
+	obs *chainObs
 }
 
 // NewChain builds a network from a preset and seed.
@@ -228,6 +232,10 @@ func (c *Chain) Submit(g Group) (chain.Hash32, error) {
 		}
 	}
 	c.pending = append(c.pending, &pendingGroup{group: g, submitted: c.clock.Now()})
+	if c.obs != nil {
+		c.obs.groupsSubmitted.Inc()
+		c.obs.pendingDepth.Set(float64(len(c.pending)))
+	}
 	return g.Hash(), nil
 }
 
@@ -284,6 +292,15 @@ func (c *Chain) Step() *Block {
 		rcpt.Submitted = p.submitted
 		c.receipts[p.group.Hash()] = rcpt
 		blk.Groups = append(blk.Groups, p.group.Hash())
+		if c.obs != nil {
+			c.obs.groupsIncluded.Inc()
+			c.obs.inclusionLatency.Observe((blk.Time - p.submitted).Seconds())
+			if rcpt.Reverted {
+				c.obs.groupsRejected.Inc()
+				c.obs.log.Warn("group rejected", "chain", c.cfg.Name,
+					"round", blk.Round, "reason", rcpt.RevertMsg)
+			}
+		}
 	}
 	c.pending = remaining
 
@@ -311,6 +328,15 @@ func (c *Chain) Step() *Block {
 	}
 	blk.Cert = cert
 	c.blocks = append(c.blocks, blk)
+	if c.obs != nil {
+		c.obs.roundsCertified.Inc()
+		c.obs.certVotes.Add(uint64(len(cert.Votes)))
+		c.obs.pendingDepth.Set(float64(len(c.pending)))
+		if c.obs.log.Enabled(obs.LevelDebug) {
+			c.obs.log.Debug("round certified", "chain", c.cfg.Name,
+				"round", blk.Round, "groups", len(blk.Groups), "votes", len(cert.Votes))
+		}
+	}
 	return blk
 }
 
@@ -351,8 +377,17 @@ func (c *Chain) executeGroup(g Group, blk *Block) *chain.Receipt {
 		c.led.balances[c.feeSink] += tx.Fee
 	}
 
+	if c.obs != nil {
+		c.obs.fees.Add(totalFee)
+	}
+
 	// The group's payment (if any) feeds `gtxn 0 Amount`.
 	payAmount := uint64(0)
+
+	var prof obs.Profiler
+	if c.obs != nil {
+		prof = c.obs.prof
+	}
 
 	err := func() error {
 		for _, tx := range g {
@@ -376,7 +411,7 @@ func (c *Chain) executeGroup(g Group, blk *Block) *chain.Receipt {
 				res := avm.Execute(prog, c.led, avm.TxContext{
 					Sender: tx.Sender, AppID: id, CreateMode: true,
 					Args: tx.Args, PayAmount: payAmount, Fee: tx.Fee,
-					BudgetTxns: len(g),
+					BudgetTxns: len(g), Profiler: prof,
 				})
 				rcpt.GasUsed += res.Cost
 				rcpt.Logs = append(rcpt.Logs, res.Logs...)
@@ -408,7 +443,7 @@ func (c *Chain) executeGroup(g Group, blk *Block) *chain.Receipt {
 					Sender: tx.Sender, AppID: tx.AppID,
 					Args: tx.Args, OnCompletion: tx.OnCompletion,
 					PayAmount: payAmount, Fee: tx.Fee,
-					BudgetTxns: len(g),
+					BudgetTxns: len(g), Profiler: prof,
 				})
 				rcpt.GasUsed += res.Cost
 				rcpt.Logs = append(rcpt.Logs, res.Logs...)

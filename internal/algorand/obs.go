@@ -1,0 +1,56 @@
+package algorand
+
+import (
+	"agnopol/internal/obs"
+)
+
+// InclusionLatencyBuckets are the histogram bounds, in simulated seconds,
+// for group inclusion latency. Rounds certify every ~4.5 s, so the range
+// is tighter than on the EVM chains.
+var InclusionLatencyBuckets = []float64{1, 2.5, 5, 7.5, 10, 15, 20, 30, 45, 60}
+
+// chainObs bundles the chain's metric instruments; nil means the chain is
+// uninstrumented and hook sites cost one nil check.
+type chainObs struct {
+	roundsCertified  *obs.Counter
+	groupsSubmitted  *obs.Counter
+	groupsIncluded   *obs.Counter
+	groupsRejected   *obs.Counter
+	certVotes        *obs.Counter
+	fees             *obs.Counter
+	pendingDepth     *obs.Gauge
+	inclusionLatency *obs.Histogram
+	prof             obs.Profiler
+	log              *obs.Logger
+}
+
+// Instrument attaches metric instruments, an AVM opcode profiler and a
+// logger to the chain. All metrics carry a chain label with the preset
+// name. Passing a nil registry detaches instrumentation.
+func (c *Chain) Instrument(reg *obs.Registry, prof obs.Profiler, log *obs.Logger) {
+	if reg == nil {
+		c.obs = nil
+		return
+	}
+	name := obs.L("chain", c.cfg.Name)
+	c.obs = &chainObs{
+		roundsCertified:  reg.Counter("algorand_rounds_certified_total", name),
+		groupsSubmitted:  reg.Counter("algorand_groups_submitted_total", name),
+		groupsIncluded:   reg.Counter("algorand_groups_included_total", name),
+		groupsRejected:   reg.Counter("algorand_groups_rejected_total", name),
+		certVotes:        reg.Counter("algorand_cert_votes_total", name),
+		fees:             reg.Counter("algorand_fees_microalgo_total", name),
+		pendingDepth:     reg.Gauge("algorand_pending_depth", name),
+		inclusionLatency: reg.Histogram("algorand_inclusion_latency_seconds", InclusionLatencyBuckets, name),
+		prof:             prof,
+		log:              log,
+	}
+	reg.Help("algorand_rounds_certified_total", "Consensus rounds certified.")
+	reg.Help("algorand_groups_submitted_total", "Transaction groups accepted into the pending pool.")
+	reg.Help("algorand_groups_included_total", "Transaction groups included in a certified round.")
+	reg.Help("algorand_groups_rejected_total", "Included groups whose execution was rejected and rolled back.")
+	reg.Help("algorand_cert_votes_total", "Sortition committee votes collected across certificates.")
+	reg.Help("algorand_fees_microalgo_total", "Fees charged, in microAlgos.")
+	reg.Help("algorand_pending_depth", "Transaction groups currently awaiting a round.")
+	reg.Help("algorand_inclusion_latency_seconds", "Simulated submit-to-certification latency.")
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"agnopol/internal/chain"
+	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
 )
 
@@ -42,6 +43,9 @@ type TxContext struct {
 	// BudgetTxns is the number of grouped transactions pooling their
 	// budget (≥1); the effective budget is BudgetTxns·DefaultBudget.
 	BudgetTxns int
+	// Profiler, when non-nil, receives every executed opcode with its
+	// budget cost (nil-checked on the hot path).
+	Profiler obs.Profiler
 }
 
 // Result reports the outcome of an application call.
@@ -159,6 +163,9 @@ func (m *machine) run() (bool, error) {
 			c = 1
 		}
 		m.cost += c
+		if m.tx.Profiler != nil {
+			m.tx.Profiler.Op(ins.Op, c)
+		}
 		if m.cost > m.budget {
 			return false, fmt.Errorf("%w: %d > %d at line %d", ErrBudgetExceeded, m.cost, m.budget, ins.Line)
 		}

@@ -11,6 +11,7 @@ import (
 	"agnopol/internal/geo"
 	"agnopol/internal/ipfs"
 	"agnopol/internal/lang"
+	"agnopol/internal/obs"
 	"agnopol/internal/olc"
 	"agnopol/internal/polcrypto"
 )
@@ -100,19 +101,23 @@ const maxAreaSlackMeters = 30
 //     itself is.
 func (w *Witness) HandleProofRequest(proverDev *geo.Device, auth did.ChallengeResponse, req ProofRequest) (*LocationProof, error) {
 	if !w.Device.CanReach(proverDev) {
+		w.sys.rejectProof("out_of_range")
 		return nil, fmt.Errorf("%w: %.0f m apart", ErrNotInRange,
 			geo.DistanceMeters(w.Device.TruePosition, proverDev.TruePosition))
 	}
 	if auth.Challenge.DID != req.DID {
+		w.sys.rejectProof("auth")
 		return nil, fmt.Errorf("%w: challenge for %s, request from %s", did.ErrAuthFailed, auth.Challenge.DID, req.DID)
 	}
 	if err := w.sys.Auth.VerifyResponse(auth); err != nil {
+		w.sys.rejectProof("auth")
 		return nil, err
 	}
 	w.mu.Lock()
 	issued, ok := w.nonces[req.DID]
 	if !ok || issued != req.Nonce || w.used[req.Nonce] {
 		w.mu.Unlock()
+		w.sys.rejectProof("bad_nonce")
 		return nil, ErrBadNonce
 	}
 	w.used[req.Nonce] = true
@@ -121,16 +126,25 @@ func (w *Witness) HandleProofRequest(proverDev *geo.Device, auth did.ChallengeRe
 
 	area, err := olc.Decode(req.OLC)
 	if err != nil {
+		w.sys.rejectProof("bad_olc")
 		return nil, fmt.Errorf("core: claimed OLC: %w", err)
 	}
 	wp := w.Device.TruePosition
 	if !area.Contains(wp.Lat, wp.Lng) {
 		cLat, cLng := area.Center()
 		if geo.DistanceMeters(wp, geo.LatLng{Lat: cLat, Lng: cLng}) > maxAreaSlackMeters {
+			w.sys.rejectProof("location_claim")
 			return nil, fmt.Errorf("%w: claimed %s", ErrLocationClaim, req.OLC)
 		}
 	}
 
+	if w.sys.obs != nil {
+		w.sys.obs.proofsIssued.Inc()
+		if w.sys.logger().Enabled(obs.LevelDebug) {
+			w.sys.logger().Debug("proof issued", "witness", string(w.DID),
+				"prover", string(req.DID), "olc", req.OLC)
+		}
+	}
 	h := req.Hash()
 	return &LocationProof{
 		Request:    req,
@@ -220,23 +234,34 @@ func (p *Prover) UploadReport(r Report) (ipfs.CID, error) {
 // challenge–response, nonce issuance, proof request, proof verification on
 // receipt.
 func (p *Prover) RequestProof(w *Witness, cid ipfs.CID, wallet [20]byte) (*LocationProof, error) {
+	sp := p.sys.span("pol.request_proof", obs.L("prover", string(p.DID)))
+	defer sp.End()
 	code, err := p.ClaimedOLC()
 	if err != nil {
 		return nil, err
 	}
+	chSp := p.sys.span("pol.did_challenge")
 	ch, err := w.BeginAuth(p.DID)
 	if err != nil {
+		chSp.End()
 		return nil, err
 	}
 	resp := did.SignChallenge(p.Key, ch)
+	p.sys.endPhase(chSp, PhaseChallenge)
+
+	signSp := p.sys.span("pol.witness_sign")
 	nonce := w.IssueNonce(p.DID)
 	req := ProofRequest{DID: p.DID, OLC: code, Nonce: nonce, CID: cid, Wallet: wallet}
 	proof, err := w.HandleProofRequest(p.Device, resp, req)
+	p.sys.endPhase(signSp, PhaseSign)
 	if err != nil {
 		return nil, err
 	}
 	// The prover checks the certificate before spending fees on it.
-	if err := proof.Verify(); err != nil {
+	vSp := p.sys.span("pol.cert_verify")
+	err = proof.Verify()
+	vSp.End()
+	if err != nil {
 		return nil, err
 	}
 	return proof, nil
@@ -259,11 +284,18 @@ func (p *Prover) SubmitProof(conn Connector, proof *LocationProof, rewardPerProv
 		return nil, fmt.Errorf("core: prover %s has no account on %s", p.DID, conn.Name())
 	}
 	code := proof.Request.OLC
+	sp := p.sys.span("pol.submit_proof", obs.L("olc", code), obs.L("chain", conn.Name()))
+	defer sp.End()
 	via, err := p.sys.NodeIDForOLC(code)
 	if err != nil {
 		return nil, err
 	}
+	dSp := p.sys.span("pol.discover")
 	h, hops, found, err := p.sys.LookupContract(via, code)
+	p.sys.endPhase(dSp, PhaseDiscover)
+	if p.sys.obs != nil {
+		p.sys.obs.hops.Observe(float64(hops))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -272,22 +304,28 @@ func (p *Prover) SubmitProof(conn Connector, proof *LocationProof, rewardPerProv
 		// transaction, then the creator's own insert_data — which also
 		// carries the escrow activation deposit on connectors that need
 		// one.
+		depSp := p.sys.span("pol.deploy")
 		handle, deployOp, err := conn.Deploy(acct, p.sys.Compiled, []lang.Value{
 			lang.BytesValue([]byte(code)),
 			lang.Uint64Value(p.DID.Uint64()),
 			lang.Uint64Value(rewardPerProver),
 		})
 		if err != nil {
+			p.sys.endPhase(depSp, PhaseSubmit)
 			return nil, fmt.Errorf("core: deploy: %w", err)
 		}
 		_, insertOp, err := conn.CallWithEscrowFunding(acct, handle, "insert_data", 0,
 			lang.BytesValue(proof.ConcatData()),
 			lang.Uint64Value(p.DID.Uint64()),
 		)
+		p.sys.endPhase(depSp, PhaseSubmit)
 		if err != nil {
 			return nil, fmt.Errorf("core: creator insert: %w", err)
 		}
-		if _, err := p.sys.PublishContract(via, code, handle); err != nil {
+		pubSp := p.sys.span("pol.publish")
+		_, err = p.sys.PublishContract(via, code, handle)
+		p.sys.endPhase(pubSp, PhasePublish)
+		if err != nil {
 			return nil, err
 		}
 		op := &OpResult{
@@ -296,14 +334,26 @@ func (p *Prover) SubmitProof(conn Connector, proof *LocationProof, rewardPerProv
 			GasUsed:  deployOp.GasUsed + insertOp.GasUsed,
 			Receipts: append(deployOp.Receipts, insertOp.Receipts...),
 		}
+		if p.sys.obs != nil {
+			p.sys.obs.contractsDeployed.Inc()
+			p.sys.observeChainOp("deploy", op.Latency)
+			p.sys.logger().Info("contract deployed", "olc", code,
+				"chain", conn.Name(), "hops", hops, "gas", op.GasUsed)
+		}
 		return &SubmissionResult{Handle: handle, Deployed: true, Op: op, Hops: hops}, nil
 	}
+	aSp := p.sys.span("pol.attach")
 	_, op, err := conn.Call(acct, h, "insert_data", 0,
 		lang.BytesValue(proof.ConcatData()),
 		lang.Uint64Value(p.DID.Uint64()),
 	)
+	p.sys.endPhase(aSp, PhaseSubmit)
 	if err != nil {
 		return nil, fmt.Errorf("core: attach: %w", err)
+	}
+	if p.sys.obs != nil {
+		p.sys.obs.proofsAttached.Inc()
+		p.sys.observeChainOp("attach", op.Latency)
 	}
 	return &SubmissionResult{Handle: h, Deployed: false, Op: op, Hops: hops}, nil
 }
@@ -369,6 +419,15 @@ type Verification struct {
 	Op       *OpResult
 }
 
+// rejected builds a failed Verification and counts the rejection.
+func (v *Verifier) rejected(prover did.DID, reason string) *Verification {
+	if v.sys.obs != nil {
+		v.sys.obs.verifRejected.Inc()
+		v.sys.logger().Warn("verification rejected", "prover", string(prover), "reason", reason)
+	}
+	return &Verification{Prover: prover, Accepted: false, Reason: reason}
+}
+
 // VerifyProver runs the §2.3.1.2 procedure for one DID:
 //
 //  1. read the concatenated values from the contract map;
@@ -387,6 +446,8 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 	if acct == nil {
 		return nil, fmt.Errorf("core: verifier has no account on %s", conn.Name())
 	}
+	sp := v.sys.span("pol.verify", obs.L("prover", string(prover)), obs.L("chain", conn.Name()))
+	defer v.sys.endPhase(sp, PhaseVerify)
 	key := prover.Uint64()
 	raw, ok, err := conn.ReadMap(h, EasyMapName, key)
 	if err != nil {
@@ -397,7 +458,7 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 	}
 	parsed, err := ParseConcatData(raw.Bytes)
 	if err != nil {
-		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
+		return v.rejected(prover, err.Error()), nil
 	}
 	posVal, err := conn.ReadGlobal(h, PositionGlobal)
 	if err != nil {
@@ -407,7 +468,7 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 
 	req := ProofRequest{DID: prover, OLC: code, Nonce: parsed.Nonce, CID: parsed.CID, Wallet: parsed.Wallet}
 	if req.Hash() != parsed.Hash {
-		return &Verification{Prover: prover, Accepted: false, Reason: ErrHashMismatch.Error()}, nil
+		return v.rejected(prover, ErrHashMismatch.Error()), nil
 	}
 
 	// Locate the signing witness among the CA-registered keys; reject a
@@ -421,7 +482,7 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 		return nil, err
 	}
 	if polcrypto.Verify(proverKey, parsed.Hash[:], parsed.Signature) {
-		return &Verification{Prover: prover, Accepted: false, Reason: ErrSelfSigned.Error()}, nil
+		return v.rejected(prover, ErrSelfSigned.Error()), nil
 	}
 	signed := false
 	for _, pub := range v.sys.CA.WitnessList() {
@@ -434,38 +495,50 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 		}
 	}
 	if !signed {
-		return &Verification{Prover: prover, Accepted: false, Reason: ErrUnknownWitness.Error()}, nil
+		return v.rejected(prover, ErrUnknownWitness.Error()), nil
 	}
 
 	// Retrieve and integrity-check the report content.
+	fSp := v.sys.span("pol.ipfs_fetch")
 	data, err := v.sys.IPFS.Get(parsed.CID)
+	fSp.End()
 	if err != nil {
-		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
+		return v.rejected(prover, err.Error()), nil
 	}
 	if !parsed.CID.Verify(data) {
-		return &Verification{Prover: prover, Accepted: false, Reason: ErrReportCorrupted.Error()}, nil
+		return v.rejected(prover, ErrReportCorrupted.Error()), nil
 	}
 	var report Report
 	if err := json.Unmarshal(data, &report); err != nil {
-		return &Verification{Prover: prover, Accepted: false, Reason: "malformed report: " + err.Error()}, nil
+		return v.rejected(prover, "malformed report: "+err.Error()), nil
 	}
 
 	// On-chain verification: pays the reward and clears the map entry.
+	cSp := v.sys.span("pol.chain_verify")
 	_, op, err := conn.Call(acct, h, "verify", 0,
 		lang.Uint64Value(key),
 		lang.AddressValue(parsed.Wallet),
 	)
+	cSp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Garbage-in: only now does the report reach the hypercube.
+	pSp := v.sys.span("pol.publish")
 	via, err := v.sys.NodeIDForOLC(code)
+	if err != nil {
+		pSp.End()
+		return nil, err
+	}
+	_, err = v.sys.Cube.AppendCID(via, via, code, h.ID(), string(parsed.CID))
+	v.sys.endPhase(pSp, PhasePublish)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := v.sys.Cube.AppendCID(via, via, code, h.ID(), string(parsed.CID)); err != nil {
-		return nil, err
+	if v.sys.obs != nil {
+		v.sys.obs.verifAccepted.Inc()
+		v.sys.observeChainOp("verify", op.Latency)
 	}
 	return &Verification{
 		Prover: prover, Report: report, CID: parsed.CID,

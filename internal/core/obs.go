@@ -1,0 +1,132 @@
+package core
+
+import (
+	"time"
+
+	"agnopol/internal/obs"
+)
+
+// Pipeline phase names used in core_phase_duration_seconds and as span
+// names (prefixed pol.). The PoL lifecycle is discover → challenge →
+// sign → submit → verify → publish.
+const (
+	PhaseDiscover  = "discover"
+	PhaseChallenge = "challenge"
+	PhaseSign      = "sign"
+	PhaseSubmit    = "submit"
+	PhaseVerify    = "verify"
+	PhasePublish   = "publish"
+)
+
+// phaseBuckets covers wall-clock phase durations from 1 µs to 100 s.
+// Literal bounds, not ExponentialBuckets(1e-6, 10, 9): 1e-6·10 is not
+// representable as exactly 1e-5 in float64, and the drift leaks into
+// the le labels of the exposition.
+var phaseBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100}
+
+// chainOpBuckets covers simulated on-chain operation latency, which is
+// dominated by block/round inclusion time.
+var chainOpBuckets = []float64{1, 2.5, 5, 10, 15, 20, 30, 45, 60, 90, 120, 180, 300}
+
+// hopBuckets covers hypercube routing distances; the DHT dimension is 6,
+// so a greedy route takes at most 6 hops.
+var hopBuckets = []float64{0, 1, 2, 3, 4, 5, 6}
+
+// sysObs bundles the proof-pipeline instruments. nil means the system is
+// uninstrumented; every hook reduces to a nil check.
+type sysObs struct {
+	o *obs.Obs
+
+	phases            map[string]*obs.Histogram
+	chainOps          map[string]*obs.Histogram
+	hops              *obs.Histogram
+	proofsIssued      *obs.Counter
+	contractsDeployed *obs.Counter
+	proofsAttached    *obs.Counter
+	verifAccepted     *obs.Counter
+	verifRejected     *obs.Counter
+}
+
+// Instrument attaches an observability bundle to the system: per-phase
+// duration histograms, proof-lifecycle counters and the span tracer.
+// Passing nil detaches instrumentation.
+func (s *System) Instrument(o *obs.Obs) {
+	if o == nil || o.Registry == nil {
+		s.obs = nil
+		return
+	}
+	reg := o.Registry
+	so := &sysObs{
+		o:        o,
+		phases:   make(map[string]*obs.Histogram),
+		chainOps: make(map[string]*obs.Histogram),
+	}
+	for _, phase := range []string{PhaseDiscover, PhaseChallenge, PhaseSign, PhaseSubmit, PhaseVerify, PhasePublish} {
+		so.phases[phase] = reg.Histogram("core_phase_duration_seconds", phaseBuckets, obs.L("phase", phase))
+	}
+	for _, op := range []string{"deploy", "attach", "verify"} {
+		so.chainOps[op] = reg.Histogram("core_chain_op_latency_seconds", chainOpBuckets, obs.L("op", op))
+	}
+	so.hops = reg.Histogram("core_hypercube_hops", hopBuckets)
+	so.proofsIssued = reg.Counter("core_proofs_issued_total")
+	so.contractsDeployed = reg.Counter("core_contracts_deployed_total")
+	so.proofsAttached = reg.Counter("core_proofs_attached_total")
+	so.verifAccepted = reg.Counter("core_verifications_total", obs.L("result", "accepted"))
+	so.verifRejected = reg.Counter("core_verifications_total", obs.L("result", "rejected"))
+	reg.Help("core_phase_duration_seconds", "Wall-clock duration of each proof-pipeline phase.")
+	reg.Help("core_chain_op_latency_seconds", "Simulated latency of on-chain PoL operations.")
+	reg.Help("core_hypercube_hops", "DHT routing hops per contract lookup.")
+	reg.Help("core_proofs_issued_total", "Location proofs signed by witnesses.")
+	reg.Help("core_proofs_rejected_total", "Witness-side proof request rejections by reason.")
+	reg.Help("core_contracts_deployed_total", "PoL contracts deployed (first prover in an area).")
+	reg.Help("core_proofs_attached_total", "Proofs attached to an existing contract.")
+	reg.Help("core_verifications_total", "Verifier decisions on staged proofs.")
+	s.obs = so
+}
+
+// Obs returns the attached observability bundle, or nil.
+func (s *System) Obs() *obs.Obs {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.o
+}
+
+// span opens a trace span; nil-safe when uninstrumented.
+func (s *System) span(name string, labels ...obs.Label) *obs.Span {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.o.Tracer.Start(name, labels...)
+}
+
+// endPhase ends a span and records its duration in the phase histogram.
+func (s *System) endPhase(sp *obs.Span, phase string) {
+	d := sp.End()
+	if s.obs != nil {
+		s.obs.phases[phase].Observe(d.Seconds())
+	}
+}
+
+// observeChainOp records the simulated latency of a deploy/attach/verify
+// chain operation.
+func (s *System) observeChainOp(op string, latency time.Duration) {
+	if s.obs != nil {
+		s.obs.chainOps[op].Observe(latency.Seconds())
+	}
+}
+
+// rejectProof counts a witness-side rejection under its reason label.
+func (s *System) rejectProof(reason string) {
+	if s.obs != nil {
+		s.obs.o.Registry.Counter("core_proofs_rejected_total", obs.L("reason", reason)).Inc()
+	}
+}
+
+// logger returns the attached structured logger; nil-safe.
+func (s *System) logger() *obs.Logger {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.o.Logger
+}

@@ -35,6 +35,10 @@ type System struct {
 	handles  map[string]*Handle
 	didIndex map[uint64]did.DID
 	dir      witnessDirectory
+
+	// obs holds the proof-pipeline instrumentation (see obs.go); nil when
+	// uninstrumented. Set once via Instrument before actors run.
+	obs *sysObs
 }
 
 // NewSystem builds the shared substrate with a deterministic seed.

@@ -12,6 +12,7 @@ import (
 
 	"agnopol/internal/chain"
 	"agnopol/internal/evm"
+	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
 )
 
@@ -125,6 +126,9 @@ type Chain struct {
 
 	burned *big.Int
 	tipped *big.Int
+
+	// obs holds the chain's instrumentation; nil when uninstrumented.
+	obs *chainObs
 }
 
 // NewChain creates a network from a preset and a deterministic seed.
@@ -235,6 +239,10 @@ func (c *Chain) Submit(tx *Tx) (chain.Hash32, error) {
 		return chain.Hash32{}, ErrInsufficientEth
 	}
 	c.mempool = append(c.mempool, &pendingTx{tx: tx, submitted: c.clock.Now()})
+	if c.obs != nil {
+		c.obs.txsSubmitted.Inc()
+		c.obs.mempoolDepth.Set(float64(len(c.mempool)))
+	}
 	return tx.Hash(), nil
 }
 
@@ -310,8 +318,16 @@ func (c *Chain) Step() *Block {
 				c.receipts[tx.Hash()] = rcpt
 				blk.TxHashes = append(blk.TxHashes, tx.Hash())
 				userGas += rcpt.GasUsed
+				if c.obs != nil {
+					c.obs.txsIncluded.Inc()
+					c.obs.inclusionLatency.Observe((blk.Time - p.submitted).Seconds())
+				}
 				continue
 			}
+		}
+		if c.obs != nil && p.submitted < blockTime {
+			// Propagated but priced out (or nonce-gapped) this block.
+			c.obs.txsDeferred.Inc()
 		}
 		remaining = append(remaining, p)
 	}
@@ -328,6 +344,18 @@ func (c *Chain) Step() *Block {
 	c.blocks = append(c.blocks, blk)
 	c.updateBaseFee(blk)
 	c.updateFinality()
+	if c.obs != nil {
+		c.obs.blocksProduced.Inc()
+		c.obs.blockGasUsed.Add(blk.GasUsed)
+		bf, _ := new(big.Float).SetInt(c.baseFee).Float64()
+		c.obs.baseFee.Set(bf)
+		c.obs.mempoolDepth.Set(float64(len(c.mempool)))
+		if c.obs.log.Enabled(obs.LevelDebug) {
+			c.obs.log.Debug("block produced", "chain", c.cfg.Name,
+				"number", blk.Number, "txs", len(blk.TxHashes),
+				"gas_used", blk.GasUsed, "base_fee", c.baseFee.String())
+		}
+	}
 	return blk
 }
 
@@ -373,6 +401,11 @@ func (c *Chain) backgroundDemand() float64 {
 		}
 		c.spikeBlocksLeft = 1 + int(c.rng.ExpFloat64()*(mean-1)+0.5)
 		c.spikeBlocksLeft--
+		if c.obs != nil {
+			c.obs.congestionSpikes.Inc()
+			c.obs.log.Info("congestion spike started", "chain", c.cfg.Name,
+				"blocks", c.spikeBlocksLeft+1, "factor", c.cfg.SpikeFactor)
+		}
 		return d * c.cfg.SpikeFactor
 	}
 	return d
@@ -569,6 +602,10 @@ func (c *Chain) execute(tx *Tx, blk *Block) *chain.Receipt {
 		c.st.code[target] = code
 	}
 
+	var prof obs.Profiler
+	if c.obs != nil {
+		prof = c.obs.prof
+	}
 	res := evm.Execute(evm.Context{
 		State:       c.st,
 		Caller:      tx.From,
@@ -578,6 +615,7 @@ func (c *Chain) execute(tx *Tx, blk *Block) *chain.Receipt {
 		GasLimit:    gasBudget,
 		BlockNumber: blk.Number,
 		Timestamp:   uint64(blk.Time / time.Second),
+		Profiler:    prof,
 	}, code)
 
 	gasUsed := intrinsic + depositGas + res.GasUsed

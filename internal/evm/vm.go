@@ -6,6 +6,7 @@ import (
 	"math/big"
 
 	"agnopol/internal/chain"
+	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
 )
 
@@ -42,6 +43,10 @@ type Context struct {
 	BlockNumber uint64
 	// Timestamp is the block timestamp in seconds.
 	Timestamp uint64
+	// Profiler, when non-nil, receives every executed opcode with the
+	// gas it consumed (per-opcode gas attribution). The hot path pays a
+	// single nil check when unset.
+	Profiler obs.Profiler
 }
 
 // Result is the outcome of an execution.
@@ -73,6 +78,32 @@ type interpreter struct {
 	origSlots map[chain.Address]map[chain.Hash32]chain.Hash32
 
 	jumpdests map[uint64]bool
+
+	// Opcode profiling state: the opcode whose gas consumption is being
+	// accumulated, and the gas level when it started executing. Only
+	// touched when ctx.Profiler != nil.
+	profOp    Opcode
+	profStart uint64
+	profArmed bool
+}
+
+// profTick attributes the previous opcode's gas (its full consumption is
+// known only once the next opcode is reached) and arms accounting for op.
+func (in *interpreter) profTick(op Opcode) {
+	if in.profArmed {
+		in.ctx.Profiler.Op(in.profOp.String(), in.profStart-in.gas)
+	}
+	in.profArmed = true
+	in.profOp = op
+	in.profStart = in.gas
+}
+
+// profFlush attributes the final opcode before execution returns.
+func (in *interpreter) profFlush() {
+	if in.profArmed {
+		in.ctx.Profiler.Op(in.profOp.String(), in.profStart-in.gas)
+		in.profArmed = false
+	}
 }
 
 // Execute runs code in the given context and returns the result. Gas
@@ -246,11 +277,15 @@ func (in *interpreter) originalSlot(addr chain.Address, key chain.Hash32) chain.
 func (in *interpreter) run() Result {
 	fail := func(err error) Result {
 		// Exceptional halt: consume everything.
+		in.profFlush()
 		return Result{GasUsed: in.ctx.GasLimit, Err: err}
 	}
 	var pc uint64
 	for pc < uint64(len(in.code)) {
 		op := Opcode(in.code[pc])
+		if in.ctx.Profiler != nil {
+			in.profTick(op)
+		}
 
 		if g, ok := constGas[op]; ok {
 			if !in.useGas(g) {
@@ -305,6 +340,7 @@ func (in *interpreter) run() Result {
 
 		switch op {
 		case STOP:
+			in.profFlush()
 			return Result{GasUsed: in.ctx.GasLimit - in.gas, Refund: in.refund}
 
 		case ADD, MUL, SUB, DIV, MOD, AND, OR, XOR, LT, GT, EQ, SHL, SHR, BYTE:
@@ -667,6 +703,7 @@ func (in *interpreter) run() Result {
 				return fail(ErrOutOfGas)
 			}
 			data := append([]byte(nil), in.memSlice(off, size)...)
+			in.profFlush()
 			res := Result{
 				GasUsed:    in.ctx.GasLimit - in.gas,
 				Refund:     in.refund,
@@ -684,5 +721,6 @@ func (in *interpreter) run() Result {
 		}
 		pc++
 	}
+	in.profFlush()
 	return Result{GasUsed: in.ctx.GasLimit - in.gas, Refund: in.refund}
 }

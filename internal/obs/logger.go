@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Level is a log severity.
+type Level int
+
+// Severities, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level the way the log lines do.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Logger is a leveled key=value structured logger backed by an
+// io.Writer. The nil *Logger is the no-op logger and is the default
+// everywhere, so the benchmarks never pay for log formatting.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+}
+
+// NewLogger creates a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min}
+}
+
+// Enabled reports whether a line at the given level would be written.
+// Call it before building expensive key/value lists on hot paths.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.min
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString("level=")
+	sb.WriteString(level.String())
+	sb.WriteString(" msg=")
+	sb.WriteString(quoteIfNeeded(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		sb.WriteByte(' ')
+		fmt.Fprintf(&sb, "%v", kv[i])
+		sb.WriteByte('=')
+		sb.WriteString(quoteIfNeeded(fmt.Sprintf("%v", kv[i+1])))
+	}
+	if len(kv)%2 == 1 {
+		sb.WriteString(" !MISSING_VALUE=")
+		sb.WriteString(quoteIfNeeded(fmt.Sprintf("%v", kv[len(kv)-1])))
+	}
+	sb.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, sb.String())
+	l.mu.Unlock()
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

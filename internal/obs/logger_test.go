@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoggerFormatAndLevels(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelInfo)
+	l.Debug("dropped", "k", 1) // below min level
+	l.Info("block produced", "chain", "goerli", "number", 7)
+	l.Warn("fee spike", "factor", 2.5)
+	l.Error("rejected", "reason", "bad nonce")
+
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (debug filtered): %q", len(lines), sb.String())
+	}
+	if want := `level=info msg="block produced" chain=goerli number=7`; lines[0] != want {
+		t.Errorf("line 0 = %q, want %q", lines[0], want)
+	}
+	if want := `level=warn msg="fee spike" factor=2.5`; lines[1] != want {
+		t.Errorf("line 1 = %q, want %q", lines[1], want)
+	}
+	if want := `level=error msg=rejected reason="bad nonce"`; lines[2] != want {
+		t.Errorf("line 2 = %q, want %q", lines[2], want)
+	}
+}
+
+func TestNilLoggerIsNoOp(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger must report disabled at every level")
+	}
+}
+
+func TestLoggerOddKeyValues(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelDebug)
+	l.Debug("odd", "dangling")
+	if !strings.Contains(sb.String(), "!MISSING_VALUE=dangling") {
+		t.Errorf("odd kv list not flagged: %q", sb.String())
+	}
+}

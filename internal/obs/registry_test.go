@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", L("chain", "goerli"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("reqs_total", L("chain", "goerli")); same != c {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if other := r.Counter("reqs_total", L("chain", "polygon")); other == c {
+		t.Fatal("different labels must return a different counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(1)
+	if txt := r.Text(); txt != "" {
+		t.Fatalf("nil registry text = %q, want empty", txt)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var c *Counter
+	c.Inc() // must not panic
+	var g *Gauge
+	g.Add(1)
+	var h *Histogram
+	h.Observe(1)
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2.5, 5})
+	// Upper bounds are inclusive (Prometheus `le` semantics).
+	for _, v := range []float64{0.5, 1.0} { // both land in le=1
+		h.Observe(v)
+	}
+	h.Observe(1.0000001) // le=2.5
+	h.Observe(2.5)       // le=2.5
+	h.Observe(5.0)       // le=5
+	h.Observe(100)       // +Inf overflow
+
+	s := h.Snapshot()
+	wantCounts := []uint64{2, 2, 1, 1}
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if want := 0.5 + 1 + 1.0000001 + 2.5 + 5 + 100; s.Sum != want {
+		t.Errorf("sum = %v, want %v", s.Sum, want)
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("blocks_total", L("chain", "goerli")).Add(3)
+	r.Counter("blocks_total", L("chain", "algorand")).Add(7)
+	r.Gauge("base_fee_wei").Set(1.5e9)
+	h := r.Histogram("latency_seconds", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(30)
+
+	want := strings.Join([]string{
+		`# TYPE base_fee_wei gauge`,
+		`base_fee_wei 1.5e+09`,
+		`# TYPE blocks_total counter`,
+		`blocks_total{chain="algorand"} 7`,
+		`blocks_total{chain="goerli"} 3`,
+		`# TYPE latency_seconds histogram`,
+		`latency_seconds_bucket{le="1"} 1`,
+		`latency_seconds_bucket{le="5"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		`latency_seconds_sum 33.5`,
+		`latency_seconds_count 3`,
+	}, "\n") + "\n"
+	if got := r.Text(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	h := r.Histogram("lat", []float64{1})
+	c.Add(10)
+	h.Observe(0.5)
+	before := r.Snapshot()
+	c.Add(5)
+	h.Observe(2)
+	h.Observe(0.2)
+	after := r.Snapshot()
+
+	d := after.Diff(before)
+	if got := d.Counters["ops_total"]; got != 5 {
+		t.Errorf("diff counter = %d, want 5", got)
+	}
+	dh := d.Histograms["lat"]
+	if dh.Count != 2 {
+		t.Errorf("diff hist count = %d, want 2", dh.Count)
+	}
+	if dh.Counts[0] != 1 || dh.Counts[1] != 1 {
+		t.Errorf("diff hist buckets = %v, want [1 1]", dh.Counts)
+	}
+	if dh.Sum != 2.2 {
+		t.Errorf("diff hist sum = %v, want 2.2", dh.Sum)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// metric creation, counter increments, gauge updates and histogram
+// observations — and checks exact totals. Run under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared_total").Inc()
+				r.Counter("mine_total", L("g", string(rune('a'+id)))).Inc()
+				r.Gauge("depth").Set(float64(i))
+				r.Gauge("acc").Add(1)
+				r.Histogram("lat", []float64{1, 10}).Observe(float64(i % 20))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					_ = r.Text()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Counter("shared_total").Value(); got != goroutines*perG {
+		t.Errorf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("acc").Value(); got != goroutines*perG {
+		t.Errorf("gauge acc = %v, want %d", got, goroutines*perG)
+	}
+	s := r.Histogram("lat", nil).Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", s.Count, goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		if got := r.Counter("mine_total", L("g", string(rune('a'+g)))).Value(); got != perG {
+			t.Errorf("per-goroutine counter %d = %d, want %d", g, got, perG)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSpanParentChildNesting(t *testing.T) {
+	tr := NewTracer(64)
+	root := tr.Start("pipeline")
+	child := tr.Start("lookup") // implicit child of root
+	grand := tr.Start("hop")    // implicit child of lookup
+	grand.End()
+	sibling := tr.Start("hop") // back under lookup after grand ended
+	sibling.End()
+	child.End()
+	after := tr.Start("submit") // under root again
+	after.End()
+	root.End()
+
+	if child.ParentID != root.ID {
+		t.Errorf("lookup parent = %d, want root %d", child.ParentID, root.ID)
+	}
+	if grand.ParentID != child.ID {
+		t.Errorf("hop parent = %d, want lookup %d", grand.ParentID, child.ID)
+	}
+	if sibling.ParentID != child.ID {
+		t.Errorf("second hop parent = %d, want lookup %d", sibling.ParentID, child.ID)
+	}
+	if after.ParentID != root.ID {
+		t.Errorf("submit parent = %d, want root %d", after.ParentID, root.ID)
+	}
+	if root.ParentID != 0 {
+		t.Errorf("root parent = %d, want 0", root.ParentID)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("completed spans = %d, want 5", len(spans))
+	}
+	// Completion order: grand, sibling, child, after, root.
+	if spans[len(spans)-1] != root {
+		t.Error("root must complete last")
+	}
+	if root.Duration < child.Duration {
+		t.Error("root must last at least as long as its child")
+	}
+}
+
+func TestSpanExplicitChildAndDoubleEnd(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("root")
+	c := root.StartChild("worker", L("i", "0"))
+	if c.ParentID != root.ID {
+		t.Fatalf("explicit child parent = %d, want %d", c.ParentID, root.ID)
+	}
+	d1 := c.End()
+	d2 := c.End() // second End must be a no-op returning the same duration
+	if d1 != d2 {
+		t.Errorf("double End changed duration: %v != %v", d1, d2)
+	}
+	root.End()
+	if got := len(tr.Spans()); got != 2 {
+		t.Errorf("spans = %d, want 2 (double End must not re-record)", got)
+	}
+}
+
+func TestTracerRingBuffer(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Start("s").End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring kept %d spans, want 3", len(spans))
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+	// Oldest first: ids 3,4,5 survive.
+	for i, want := range []uint64{3, 4, 5} {
+		if spans[i].ID != want {
+			t.Errorf("span %d id = %d, want %d", i, spans[i].ID, want)
+		}
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	s.Label("k", "v")
+	if d := s.End(); d != 0 {
+		t.Errorf("nil span End = %v, want 0", d)
+	}
+	if c := s.StartChild("y"); c != nil {
+		t.Error("nil span StartChild must return nil")
+	}
+	if tr.Spans() != nil {
+		t.Error("nil tracer Spans must be nil")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("pol.submit_proof", L("olc", "7H369F4W+Q8"))
+	lookup := tr.Start("pol.discover")
+	lookup.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(out.TraceEvents))
+	}
+	// Sorted by start time: root first.
+	ev0, ev1 := out.TraceEvents[0], out.TraceEvents[1]
+	if ev0.Name != "pol.submit_proof" || ev1.Name != "pol.discover" {
+		t.Errorf("event order: %s, %s", ev0.Name, ev1.Name)
+	}
+	if ev0.Ph != "X" || ev1.Ph != "X" {
+		t.Error("events must be complete events (ph=X)")
+	}
+	if ev0.Args["olc"] != "7H369F4W+Q8" {
+		t.Errorf("root label lost: %v", ev0.Args)
+	}
+	if ev1.Args["parent_id"] != ev0.Args["span_id"] {
+		t.Errorf("child parent_id %q != root span_id %q", ev1.Args["parent_id"], ev0.Args["span_id"])
+	}
+	// The child must nest inside the root: ts within [root.ts, root.ts+dur].
+	if ev1.Ts < ev0.Ts || ev1.Ts+ev1.Dur > ev0.Ts+ev0.Dur+1 /* µs rounding */ {
+		t.Errorf("child [%v,%v] not nested in root [%v,%v]", ev1.Ts, ev1.Ts+ev1.Dur, ev0.Ts, ev0.Ts+ev0.Dur)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"agnopol/internal/core"
 	"agnopol/internal/eth"
 	"agnopol/internal/geo"
+	"agnopol/internal/obs"
 	"agnopol/internal/olc"
 	"agnopol/internal/stats"
 )
@@ -100,6 +101,14 @@ func rewardFor(c core.Connector) uint64 {
 // only the deploy and attach phases … the verify operation is similar to
 // the attachment").
 func Run(name ChainName, users int, seed uint64) (*Result, error) {
+	return RunObserved(name, users, seed, nil)
+}
+
+// RunObserved is Run with an observability bundle attached: the
+// connector's chain and the core system are instrumented, and every user
+// interaction runs under a sim.user span inside a sim.experiment span.
+// A nil bundle reproduces Run exactly.
+func RunObserved(name ChainName, users int, seed uint64, o *obs.Obs) (*Result, error) {
 	if users%UsersPerContract != 0 {
 		return nil, fmt.Errorf("sim: users=%d must be a multiple of %d", users, UsersPerContract)
 	}
@@ -115,6 +124,14 @@ func Run(name ChainName, users int, seed uint64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	InstrumentConnector(conn, o)
+	sys.Instrument(o)
+	var exSp *obs.Span
+	if o != nil {
+		exSp = o.Tracer.Start("sim.experiment",
+			obs.L("chain", string(name)), obs.L("users", fmt.Sprint(users)))
+	}
+	defer exSp.End()
 
 	// One witness per location, standing at the cell center.
 	witnesses := make([]*core.Witness, contracts)
@@ -169,6 +186,10 @@ func Run(name ChainName, users int, seed uint64) (*Result, error) {
 	for seq, u := range order {
 		g := u / UsersPerContract
 		p := provers[u]
+		var uSp *obs.Span
+		if o != nil {
+			uSp = o.Tracer.Start("sim.user", obs.L("user", fmt.Sprint(seq)))
+		}
 		cid, err := p.UploadReport(core.Report{
 			Title:       fmt.Sprintf("report-%d", u),
 			Description: "environment issue report",
@@ -186,6 +207,7 @@ func Run(name ChainName, users int, seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: user %d submit: %w", u, err)
 		}
+		uSp.End()
 		m := Measurement{
 			User:     seq,
 			OLC:      proof.Request.OLC,

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"fmt"
+
+	"agnopol/internal/core"
+	"agnopol/internal/obs"
+)
+
+// InstrumentConnector attaches an observability bundle to the connector's
+// underlying chain: metrics and logging for both families, plus the
+// matching VM opcode profiler (EVM gas, AVM budget). A nil bundle or an
+// unknown connector type is a no-op.
+func InstrumentConnector(conn core.Connector, o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	switch c := conn.(type) {
+	case *core.EVMConnector:
+		c.Chain().Instrument(o.Registry, o.EVMProfile, o.Logger)
+	case *core.AlgorandConnector:
+		c.Chain().Instrument(o.Registry, o.AVMProfile, o.Logger)
+	}
+}
+
+// RunFigureObserved is RunFigure with an observability bundle threaded
+// through the underlying run.
+func RunFigureObserved(spec FigureSpec, seed uint64, o *obs.Obs) (*Figure, *Result, error) {
+	r, err := RunObserved(spec.Chain, spec.Users, seed, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return FigureFromResult(spec.ID, r), r, nil
+}
+
+// RunTablesObserved is RunTables with an observability bundle threaded
+// through every underlying run. Chain metrics accumulate in the shared
+// registry, distinguished by their chain label.
+func RunTablesObserved(seed uint64, o *obs.Obs) ([]*Table, map[int]map[ChainName]*Result, error) {
+	byUsers := map[int]map[ChainName]*Result{16: {}, 32: {}}
+	for _, users := range []int{16, 32} {
+		for _, c := range AllChains {
+			r, err := RunObserved(c, users, seed, o)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sim: %s/%d users: %w", c, users, err)
+			}
+			byUsers[users][c] = r
+		}
+	}
+	tables := []*Table{
+		BuildTable("deploy", 16, byUsers[16]),
+		BuildTable("deploy", 32, byUsers[32]),
+		BuildTable("attach", 16, byUsers[16]),
+		BuildTable("attach", 32, byUsers[32]),
+	}
+	return tables, byUsers, nil
+}

@@ -165,21 +165,5 @@ func RunFigure(spec FigureSpec, seed uint64) (*Figure, *Result, error) {
 // order (deploy16, deploy32, attach16, attach32). The same runs feed the
 // deploy and attach tables, as in the thesis.
 func RunTables(seed uint64) ([]*Table, map[int]map[ChainName]*Result, error) {
-	byUsers := map[int]map[ChainName]*Result{16: {}, 32: {}}
-	for _, users := range []int{16, 32} {
-		for _, c := range AllChains {
-			r, err := Run(c, users, seed)
-			if err != nil {
-				return nil, nil, fmt.Errorf("sim: %s/%d users: %w", c, users, err)
-			}
-			byUsers[users][c] = r
-		}
-	}
-	tables := []*Table{
-		BuildTable("deploy", 16, byUsers[16]),
-		BuildTable("deploy", 32, byUsers[32]),
-		BuildTable("attach", 16, byUsers[16]),
-		BuildTable("attach", 32, byUsers[32]),
-	}
-	return tables, byUsers, nil
+	return RunTablesObserved(seed, nil)
 }

@@ -20,17 +20,21 @@ type Summary struct {
 	Sum    float64
 }
 
-// Summarize computes the aggregate of a sample.
+// Summarize computes the aggregate of a sample. Non-finite values (NaN,
+// ±Inf) are skipped so one corrupt measurement cannot poison a whole
+// table; N counts only the finite samples. An empty or all-skipped input
+// yields the zero Summary, and a single sample has StdDev 0.
 func Summarize(xs []float64) Summary {
-	s := Summary{N: len(xs)}
-	if len(xs) == 0 {
-		return s
-	}
+	var s Summary
 	s.Min = math.Inf(1)
 	s.Max = math.Inf(-1)
 	// Welford's online algorithm keeps the variance numerically stable.
 	mean, m2 := 0.0, 0.0
-	for i, x := range xs {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		s.N++
 		s.Sum += x
 		if x < s.Min {
 			s.Min = x
@@ -39,12 +43,20 @@ func Summarize(xs []float64) Summary {
 			s.Max = x
 		}
 		delta := x - mean
-		mean += delta / float64(i+1)
+		mean += delta / float64(s.N)
 		m2 += delta * (x - mean)
 	}
+	if s.N == 0 {
+		return Summary{}
+	}
 	s.Mean = mean
-	if len(xs) > 1 {
-		s.StdDev = math.Sqrt(m2 / float64(len(xs)-1))
+	if s.N > 1 {
+		// Floating-point cancellation can drive m2 epsilon-negative;
+		// clamp so StdDev never becomes NaN.
+		if m2 < 0 {
+			m2 = 0
+		}
+		s.StdDev = math.Sqrt(m2 / float64(s.N-1))
 	}
 	return s
 }

@@ -20,12 +20,32 @@ func TestSummarizeKnownValues(t *testing.T) {
 }
 
 func TestSummarizeEdgeCases(t *testing.T) {
-	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.Min != 0 || s.Max != 0 || s.StdDev != 0 {
 		t.Fatalf("empty summary = %+v", s)
 	}
 	s := Summarize([]float64{42})
 	if s.Mean != 42 || s.StdDev != 0 || s.Min != 42 || s.Max != 42 {
 		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeSkipsNonFinite(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), 1, math.Inf(1), 3, math.Inf(-1)})
+	if s.N != 2 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("summary with non-finite values = %+v", s)
+	}
+	all := Summarize([]float64{math.NaN(), math.Inf(1)})
+	if all.N != 0 || all.Min != 0 || all.Max != 0 || all.Mean != 0 {
+		t.Fatalf("all-non-finite summary = %+v, want zero", all)
+	}
+}
+
+func TestSummarizeStdDevNeverNaN(t *testing.T) {
+	// Identical large values make Welford's m2 vulnerable to epsilon-scale
+	// negative rounding; StdDev must stay a real number.
+	s := Summarize([]float64{1e15 + 0.1, 1e15 + 0.1, 1e15 + 0.1})
+	if math.IsNaN(s.StdDev) || s.StdDev < 0 {
+		t.Fatalf("stddev = %v", s.StdDev)
 	}
 }
 
