@@ -117,6 +117,29 @@ func benchTable(b *testing.B, op string, users int) {
 	}
 }
 
+// benchMatrix measures the experiment-matrix engine over the full Table
+// 5.1–5.4 grid. The sequential/parallel pair gives the wall-clock
+// speedup `polbench -matrix` records into BENCH_parallel.json.
+func benchMatrix(b *testing.B, parallel int) {
+	b.Helper()
+	var res *sim.MatrixResult
+	for i := 0; i < b.N; i++ {
+		r, err := sim.RunMatrix(sim.MatrixSpec{Seed: uint64(0xab1e + i), Parallel: parallel}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Elapsed.Seconds(), "wall_s")
+	b.ReportMetric(float64(len(res.Runs)), "cells")
+}
+
+// BenchmarkMatrix_Sequential is the single-worker baseline.
+func BenchmarkMatrix_Sequential(b *testing.B) { benchMatrix(b, 1) }
+
+// BenchmarkMatrix_Parallel fans the grid out over GOMAXPROCS workers.
+func BenchmarkMatrix_Parallel(b *testing.B) { benchMatrix(b, 0) }
+
 // BenchmarkTable5_1_Deploy16 reproduces Table 5.1.
 func BenchmarkTable5_1_Deploy16(b *testing.B) { benchTable(b, "deploy", 16) }
 

@@ -8,6 +8,7 @@
 //	polbench -fig 5.2 -metrics            # dump the metrics registry
 //	polbench -fig 5.2 -trace trace.json   # chrome://tracing span export
 //	polbench -tables -json                # machine-readable results
+//	polbench -matrix -parallel 4 -reps 5  # parallel cross-seed matrix run
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"strings"
 
 	"agnopol/internal/core"
@@ -33,9 +36,13 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "dump the metrics registry (Prometheus text format) after the runs")
 		tracePath = flag.String("trace", "", "write a chrome://tracing JSON export of the runs to this file")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results instead of tables and charts")
+		matrix    = flag.Bool("matrix", false, "run the Table 5.1–5.4 grid through the parallel matrix engine")
+		parallel  = flag.Int("parallel", 0, "matrix worker count (0 = GOMAXPROCS)")
+		reps      = flag.Int("reps", 1, "seed-varied repetitions per matrix cell")
+		benchOut  = flag.String("benchout", "BENCH_parallel.json", "where -matrix writes the sequential-vs-parallel speedup record")
 	)
 	flag.Parse()
-	if !*tables && !*figures && !*analysis && *fig == "" {
+	if !*tables && !*figures && !*analysis && *fig == "" && !*matrix {
 		*tables, *figures, *analysis = true, true, true
 	}
 
@@ -74,6 +81,12 @@ func main() {
 	if *fig == "" && *figures {
 		for _, spec := range sim.FigureSpecs {
 			experiments = append(experiments, runFigure(spec, *seed, o, *jsonOut))
+		}
+	}
+
+	if *matrix {
+		if err := runMatrixMode(*seed, *reps, *parallel, *benchOut, o, *jsonOut); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -173,6 +186,110 @@ func runFigure(spec sim.FigureSpec, seed uint64, o *obs.Obs, jsonOut bool) exper
 		fmt.Println(f)
 	}
 	return resultJSON(spec.ID, r)
+}
+
+// cellSummaryJSON is one cross-seed aggregate of the speedup record.
+type cellSummaryJSON struct {
+	Chain          string  `json:"chain"`
+	Users          int     `json:"users"`
+	Reps           int     `json:"reps"`
+	DeployMean     float64 `json:"deploy_mean_seconds"`
+	DeployStdDev   float64 `json:"deploy_stddev_seconds"`
+	DeployMin      float64 `json:"deploy_min_seconds"`
+	DeployMax      float64 `json:"deploy_max_seconds"`
+	AttachMean     float64 `json:"attach_mean_seconds"`
+	AttachStdDev   float64 `json:"attach_stddev_seconds"`
+	AttachMin      float64 `json:"attach_min_seconds"`
+	AttachMax      float64 `json:"attach_max_seconds"`
+	DeployFeesEuro float64 `json:"deploy_fees_euro"`
+	AttachFeesEuro float64 `json:"attach_fees_euro"`
+}
+
+// benchParallelJSON is the machine-readable BENCH_parallel.json record:
+// sequential vs parallel wall time over the identical grid, plus the
+// cross-seed summaries (taken from the parallel run — the determinism
+// check asserts the sequential ones are equal).
+type benchParallelJSON struct {
+	Grid              string            `json:"grid"`
+	Cells             int               `json:"cells"`
+	Reps              int               `json:"reps"`
+	RunsTotal         int               `json:"runs_total"`
+	Seed              uint64            `json:"seed"`
+	GOMAXPROCS        int               `json:"gomaxprocs"`
+	NumCPU            int               `json:"num_cpu"`
+	Parallel          int               `json:"parallel"`
+	SequentialSeconds float64           `json:"sequential_seconds"`
+	ParallelSeconds   float64           `json:"parallel_seconds"`
+	Speedup           float64           `json:"speedup"`
+	Deterministic     bool              `json:"deterministic"`
+	Summaries         []cellSummaryJSON `json:"summaries"`
+}
+
+// runMatrixMode fans the Table 5.1–5.4 grid out over the matrix engine:
+// first sequentially (the baseline), then with the requested worker
+// count, checks the two produce identical cross-seed summaries, prints
+// the aggregate table and writes the speedup record.
+func runMatrixMode(seed uint64, reps, parallel int, benchOut string, o *obs.Obs, jsonOut bool) error {
+	spec := sim.MatrixSpec{Reps: reps, Seed: seed, Parallel: 1}
+	seq, err := sim.RunMatrix(spec, o)
+	if err != nil {
+		return err
+	}
+	spec.Parallel = parallel
+	par, err := sim.RunMatrix(spec, o)
+	if err != nil {
+		return err
+	}
+	deterministic := reflect.DeepEqual(seq.Summaries, par.Summaries)
+	if !deterministic {
+		return fmt.Errorf("matrix is not deterministic: parallel=%d summaries diverge from the sequential baseline", par.Parallel)
+	}
+	if !jsonOut {
+		fmt.Println(par)
+		fmt.Printf("speedup: sequential %v, parallel(%d) %v — %.2fx\n\n",
+			seq.Elapsed, par.Parallel, par.Elapsed,
+			seq.Elapsed.Seconds()/par.Elapsed.Seconds())
+	}
+
+	rec := benchParallelJSON{
+		Grid:              "tables-5.1-5.4",
+		Cells:             len(par.Cells),
+		Reps:              par.Reps,
+		RunsTotal:         len(par.Runs),
+		Seed:              seed,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		NumCPU:            runtime.NumCPU(),
+		Parallel:          par.Parallel,
+		SequentialSeconds: seq.Elapsed.Seconds(),
+		ParallelSeconds:   par.Elapsed.Seconds(),
+		Speedup:           seq.Elapsed.Seconds() / par.Elapsed.Seconds(),
+		Deterministic:     deterministic,
+	}
+	for _, s := range par.Summaries {
+		rec.Summaries = append(rec.Summaries, cellSummaryJSON{
+			Chain: string(s.Cell.Chain), Users: s.Cell.Users, Reps: s.Reps,
+			DeployMean: s.Deploy.Mean, DeployStdDev: s.Deploy.StdDev,
+			DeployMin: s.Deploy.Min, DeployMax: s.Deploy.Max,
+			AttachMean: s.Attach.Mean, AttachStdDev: s.Attach.StdDev,
+			AttachMin: s.Attach.Min, AttachMax: s.Attach.Max,
+			DeployFeesEuro: s.DeployFeesEuro, AttachFeesEuro: s.AttachFeesEuro,
+		})
+	}
+	f, err := os.Create(benchOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "polbench: speedup record written to %s\n", benchOut)
+	return nil
 }
 
 func fatal(err error) {

@@ -36,6 +36,12 @@ var hopBuckets = []float64{0, 1, 2, 3, 4, 5, 6}
 // uninstrumented; every hook reduces to a nil check.
 type sysObs struct {
 	o *obs.Obs
+	// scope is the system's explicit span stack. A System runs one proof
+	// pipeline at a time, but many instrumented Systems may run
+	// concurrently against one shared tracer (sim.RunMatrix); parenting
+	// through a per-system scope instead of the tracer's process-wide
+	// implicit stack keeps each run's span tree correctly nested.
+	scope *obs.Scope
 
 	phases            map[string]*obs.Histogram
 	chainOps          map[string]*obs.Histogram
@@ -58,6 +64,7 @@ func (s *System) Instrument(o *obs.Obs) {
 	reg := o.Registry
 	so := &sysObs{
 		o:        o,
+		scope:    o.Tracer.NewScope(nil),
 		phases:   make(map[string]*obs.Histogram),
 		chainOps: make(map[string]*obs.Histogram),
 	}
@@ -92,12 +99,24 @@ func (s *System) Obs() *obs.Obs {
 	return s.obs.o
 }
 
-// span opens a trace span; nil-safe when uninstrumented.
+// TraceScope returns the explicit span stack the system's pol.* spans
+// record under, or nil when uninstrumented. Harnesses that drive the
+// system open their own spans on the same scope, so the pipeline spans
+// nest under the harness's per-run and per-user spans.
+func (s *System) TraceScope() *obs.Scope {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.scope
+}
+
+// span opens a trace span on the system's scope; nil-safe when
+// uninstrumented.
 func (s *System) span(name string, labels ...obs.Label) *obs.Span {
 	if s.obs == nil {
 		return nil
 	}
-	return s.obs.o.Tracer.Start(name, labels...)
+	return s.obs.scope.Start(name, labels...)
 }
 
 // endPhase ends a span and records its duration in the phase histogram.

@@ -135,6 +135,59 @@ func TestSnapshotDiff(t *testing.T) {
 	}
 }
 
+// TestRegistryConcurrentLabelSets checks series identity under
+// concurrent creators — what RunMatrix workers do when every cell
+// registers the same families: the same label set must resolve to the
+// same instrument no matter which goroutine created it first or in what
+// key order the labels were passed, and distinct label sets must stay
+// distinct. Run under -race.
+func TestRegistryConcurrentLabelSets(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perW = 500
+	chains := []string{"goerli", "polygon", "algorand"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				chain := chains[i%len(chains)]
+				// Alternate label order: rendering sorts keys, so both
+				// must hit the same series.
+				if i%2 == 0 {
+					r.Counter("ops_total", L("chain", chain), L("op", "attach")).Inc()
+				} else {
+					r.Counter("ops_total", L("op", "attach"), L("chain", chain)).Inc()
+				}
+				r.Histogram("lat_seconds", []float64{1, 10}, L("chain", chain)).Observe(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var totalOps uint64
+	var totalLat uint64
+	for _, chain := range chains {
+		totalOps += r.Counter("ops_total", L("chain", chain), L("op", "attach")).Value()
+		totalLat += r.Histogram("lat_seconds", nil, L("chain", chain)).Snapshot().Count
+	}
+	if want := uint64(workers * perW); totalOps != want {
+		t.Errorf("ops_total across label sets = %d, want %d (split series?)", totalOps, want)
+	}
+	if want := uint64(workers * perW); totalLat != want {
+		t.Errorf("lat_seconds count across label sets = %d, want %d", totalLat, want)
+	}
+	// Exactly one exposition line per label set, labels sorted.
+	text := r.Text()
+	for _, chain := range chains {
+		id := `ops_total{chain="` + chain + `",op="attach"}`
+		if got := strings.Count(text, id+" "); got != 1 {
+			t.Errorf("exposition has %d lines for %s, want 1", got, id)
+		}
+	}
+}
+
 // TestRegistryConcurrency hammers one registry from many goroutines —
 // metric creation, counter increments, gauge updates and histogram
 // observations — and checks exact totals. Run under -race.

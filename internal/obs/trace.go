@@ -24,17 +24,19 @@ type Span struct {
 
 	t      *Tracer
 	parent *Span
+	scope  *Scope // non-nil when the span was opened through a Scope
 	ended  bool
 }
 
 // Tracer records spans into a fixed-capacity ring buffer: when full, the
 // oldest completed spans are overwritten (and counted as dropped).
 //
-// Start/End maintain an implicit current-span stack, so sequential code
-// gets parent/child nesting for free: a Start between another span's
-// Start and End becomes its child. The PoL pipeline is sequential, which
-// is exactly this shape; concurrent tracing should use Span.StartChild
-// with explicit parents.
+// Start/End maintain an implicit current-span stack, so simple sequential
+// code gets parent/child nesting for free: a Start between another span's
+// Start and End becomes its child. That stack is process-wide, so code
+// that may run concurrently — the PoL pipeline under sim.RunMatrix —
+// must parent explicitly instead: per-strand stacks via NewScope, or
+// one-off children via Span.StartChild.
 type Tracer struct {
 	mu       sync.Mutex
 	capacity int
@@ -76,6 +78,55 @@ func (t *Tracer) Start(name string, labels ...Label) *Span {
 		s.ParentID = t.cur.ID
 	}
 	t.cur = s
+	return s
+}
+
+// Scope is an explicit current-span stack for one logical execution
+// strand (one experiment run, one goroutine). The tracer's implicit stack
+// is process-wide, so two concurrent strands pushing through it mis-parent
+// each other's spans by design; a Scope carries its own stack instead, and
+// any number of scopes can record into the same tracer at once with every
+// span tree staying correctly nested. A nil *Scope is a no-op, like every
+// other instrument.
+type Scope struct {
+	t   *Tracer
+	cur *Span
+}
+
+// NewScope creates an explicit span stack recording into t. A non-nil
+// root becomes the parent of the scope's top-level spans (the stack never
+// pops past it); a nil root makes them trace roots.
+func (t *Tracer) NewScope(root *Span) *Scope {
+	if t == nil {
+		return nil
+	}
+	return &Scope{t: t, cur: root}
+}
+
+// Start opens a span as a child of the scope's current span and makes it
+// the scope's current. Unlike Tracer.Start it never reads or writes the
+// tracer's implicit stack, so concurrent scopes cannot mis-parent.
+func (sc *Scope) Start(name string, labels ...Label) *Span {
+	if sc == nil || sc.t == nil {
+		return nil
+	}
+	t := sc.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	s := &Span{
+		ID:     t.seq,
+		Name:   name,
+		Labels: labels,
+		Start:  time.Since(t.epoch),
+		t:      t,
+		parent: sc.cur,
+		scope:  sc,
+	}
+	if sc.cur != nil {
+		s.ParentID = sc.cur.ID
+	}
+	sc.cur = s
 	return s
 }
 
@@ -127,6 +178,9 @@ func (s *Span) End() time.Duration {
 	s.Duration = time.Since(t.epoch) - s.Start
 	if t.cur == s {
 		t.cur = s.parent
+	}
+	if s.scope != nil && s.scope.cur == s {
+		s.scope.cur = s.parent
 	}
 	if len(t.done) < t.capacity {
 		t.done = append(t.done, s)

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"sync"
 	"testing"
 )
 
@@ -63,6 +64,139 @@ func TestSpanExplicitChildAndDoubleEnd(t *testing.T) {
 	root.End()
 	if got := len(tr.Spans()); got != 2 {
 		t.Errorf("spans = %d, want 2 (double End must not re-record)", got)
+	}
+}
+
+// TestScopeNesting checks a Scope reproduces the implicit stack's
+// nesting behaviour without ever touching the tracer's current span.
+func TestScopeNesting(t *testing.T) {
+	tr := NewTracer(64)
+	outer := tr.Start("outer") // implicit stack, must stay untouched
+
+	sc := tr.NewScope(nil)
+	root := sc.Start("pipeline")
+	child := sc.Start("lookup")
+	grand := sc.Start("hop")
+	grand.End()
+	sibling := sc.Start("hop")
+	sibling.End()
+	child.End()
+	after := sc.Start("submit")
+	after.End()
+	root.End()
+
+	if root.ParentID != 0 {
+		t.Errorf("scope root parent = %d, want 0 (scopes must ignore the implicit stack)", root.ParentID)
+	}
+	if child.ParentID != root.ID || grand.ParentID != child.ID ||
+		sibling.ParentID != child.ID || after.ParentID != root.ID {
+		t.Errorf("scope nesting broken: child→%d grand→%d sibling→%d after→%d",
+			child.ParentID, grand.ParentID, sibling.ParentID, after.ParentID)
+	}
+	// The implicit stack must still see outer as current.
+	implicitChild := tr.Start("implicit")
+	if implicitChild.ParentID != outer.ID {
+		t.Errorf("implicit span parent = %d, want outer %d", implicitChild.ParentID, outer.ID)
+	}
+	implicitChild.End()
+	outer.End()
+}
+
+// TestScopeRooted checks a scope created off an existing root parents its
+// top-level spans under it and never pops past it.
+func TestScopeRooted(t *testing.T) {
+	tr := NewTracer(64)
+	root := tr.NewScope(nil).Start("run")
+	sc := tr.NewScope(root)
+	a := sc.Start("a")
+	a.End()
+	b := sc.Start("b")
+	b.End()
+	root.End()
+	if a.ParentID != root.ID || b.ParentID != root.ID {
+		t.Errorf("rooted scope parents = %d,%d, want %d", a.ParentID, b.ParentID, root.ID)
+	}
+}
+
+// TestScopeConcurrentTrees runs several goroutines, each building its own
+// explicitly-parented span tree through its own Scope against one shared
+// tracer, and asserts no span ever parents into another goroutine's tree.
+// Exercised under -race by scripts/check.sh.
+func TestScopeConcurrentTrees(t *testing.T) {
+	tr := NewTracer(4096)
+	const trees = 8
+	const opsPerTree = 40
+	var wg sync.WaitGroup
+	for g := 0; g < trees; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tag := L("tree", itoa(uint64(g)))
+			sc := tr.NewScope(nil)
+			root := sc.Start("root", tag)
+			for i := 0; i < opsPerTree; i++ {
+				op := sc.Start("op", tag)
+				inner := sc.Start("inner", tag)
+				inner.End()
+				op.End()
+			}
+			root.End()
+		}(g)
+	}
+	wg.Wait()
+
+	spans := tr.Spans()
+	if want := trees * (2*opsPerTree + 1); len(spans) != want {
+		t.Fatalf("completed spans = %d, want %d", len(spans), want)
+	}
+	byID := make(map[uint64]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	treeOf := func(s *Span) string {
+		for _, l := range s.Labels {
+			if l.Key == "tree" {
+				return l.Value
+			}
+		}
+		t.Fatalf("span %d has no tree label", s.ID)
+		return ""
+	}
+	for _, s := range spans {
+		switch s.Name {
+		case "root":
+			if s.ParentID != 0 {
+				t.Errorf("root of tree %s has parent %d, want 0", treeOf(s), s.ParentID)
+			}
+		case "op", "inner":
+			parent, ok := byID[s.ParentID]
+			if !ok {
+				t.Errorf("span %d (%s) has unknown parent %d", s.ID, s.Name, s.ParentID)
+				continue
+			}
+			if treeOf(parent) != treeOf(s) {
+				t.Errorf("span %d leaked across trees: tree %s parented under tree %s",
+					s.ID, treeOf(s), treeOf(parent))
+			}
+			if s.Name == "inner" && parent.Name != "op" {
+				t.Errorf("inner span %d parented under %q, want op", s.ID, parent.Name)
+			}
+		}
+	}
+}
+
+func TestNilScope(t *testing.T) {
+	var tr *Tracer
+	if sc := tr.NewScope(nil); sc != nil {
+		t.Fatal("nil tracer must hand out a nil scope")
+	}
+	var sc *Scope
+	s := sc.Start("x")
+	if s != nil {
+		t.Fatal("nil scope must return nil span")
+	}
+	if d := s.End(); d != 0 {
+		t.Errorf("nil span End = %v, want 0", d)
 	}
 }
 

@@ -109,29 +109,62 @@ func Run(name ChainName, users int, seed uint64) (*Result, error) {
 // interaction runs under a sim.user span inside a sim.experiment span.
 // A nil bundle reproduces Run exactly.
 func RunObserved(name ChainName, users int, seed uint64, o *obs.Obs) (*Result, error) {
-	if users%UsersPerContract != 0 {
-		return nil, fmt.Errorf("sim: users=%d must be a multiple of %d", users, UsersPerContract)
+	conn, sys, err := newExperiment(name, users, seed, o)
+	if err != nil {
+		return nil, err
 	}
-	contracts := users / UsersPerContract
-	if contracts > len(Locations) {
-		return nil, fmt.Errorf("sim: %d contracts exceed the %d thesis locations", contracts, len(Locations))
+	exSp := sys.TraceScope().Start("sim.experiment",
+		obs.L("chain", string(name)), obs.L("users", fmt.Sprint(users)))
+	defer exSp.End()
+	res, _, err := collect(name, conn, sys, users)
+	return res, err
+}
+
+// newExperiment validates the grid parameters and builds one run's world:
+// a fresh connector and system, both instrumented when o is non-nil.
+// Every experiment owns its whole world — runs share nothing but the obs
+// bundle — which is what lets RunMatrix fan cells out over workers.
+func newExperiment(name ChainName, users int, seed uint64, o *obs.Obs) (core.Connector, *core.System, error) {
+	if users%UsersPerContract != 0 {
+		return nil, nil, fmt.Errorf("sim: users=%d must be a multiple of %d", users, UsersPerContract)
+	}
+	if contracts := users / UsersPerContract; contracts > len(Locations) {
+		return nil, nil, fmt.Errorf("sim: %d contracts exceed the %d thesis locations", contracts, len(Locations))
 	}
 	conn, err := NewConnector(name, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sys, err := core.NewSystem(seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	InstrumentConnector(conn, o)
 	sys.Instrument(o)
-	var exSp *obs.Span
-	if o != nil {
-		exSp = o.Tracer.Start("sim.experiment",
-			obs.L("chain", string(name)), obs.L("users", fmt.Sprint(users)))
-	}
-	defer exSp.End()
+	return conn, sys, nil
+}
+
+// staged pairs a prover with the contract its proof landed on, for phases
+// that run after collection (funding, verification).
+type staged struct {
+	prover *core.Prover
+	handle *core.Handle
+}
+
+// userFault, when set by a test, injects a failure at the start of a
+// user's interaction. It exists solely for the span-leak regression test.
+var userFault func(seq int) error
+
+// collect runs the shared per-user phase of the experiment: witnesses and
+// provers are created up front (§4.3: generation must not affect the
+// delay times), then every user uploads a report, obtains a location
+// proof and submits it on-chain — all deployers first, then the
+// attachers, sequentially, matching the thesis script. Run and
+// RunWithVerify both build on this one loop, so instrumentation covers
+// the verify flavour too. The returned staging slice is indexed by
+// prover, in creation order.
+func collect(name ChainName, conn core.Connector, sys *core.System, users int) (*Result, []staged, error) {
+	contracts := users / UsersPerContract
 
 	// One witness per location, standing at the cell center.
 	witnesses := make([]*core.Witness, contracts)
@@ -139,13 +172,13 @@ func RunObserved(name ChainName, users int, seed uint64, o *obs.Obs) (*Result, e
 	for i := 0; i < contracts; i++ {
 		area, err := olc.Decode(Locations[i])
 		if err != nil {
-			return nil, fmt.Errorf("sim: location %q: %w", Locations[i], err)
+			return nil, nil, fmt.Errorf("sim: location %q: %w", Locations[i], err)
 		}
 		lat, lng := area.Center()
 		centers[i] = geo.LatLng{Lat: lat, Lng: lng}
 		w, err := core.NewWitness(sys, centers[i])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		witnesses[i] = w
 	}
@@ -154,19 +187,15 @@ func RunObserved(name ChainName, users int, seed uint64, o *obs.Obs) (*Result, e
 	reward := rewardFor(conn)
 	var deployLat, attachLat []time.Duration
 
-	// Accounts are created before the simulation starts so wallet funding
-	// does not pollute the latency measurements (§4.3: provers are
-	// generated up front "ensuring that the generation process will not
-	// affect the delay times").
 	provers := make([]*core.Prover, users)
 	for u := 0; u < users; u++ {
 		g := u / UsersPerContract
 		p, err := core.NewProver(sys, centers[g])
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := p.EnsureAccount(conn, 10); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		provers[u] = p
 	}
@@ -183,34 +212,18 @@ func RunObserved(name ChainName, users int, seed uint64, o *obs.Obs) (*Result, e
 		}
 	}
 
+	stagedUsers := make([]staged, users)
 	for seq, u := range order {
 		g := u / UsersPerContract
 		p := provers[u]
-		var uSp *obs.Span
-		if o != nil {
-			uSp = o.Tracer.Start("sim.user", obs.L("user", fmt.Sprint(seq)))
-		}
-		cid, err := p.UploadReport(core.Report{
-			Title:       fmt.Sprintf("report-%d", u),
-			Description: "environment issue report",
-			Category:    "environment",
-		})
+		sub, olcCode, err := submitUser(sys.TraceScope(), conn, p, witnesses[g], seq, u, reward)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		acct, _ := p.Account(conn)
-		proof, err := p.RequestProof(witnesses[g], cid, acct.Address())
-		if err != nil {
-			return nil, fmt.Errorf("sim: user %d proof: %w", u, err)
-		}
-		sub, err := p.SubmitProof(conn, proof, reward)
-		if err != nil {
-			return nil, fmt.Errorf("sim: user %d submit: %w", u, err)
-		}
-		uSp.End()
+		stagedUsers[u] = staged{prover: p, handle: sub.Handle}
 		m := Measurement{
 			User:     seq,
-			OLC:      proof.Request.OLC,
+			OLC:      olcCode,
 			Deployed: sub.Deployed,
 			Latency:  sub.Op.Latency,
 			Fee:      sub.Op.Fee,
@@ -229,7 +242,49 @@ func RunObserved(name ChainName, users int, seed uint64, o *obs.Obs) (*Result, e
 	}
 	res.DeploySummary = stats.SummarizeDurations(deployLat)
 	res.AttachSummary = stats.SummarizeDurations(attachLat)
-	return res, nil
+	return res, stagedUsers, nil
+}
+
+// submitUser walks one prover through upload → proof request → on-chain
+// submission under a sim.user span. The span must end on every exit path:
+// an early error return that left it open would wedge the scope's stack
+// on a dead span, mis-parenting every later span and keeping this one out
+// of the ring buffer forever. Failures are recorded on the span as an
+// error label.
+func submitUser(sc *obs.Scope, conn core.Connector, p *core.Prover, w *core.Witness, seq, u int, reward uint64) (sub *core.SubmissionResult, olcCode string, err error) {
+	uSp := sc.Start("sim.user", obs.L("user", fmt.Sprint(seq)))
+	defer func() {
+		if err != nil {
+			uSp.Label("error", err.Error())
+		}
+		uSp.End()
+	}()
+	if userFault != nil {
+		if ferr := userFault(seq); ferr != nil {
+			return nil, "", fmt.Errorf("sim: user %d: %w", u, ferr)
+		}
+	}
+	cid, err := p.UploadReport(core.Report{
+		Title:       fmt.Sprintf("report-%d", u),
+		Description: "environment issue report",
+		Category:    "environment",
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	acct, ok := p.Account(conn)
+	if !ok {
+		return nil, "", fmt.Errorf("sim: user %d has no account on %s", u, conn.Name())
+	}
+	proof, err := p.RequestProof(w, cid, acct.Address())
+	if err != nil {
+		return nil, "", fmt.Errorf("sim: user %d proof: %w", u, err)
+	}
+	sub, err = p.SubmitProof(conn, proof, reward)
+	if err != nil {
+		return nil, "", fmt.Errorf("sim: user %d submit: %w", u, err)
+	}
+	return sub, proof.Request.OLC, nil
 }
 
 // VerifyResult extends Run with the verification phase the paper excluded
@@ -247,21 +302,21 @@ type VerifyResult struct {
 // every contract and validate every prover, measuring the verify-operation
 // latency.
 func RunWithVerify(name ChainName, users int, seed uint64) (*VerifyResult, error) {
-	if users%UsersPerContract != 0 {
-		return nil, fmt.Errorf("sim: users=%d must be a multiple of %d", users, UsersPerContract)
-	}
-	conn, err := NewConnector(name, seed)
+	return RunWithVerifyObserved(name, users, seed, nil)
+}
+
+// RunWithVerifyObserved is RunWithVerify with an observability bundle
+// attached. The collection phase is the exact code path RunObserved uses,
+// so the verify flavour gets the same spans and histograms, plus the
+// pol.verify instrumentation of the verification phase.
+func RunWithVerifyObserved(name ChainName, users int, seed uint64, o *obs.Obs) (*VerifyResult, error) {
+	conn, sys, err := newExperiment(name, users, seed, o)
 	if err != nil {
 		return nil, err
 	}
-	sys, err := core.NewSystem(seed)
-	if err != nil {
-		return nil, err
-	}
-	contracts := users / UsersPerContract
-	if contracts > len(Locations) {
-		return nil, fmt.Errorf("sim: %d contracts exceed the %d thesis locations", contracts, len(Locations))
-	}
+	exSp := sys.TraceScope().Start("sim.experiment", obs.L("chain", string(name)),
+		obs.L("users", fmt.Sprint(users)), obs.L("verify", "true"))
+	defer exSp.End()
 	verifier, err := core.NewVerifier(sys)
 	if err != nil {
 		return nil, err
@@ -269,67 +324,25 @@ func RunWithVerify(name ChainName, users int, seed uint64) (*VerifyResult, error
 	if _, err := verifier.EnsureAccount(conn, 100); err != nil {
 		return nil, err
 	}
-	reward := rewardFor(conn)
 
-	// Collection phase (same shape as Run, reusing its machinery would
-	// need the system handle, so the phase is repeated inline).
-	base := &Result{Chain: name, Users: users}
-	type staged struct {
-		prover *core.Prover
-		handle *core.Handle
+	base, stagedUsers, err := collect(name, conn, sys, users)
+	if err != nil {
+		return nil, err
 	}
-	var all []staged
-	var deployLat, attachLat []time.Duration
-	for g := 0; g < contracts; g++ {
-		area, err := olc.Decode(Locations[g])
-		if err != nil {
-			return nil, err
-		}
-		lat, lng := area.Center()
-		center := geo.LatLng{Lat: lat, Lng: lng}
-		w, err := core.NewWitness(sys, center)
-		if err != nil {
-			return nil, err
-		}
-		for u := 0; u < UsersPerContract; u++ {
-			p, err := core.NewProver(sys, center)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := p.EnsureAccount(conn, 10); err != nil {
-				return nil, err
-			}
-			cid, err := p.UploadReport(core.Report{Title: "r", Category: "environment"})
-			if err != nil {
-				return nil, err
-			}
-			acct, _ := p.Account(conn)
-			proof, err := p.RequestProof(w, cid, acct.Address())
-			if err != nil {
-				return nil, err
-			}
-			sub, err := p.SubmitProof(conn, proof, reward)
-			if err != nil {
-				return nil, err
-			}
-			if sub.Deployed {
-				deployLat = append(deployLat, sub.Op.Latency)
-			} else {
-				attachLat = append(attachLat, sub.Op.Latency)
-			}
-			all = append(all, staged{prover: p, handle: sub.Handle})
-		}
-		if _, err := verifier.FundContract(conn, all[len(all)-1].handle, uint64(UsersPerContract)*reward); err != nil {
+	reward := rewardFor(conn)
+	for g := 0; g < users/UsersPerContract; g++ {
+		// All provers of a group staged onto the same contract; fund it
+		// once, through the deployer's handle.
+		h := stagedUsers[g*UsersPerContract].handle
+		if _, err := verifier.FundContract(conn, h, uint64(UsersPerContract)*reward); err != nil {
 			return nil, err
 		}
 	}
-	base.DeploySummary = stats.SummarizeDurations(deployLat)
-	base.AttachSummary = stats.SummarizeDurations(attachLat)
 
 	// Verification phase.
 	out := &VerifyResult{Result: base}
 	var verifyLat []time.Duration
-	for _, s := range all {
+	for _, s := range stagedUsers {
 		ver, err := verifier.VerifyProver(conn, s.handle, s.prover.DID)
 		if err != nil {
 			return nil, err

@@ -61,6 +61,52 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Pool combines per-group summaries (one per repetition of an
+// experiment) into one aggregate over all underlying samples: the grand
+// mean — which, with equal-size groups, is exactly the mean of the group
+// means — the pooled standard deviation (within-group variance plus the
+// between-group spread of the means), and the min/max envelope over the
+// groups. Empty groups are skipped; pooling nothing yields the zero
+// Summary.
+func Pool(parts []Summary) Summary {
+	var out Summary
+	out.Min = math.Inf(1)
+	out.Max = math.Inf(-1)
+	for _, p := range parts {
+		if p.N == 0 {
+			continue
+		}
+		out.N += p.N
+		out.Sum += p.Sum
+		if p.Min < out.Min {
+			out.Min = p.Min
+		}
+		if p.Max > out.Max {
+			out.Max = p.Max
+		}
+	}
+	if out.N == 0 {
+		return Summary{}
+	}
+	out.Mean = out.Sum / float64(out.N)
+	if out.N > 1 {
+		m2 := 0.0
+		for _, p := range parts {
+			if p.N == 0 {
+				continue
+			}
+			d := p.Mean - out.Mean
+			m2 += float64(p.N-1)*p.StdDev*p.StdDev + float64(p.N)*d*d
+		}
+		// The same epsilon-negative clamp Summarize applies.
+		if m2 < 0 {
+			m2 = 0
+		}
+		out.StdDev = math.Sqrt(m2 / float64(out.N-1))
+	}
+	return out
+}
+
 // SummarizeDurations converts to seconds and summarizes.
 func SummarizeDurations(ds []time.Duration) Summary {
 	xs := make([]float64, len(ds))

@@ -68,6 +68,61 @@ func TestSummarizeInvariants(t *testing.T) {
 	}
 }
 
+// TestPoolMatchesFlatSummarize is the defining property of pooling: the
+// pooled aggregate of per-group summaries must equal (up to float error)
+// summarizing the concatenated samples directly.
+func TestPoolMatchesFlatSummarize(t *testing.T) {
+	groups := [][]float64{
+		{2, 4, 4, 4, 5, 5, 7, 9},
+		{10, 12, 11, 13, 9, 14, 10, 11},
+		{1, 1, 2, 3, 5, 8, 13, 21},
+	}
+	var flat []float64
+	var parts []Summary
+	for _, g := range groups {
+		flat = append(flat, g...)
+		parts = append(parts, Summarize(g))
+	}
+	pooled := Pool(parts)
+	direct := Summarize(flat)
+	if pooled.N != direct.N || pooled.Min != direct.Min || pooled.Max != direct.Max {
+		t.Fatalf("pooled %+v vs direct %+v", pooled, direct)
+	}
+	if math.Abs(pooled.Mean-direct.Mean) > 1e-12 {
+		t.Errorf("pooled mean %v, direct %v", pooled.Mean, direct.Mean)
+	}
+	if math.Abs(pooled.StdDev-direct.StdDev) > 1e-9 {
+		t.Errorf("pooled stddev %v, direct %v", pooled.StdDev, direct.StdDev)
+	}
+	// Equal group sizes: grand mean == mean of group means.
+	meanOfMeans := (parts[0].Mean + parts[1].Mean + parts[2].Mean) / 3
+	if math.Abs(pooled.Mean-meanOfMeans) > 1e-12 {
+		t.Errorf("pooled mean %v != mean-of-means %v", pooled.Mean, meanOfMeans)
+	}
+}
+
+func TestPoolEdgeCases(t *testing.T) {
+	if got := Pool(nil); got != (Summary{}) {
+		t.Errorf("Pool(nil) = %+v, want zero", got)
+	}
+	if got := Pool([]Summary{{}, {}}); got != (Summary{}) {
+		t.Errorf("Pool of empty groups = %+v, want zero", got)
+	}
+	one := Summarize([]float64{3})
+	pooled := Pool([]Summary{one, {}})
+	if pooled.N != 1 || pooled.Mean != 3 || pooled.StdDev != 0 {
+		t.Errorf("single-sample pool = %+v", pooled)
+	}
+	// Identical degenerate groups: between-group spread is zero, the
+	// within-group term carries everything.
+	g := Summarize([]float64{1, 2, 3})
+	p := Pool([]Summary{g, g})
+	d := Summarize([]float64{1, 2, 3, 1, 2, 3})
+	if math.Abs(p.StdDev-d.StdDev) > 1e-12 {
+		t.Errorf("pooled stddev %v, direct %v", p.StdDev, d.StdDev)
+	}
+}
+
 func TestSummarizeDurations(t *testing.T) {
 	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
 	if s.Mean != 2 {

@@ -10,8 +10,8 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
-echo "== tests (race) =="
-go test -race ./...
+echo "== tests (race, shuffled) =="
+go test -race -shuffle=on ./...
 
 echo "== examples =="
 for ex in quickstart crowdsensing geofence badgehunt greentoken; do
@@ -23,6 +23,12 @@ echo "== tools =="
 go run ./cmd/polc > /dev/null
 go run ./cmd/polc -v2 > /dev/null
 go run ./cmd/polsim -chain algorand > /dev/null
+
+echo "== parallel matrix =="
+# Exercises the worker-pool engine (sequential baseline + 4 workers,
+# determinism checked inside) and leaves BENCH_parallel.json for CI to
+# upload as an artifact.
+go run ./cmd/polbench -matrix -parallel 4 -reps 2 -benchout BENCH_parallel.json > /dev/null
 
 echo "== benchmarks (1 iteration) =="
 go test -bench=. -benchmem -benchtime=1x ./... > /dev/null
