@@ -9,6 +9,7 @@
 //	polbench -fig 5.2 -trace trace.json   # chrome://tracing span export
 //	polbench -tables -json                # machine-readable results
 //	polbench -matrix -parallel 4 -reps 5  # parallel cross-seed matrix run
+//	polbench -faults default -faultrate 0.2  # reliability sweep + recovery report
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"time"
 
 	"agnopol/internal/core"
+	"agnopol/internal/faults"
 	"agnopol/internal/obs"
 	"agnopol/internal/sim"
 	"agnopol/internal/stats"
@@ -40,9 +43,38 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "matrix worker count (0 = GOMAXPROCS)")
 		reps      = flag.Int("reps", 1, "seed-varied repetitions per matrix cell")
 		benchOut  = flag.String("benchout", "BENCH_parallel.json", "where -matrix writes the sequential-vs-parallel speedup record")
+		faultsPro = flag.String("faults", "", fmt.Sprintf("run a reliability sweep under a fault profile (%s)", strings.Join(faults.ProfileNames(), ", ")))
+		faultRate = flag.Float64("faultrate", 0.1, "per-draw fault probability for -faults, in [0,1]")
+		faultsOut = flag.String("faultsout", "FAULTS_report.json", "where -faults writes the recovery-rate report")
 	)
 	flag.Parse()
-	if !*tables && !*figures && !*analysis && *fig == "" && !*matrix {
+
+	// Flag hygiene: incoherent combinations are an error, not a silent
+	// no-op — a sweep that quietly ignored -reps would report misleading
+	// recovery statistics.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if flag.NArg() > 0 {
+		usageErr(fmt.Sprintf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
+	if (setFlags["reps"] || setFlags["parallel"]) && !*matrix && *faultsPro == "" {
+		usageErr("-reps and -parallel only apply to -matrix or -faults runs")
+	}
+	if (setFlags["faultrate"] || setFlags["faultsout"]) && *faultsPro == "" {
+		usageErr("-faultrate and -faultsout require -faults <profile>")
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		usageErr(fmt.Sprintf("-faultrate %v is outside [0,1]", *faultRate))
+	}
+	var faultPlan *faults.Plan
+	if *faultsPro != "" {
+		var err error
+		if faultPlan, err = faults.Profile(*faultsPro, *faultRate); err != nil {
+			usageErr(err.Error())
+		}
+	}
+
+	if !*tables && !*figures && !*analysis && *fig == "" && !*matrix && *faultsPro == "" {
 		*tables, *figures, *analysis = true, true, true
 	}
 
@@ -74,7 +106,7 @@ func main() {
 			}
 		}
 		if !found {
-			fatal(fmt.Errorf("unknown figure %q", *fig))
+			usageErr(fmt.Sprintf("unknown figure %q", *fig))
 		}
 	}
 
@@ -86,6 +118,12 @@ func main() {
 
 	if *matrix {
 		if err := runMatrixMode(*seed, *reps, *parallel, *benchOut, o, *jsonOut); err != nil {
+			fatal(err)
+		}
+	}
+
+	if faultPlan != nil {
+		if err := runFaultSweep(*faultsPro, *faultRate, faultPlan, *seed, *reps, *parallel, *faultsOut, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -290,6 +328,115 @@ func runMatrixMode(seed uint64, reps, parallel int, benchOut string, o *obs.Obs,
 	}
 	fmt.Fprintf(os.Stderr, "polbench: speedup record written to %s\n", benchOut)
 	return nil
+}
+
+// faultClassJSON is one fault class's tally in the recovery-rate report.
+type faultClassJSON struct {
+	Class        string  `json:"class"`
+	Injected     uint64  `json:"injected"`
+	Recovered    uint64  `json:"recovered"`
+	RecoveryRate float64 `json:"recovery_rate"`
+}
+
+// faultsReportJSON is the machine-readable FAULTS_report.json record: the
+// sweep's grid parameters plus the per-class injected/recovered tallies
+// read back from the obs registry.
+type faultsReportJSON struct {
+	Profile        string           `json:"profile"`
+	Rate           float64          `json:"rate"`
+	Seed           uint64           `json:"seed"`
+	Cells          int              `json:"cells"`
+	Reps           int              `json:"reps"`
+	RunsTotal      int              `json:"runs_total"`
+	Parallel       int              `json:"parallel"`
+	Deterministic  bool             `json:"deterministic"`
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	Classes        []faultClassJSON `json:"classes"`
+}
+
+// runFaultSweep drives the reliability sweep: every evaluation chain at 8
+// users under the requested fault plan, first sequentially (the baseline),
+// then with the requested worker count. The two must agree bit-for-bit —
+// fault streams are pure functions of (seed, site, sequence), so worker
+// scheduling cannot shift a draw — and the recovery-rate report is read
+// back from the parallel run's obs registry.
+func runFaultSweep(profile string, rate float64, plan *faults.Plan, seed uint64, reps, parallel int, out string, jsonOut bool) error {
+	cells := make([]sim.Cell, 0, len(sim.AllChains))
+	for _, c := range sim.AllChains {
+		cells = append(cells, sim.Cell{Chain: c, Users: 8})
+	}
+	// Verify on: the full pipeline — deploy, attach, fund, verify — so
+	// every fault class (the report fetch included) gets exercised.
+	spec := sim.MatrixSpec{Cells: cells, Reps: reps, Seed: seed, Parallel: 1, Faults: plan, Verify: true}
+	seq, err := sim.RunMatrix(spec, obs.New())
+	if err != nil {
+		return fmt.Errorf("fault sweep (sequential baseline): %w", err)
+	}
+	// A fresh bundle for the counted run, so the report tallies exactly
+	// one traversal of the grid.
+	fo := obs.New()
+	spec.Parallel = parallel
+	par, err := sim.RunMatrix(spec, fo)
+	if err != nil {
+		return fmt.Errorf("fault sweep: %w", err)
+	}
+	deterministic := reflect.DeepEqual(seq.Summaries, par.Summaries)
+	if !deterministic {
+		return fmt.Errorf("fault sweep is not deterministic: parallel=%d summaries diverge from the sequential baseline", par.Parallel)
+	}
+
+	rec := faultsReportJSON{
+		Profile: profile, Rate: rate, Seed: seed,
+		Cells: len(par.Cells), Reps: par.Reps, RunsTotal: len(par.Runs),
+		Parallel: par.Parallel, Deterministic: deterministic,
+		ElapsedSeconds: par.Elapsed.Seconds(),
+	}
+	rows := make([][]string, 0, len(faults.Classes()))
+	for _, cls := range faults.Classes() {
+		if _, active := plan.Rates[cls]; !active {
+			continue
+		}
+		inj := fo.Registry.Counter("faults_injected_total", obs.L("class", cls)).Value()
+		rec2 := fo.Registry.Counter("faults_recovered_total", obs.L("class", cls)).Value()
+		rr := 0.0
+		if inj > 0 {
+			rr = float64(rec2) / float64(inj)
+		}
+		rec.Classes = append(rec.Classes, faultClassJSON{
+			Class: cls, Injected: inj, Recovered: rec2, RecoveryRate: rr,
+		})
+		rows = append(rows, []string{
+			cls, fmt.Sprint(inj), fmt.Sprint(rec2), fmt.Sprintf("%.1f%%", rr*100),
+		})
+	}
+	if !jsonOut {
+		fmt.Printf("Reliability sweep — profile %q, rate %.2f, %d runs, %d workers, %v wall\n%s\n",
+			profile, rate, len(par.Runs), par.Parallel, par.Elapsed.Round(time.Millisecond),
+			stats.Table([]string{"Fault Class", "Injected", "Recovered", "Recovery"}, rows))
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "polbench: recovery-rate report written to %s\n", out)
+	return nil
+}
+
+// usageErr rejects an incoherent flag combination: message, usage, exit 2.
+func usageErr(msg string) {
+	fmt.Fprintf(os.Stderr, "polbench: %s\n", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

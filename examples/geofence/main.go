@@ -84,7 +84,7 @@ func main() {
 				continue
 			}
 			seen[id] = true
-			_, op, err := conn.Call(acct, h, "add_cell", 0, lang.Uint64Value(id))
+			_, op, err := conn.Invoke(acct, h, "add_cell", core.CallOpts{}, lang.Uint64Value(id))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -100,7 +100,7 @@ func main() {
 	// Track a device: inside the fence, then out.
 	check := func(name string, at geo.LatLng) {
 		code := olc.MustEncode(at.Lat, at.Lng, olc.DefaultCodeLength)
-		v, _, err := conn.Call(acct, h, "inside", 0, lang.Uint64Value(cellID(code)))
+		v, _, err := conn.Invoke(acct, h, "inside", core.CallOpts{}, lang.Uint64Value(cellID(code)))
 		if err != nil {
 			log.Fatal(err)
 		}

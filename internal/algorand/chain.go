@@ -9,6 +9,7 @@ import (
 
 	"agnopol/internal/avm"
 	"agnopol/internal/chain"
+	"agnopol/internal/faults"
 	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
 )
@@ -124,6 +125,9 @@ type Block struct {
 type pendingGroup struct {
 	group     Group
 	submitted time.Duration
+	// delayed marks a group whose propagation was pushed back by an
+	// injected tx_delay fault; inclusion counts as the recovery.
+	delayed bool
 }
 
 // Chain is the simulated Algorand network.
@@ -144,6 +148,10 @@ type Chain struct {
 
 	// obs holds the chain's instrumentation; nil when uninstrumented.
 	obs *chainObs
+
+	// flt injects deterministic faults at the pending pool; nil when
+	// fault injection is off.
+	flt *faults.Injector
 }
 
 // NewChain builds a network from a preset and seed.
@@ -181,6 +189,12 @@ func NewChain(cfg Config, seed uint64) *Chain {
 
 // Config returns the network configuration.
 func (c *Chain) Config() Config { return c.cfg }
+
+// SetFaults attaches a fault injector to the pending pool.
+func (c *Chain) SetFaults(inj *faults.Injector) { c.flt = inj }
+
+// Faults returns the attached fault injector, nil when off.
+func (c *Chain) Faults() *faults.Injector { return c.flt }
 
 // Now returns current simulated time.
 func (c *Chain) Now() time.Duration { return c.clock.Now() }
@@ -231,7 +245,19 @@ func (c *Chain) Submit(g Group) (chain.Hash32, error) {
 			return chain.Hash32{}, fmt.Errorf("algorand: fee %d below min fee %d", tx.Fee, MinFee)
 		}
 	}
-	c.pending = append(c.pending, &pendingGroup{group: g, submitted: c.clock.Now()})
+	if err := c.flt.Try(faults.ClassTxDrop, "algorand.pending"); err != nil {
+		// The node accepted the RPC but the group never propagates; the
+		// submitter's retry layer recovers by resubmitting.
+		return chain.Hash32{}, err
+	}
+	p := &pendingGroup{group: g, submitted: c.clock.Now()}
+	if hit, mag := c.flt.Draw(faults.ClassTxDelay, "algorand.pending"); hit {
+		// Propagation stalls for up to three rounds; inclusion is the
+		// recovery.
+		p.submitted += time.Duration(mag * float64(3*c.cfg.RoundDuration))
+		p.delayed = true
+	}
+	c.pending = append(c.pending, p)
 	if c.obs != nil {
 		c.obs.groupsSubmitted.Inc()
 		c.obs.pendingDepth.Set(float64(len(c.pending)))
@@ -292,6 +318,9 @@ func (c *Chain) Step() *Block {
 		rcpt.Submitted = p.submitted
 		c.receipts[p.group.Hash()] = rcpt
 		blk.Groups = append(blk.Groups, p.group.Hash())
+		if p.delayed {
+			c.flt.Recover(faults.ClassTxDelay)
+		}
 		if c.obs != nil {
 			c.obs.groupsIncluded.Inc()
 			c.obs.inclusionLatency.Observe((blk.Time - p.submitted).Seconds())

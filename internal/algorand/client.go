@@ -36,6 +36,14 @@ func (cl *Client) rpcLatency() time.Duration {
 	return cfg.RPCLatencyMean + time.Duration(cl.rng.Float64()*float64(cfg.RPCLatencyJitter))
 }
 
+// Sleep advances the simulated clock by d — the client-side wait the
+// resilience layer's backoff uses between retries.
+func (cl *Client) Sleep(d time.Duration) {
+	if d > 0 {
+		cl.chain.clock.AdvanceTo(cl.chain.clock.Now() + d)
+	}
+}
+
 // ErrTimeout reports a group not confirmed in the wait budget.
 var ErrTimeout = errors.New("algorand: group not confirmed in time")
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"agnopol/internal/did"
+	"agnopol/internal/faults"
 	"agnopol/internal/geo"
 	"agnopol/internal/ipfs"
 	"agnopol/internal/lang"
@@ -213,7 +214,10 @@ func (p *Prover) ClaimedOLC() (string, error) {
 	return olc.Encode(pos.Lat, pos.Lng, olc.DefaultCodeLength)
 }
 
-// UploadReport serializes the report, stores it on IPFS and pins it.
+// UploadReport serializes the report, stores it on IPFS and pins it. Pin
+// failures (the ipfs_unpin fault class) are retried immediately up to the
+// system's attempt budget: an unpinned report would be lost to the next
+// garbage collection, so the device keeps re-pinning until durable.
 func (p *Prover) UploadReport(r Report) (ipfs.CID, error) {
 	r.Author = string(p.DID)
 	data, err := json.Marshal(r)
@@ -224,10 +228,16 @@ func (p *Prover) UploadReport(r Report) (ipfs.CID, error) {
 	if err != nil {
 		return "", err
 	}
-	if err := p.sys.IPFS.Pin(string(p.DID), cid); err != nil {
-		return "", err
+	for attempt := 1; ; attempt++ {
+		err = p.sys.IPFS.Pin(string(p.DID), cid)
+		if err == nil {
+			p.sys.flt.RecoverN(faults.ClassIPFSUnpin, attempt-1)
+			return cid, nil
+		}
+		if !faults.Transient(err) || attempt >= p.sys.retry.Attempts() {
+			return "", fmt.Errorf("core: pin report: %w", err)
+		}
 	}
-	return cid, nil
 }
 
 // RequestProof runs the full Bluetooth exchange with a witness: DID
@@ -267,6 +277,42 @@ func (p *Prover) RequestProof(w *Witness, cid ipfs.CID, wallet [20]byte) (*Locat
 	return proof, nil
 }
 
+// RequestProofResilient is RequestProof under the system's resilience
+// policy: when a witness does not answer the Bluetooth exchange (the
+// witness_unavailable fault class — churn, the witness walked away or shut
+// down), the prover backs off on the connector's simulated clock,
+// re-scans for nearby witnesses and asks the closest responder again.
+// With no fault plan attached it reduces exactly to RequestProof.
+func (p *Prover) RequestProofResilient(conn Connector, w *Witness, cid ipfs.CID, wallet [20]byte) (*LocationProof, error) {
+	overcome := 0
+	for attempt := 1; ; attempt++ {
+		if err := p.sys.flt.Try(faults.ClassWitnessDown, "core.witness"); err != nil {
+			if attempt >= p.sys.retry.Attempts() {
+				return nil, fmt.Errorf("core: witness exchange: %w", err)
+			}
+			// Graceful degradation: wait out the churn, then re-discover.
+			// The scan is sorted by distance, so the prover converges on
+			// whichever witness answers next.
+			conn.Sleep(p.sys.retry.Backoff(attempt))
+			if nearby := p.DiscoverWitnesses(); len(nearby) > 0 {
+				w = nearby[0]
+			}
+			overcome++
+			continue
+		}
+		proof, err := p.RequestProof(w, cid, wallet)
+		if err != nil {
+			return nil, err
+		}
+		p.sys.flt.RecoverN(faults.ClassWitnessDown, overcome)
+		if overcome > 0 && p.sys.obs != nil {
+			p.sys.logger().Debug("witness exchange recovered", "prover", string(p.DID),
+				"retries", overcome)
+		}
+		return proof, nil
+	}
+}
+
 // SubmissionResult reports how a proof landed on-chain.
 type SubmissionResult struct {
 	Handle   *Handle
@@ -286,10 +332,7 @@ func (p *Prover) SubmitProof(conn Connector, proof *LocationProof, rewardPerProv
 	code := proof.Request.OLC
 	sp := p.sys.span("pol.submit_proof", obs.L("olc", code), obs.L("chain", conn.Name()))
 	defer sp.End()
-	via, err := p.sys.NodeIDForOLC(code)
-	if err != nil {
-		return nil, err
-	}
+	via := p.sys.EntryNode(p.DID)
 	dSp := p.sys.span("pol.discover")
 	h, hops, found, err := p.sys.LookupContract(via, code)
 	p.sys.endPhase(dSp, PhaseDiscover)
@@ -314,7 +357,8 @@ func (p *Prover) SubmitProof(conn Connector, proof *LocationProof, rewardPerProv
 			p.sys.endPhase(depSp, PhaseSubmit)
 			return nil, fmt.Errorf("core: deploy: %w", err)
 		}
-		_, insertOp, err := conn.CallWithEscrowFunding(acct, handle, "insert_data", 0,
+		_, insertOp, err := conn.Invoke(acct, handle, "insert_data",
+			CallOpts{EscrowFund: true, Retry: p.sys.retry},
 			lang.BytesValue(proof.ConcatData()),
 			lang.Uint64Value(p.DID.Uint64()),
 		)
@@ -333,6 +377,10 @@ func (p *Prover) SubmitProof(conn Connector, proof *LocationProof, rewardPerProv
 			Fee:      deployOp.Fee.Add(insertOp.Fee),
 			GasUsed:  deployOp.GasUsed + insertOp.GasUsed,
 			Receipts: append(deployOp.Receipts, insertOp.Receipts...),
+			Retries:  deployOp.Retries + insertOp.Retries,
+		}
+		if op.Retries > 0 {
+			sp.Label("retries", fmt.Sprint(op.Retries))
 		}
 		if p.sys.obs != nil {
 			p.sys.obs.contractsDeployed.Inc()
@@ -343,13 +391,16 @@ func (p *Prover) SubmitProof(conn Connector, proof *LocationProof, rewardPerProv
 		return &SubmissionResult{Handle: handle, Deployed: true, Op: op, Hops: hops}, nil
 	}
 	aSp := p.sys.span("pol.attach")
-	_, op, err := conn.Call(acct, h, "insert_data", 0,
+	_, op, err := conn.Invoke(acct, h, "insert_data", CallOpts{Retry: p.sys.retry},
 		lang.BytesValue(proof.ConcatData()),
 		lang.Uint64Value(p.DID.Uint64()),
 	)
 	p.sys.endPhase(aSp, PhaseSubmit)
 	if err != nil {
 		return nil, fmt.Errorf("core: attach: %w", err)
+	}
+	if op.Retries > 0 {
+		sp.Label("retries", fmt.Sprint(op.Retries))
 	}
 	if p.sys.obs != nil {
 		p.sys.obs.proofsAttached.Inc()
@@ -405,8 +456,35 @@ func (v *Verifier) FundContract(conn Connector, h *Handle, amount uint64) (*OpRe
 	if acct == nil {
 		return nil, fmt.Errorf("core: verifier has no account on %s", conn.Name())
 	}
-	_, op, err := conn.Call(acct, h, "insert_money", amount, lang.Uint64Value(amount))
+	_, op, err := conn.Invoke(acct, h, "insert_money",
+		CallOpts{Pay: amount, Retry: v.sys.retry}, lang.Uint64Value(amount))
 	return op, err
+}
+
+// fetchReport retrieves report bytes from IPFS under the system's
+// resilience policy: transient fetch faults back off on the connector's
+// simulated clock and retry. After a recovered fetch the verifier re-pins
+// the content under its own peer — the §1.5 degradation rule: content that
+// was hard to find once should gain a provider, not stay fragile.
+func (v *Verifier) fetchReport(conn Connector, cid ipfs.CID) ([]byte, error) {
+	overcome := 0
+	for attempt := 1; ; attempt++ {
+		data, err := v.sys.IPFS.Get(cid)
+		if err == nil {
+			v.sys.flt.RecoverN(faults.ClassIPFSFetch, overcome)
+			if overcome > 0 {
+				// Ignore pin errors here: the fetch succeeded and re-pinning
+				// is best-effort hardening, itself subject to injection.
+				_ = v.sys.IPFS.Pin(string(v.DID), cid)
+			}
+			return data, nil
+		}
+		if !faults.Transient(err) || attempt >= v.sys.retry.Attempts() {
+			return nil, err
+		}
+		conn.Sleep(v.sys.retry.Backoff(attempt))
+		overcome++
+	}
 }
 
 // Verification is the outcome of checking one prover.
@@ -500,7 +578,7 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 
 	// Retrieve and integrity-check the report content.
 	fSp := v.sys.span("pol.ipfs_fetch")
-	data, err := v.sys.IPFS.Get(parsed.CID)
+	data, err := v.fetchReport(conn, parsed.CID)
 	fSp.End()
 	if err != nil {
 		return v.rejected(prover, err.Error()), nil
@@ -515,7 +593,7 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 
 	// On-chain verification: pays the reward and clears the map entry.
 	cSp := v.sys.span("pol.chain_verify")
-	_, op, err := conn.Call(acct, h, "verify", 0,
+	_, op, err := conn.Invoke(acct, h, "verify", CallOpts{Retry: v.sys.retry},
 		lang.Uint64Value(key),
 		lang.AddressValue(parsed.Wallet),
 	)
@@ -523,15 +601,18 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 	if err != nil {
 		return nil, err
 	}
+	if op.Retries > 0 {
+		sp.Label("retries", fmt.Sprint(op.Retries))
+	}
 
 	// Garbage-in: only now does the report reach the hypercube.
 	pSp := v.sys.span("pol.publish")
-	via, err := v.sys.NodeIDForOLC(code)
+	target, err := v.sys.NodeIDForOLC(code)
 	if err != nil {
 		pSp.End()
 		return nil, err
 	}
-	_, err = v.sys.Cube.AppendCID(via, via, code, h.ID(), string(parsed.CID))
+	_, err = v.sys.Cube.AppendCID(v.sys.EntryNode(v.DID), target, code, h.ID(), string(parsed.CID))
 	v.sys.endPhase(pSp, PhasePublish)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"agnopol/internal/algorand"
 	"agnopol/internal/chain"
 	"agnopol/internal/eth"
+	"agnopol/internal/faults"
 	"agnopol/internal/lang"
 )
 
@@ -28,10 +29,19 @@ type Connector interface {
 	// Balance of an account in base units.
 	Balance(acct *Account) chain.Amount
 
-	// Deploy publishes the compiled contract with constructor args.
+	// Deploy publishes the compiled contract with constructor args,
+	// retrying transient injected faults under the connector's resilience
+	// policy.
 	Deploy(acct *Account, compiled *lang.Compiled, args []lang.Value) (*Handle, *OpResult, error)
+	// Invoke calls an API under the given options: payment, escrow
+	// funding and the resilience policy all travel in CallOpts. This is
+	// the one call entry point; Call and CallWithEscrowFunding are its
+	// deprecated fixed-option forms.
+	Invoke(acct *Account, h *Handle, api string, opts CallOpts, args ...lang.Value) (lang.Value, *OpResult, error)
 	// Call invokes an API; pay is the attached native amount in base
 	// units.
+	//
+	// Deprecated: use Invoke with CallOpts{Pay: pay}.
 	Call(acct *Account, h *Handle, api string, pay uint64, args ...lang.Value) (lang.Value, *OpResult, error)
 	// EscrowFunding is the amount the first call after deployment must
 	// carry to activate the contract's account (Algorand's MinBalance;
@@ -39,7 +49,16 @@ type Connector interface {
 	EscrowFunding() uint64
 	// CallWithEscrowFunding is Call with an escrow-funding payment folded
 	// into the same atomic operation.
+	//
+	// Deprecated: use Invoke with CallOpts{Pay: pay, EscrowFund: true}.
 	CallWithEscrowFunding(acct *Account, h *Handle, api string, pay uint64, args ...lang.Value) (lang.Value, *OpResult, error)
+	// SetResilience installs the default retry policy Invoke and Deploy
+	// apply when CallOpts carries none. The zero policy (the initial
+	// state) means a single attempt — the historical behaviour.
+	SetResilience(pol faults.RetryPolicy)
+	// Sleep advances the connector's simulated clock — the wait primitive
+	// backoff runs on.
+	Sleep(d time.Duration)
 	// View evaluates a view at no cost.
 	View(h *Handle, name string) (lang.Value, error)
 	// ReadGlobal and ReadMap are the free frontend state reads.
@@ -91,23 +110,98 @@ func (h *Handle) ID() string {
 }
 
 // OpResult is the measured outcome of one frontend operation — the latency
-// and fee samples the evaluation chapter aggregates.
+// and fee samples the evaluation chapter aggregates. Latency spans every
+// attempt including backoff waits; Fee and GasUsed are what the chain
+// actually charged (dropped submissions cost nothing).
 type OpResult struct {
 	Latency  time.Duration
 	Fee      chain.Amount
 	GasUsed  uint64
 	Receipts []*chain.Receipt
+	// Retries counts the extra attempts the resilience layer needed; 0 on
+	// the happy path.
+	Retries int
+}
+
+// CallOpts carries everything about how an API call should run: the
+// attached payment, whether the escrow activation deposit rides along, and
+// the resilience policy for transient injected faults.
+type CallOpts struct {
+	// Pay is the attached native amount in base units.
+	Pay uint64
+	// EscrowFund folds the contract-account activation deposit
+	// (EscrowFunding) into the same atomic operation.
+	EscrowFund bool
+	// Deadline bounds the call's total simulated time across retries; it
+	// overrides the retry policy's own deadline when set.
+	Deadline time.Duration
+	// Retry overrides the connector's default resilience policy for this
+	// call. The zero value defers to the connector.
+	Retry faults.RetryPolicy
 }
 
 // ErrAPIRejected reports an API call rejected on-chain (assume failure,
 // insufficient funds…).
 var ErrAPIRejected = errors.New("core: API call rejected")
 
+// retrier is the connector-side surface the shared retry driver needs.
+type retrier interface {
+	Now() time.Duration
+	Sleep(d time.Duration)
+	defaultRetry() faults.RetryPolicy
+	injector() *faults.Injector
+}
+
+// resolveRetry merges per-call options with the connector default policy.
+func resolveRetry(c retrier, opts CallOpts) faults.RetryPolicy {
+	pol := opts.Retry
+	if pol.IsZero() {
+		pol = c.defaultRetry()
+	}
+	if opts.Deadline > 0 {
+		pol.Deadline = opts.Deadline
+	}
+	return pol
+}
+
+// withRetry drives once() under a resilience policy: transient injected
+// faults back off (capped exponential, on the simulated clock) and retry
+// until the attempt or deadline budget runs out; any other error is
+// permanent. On eventual success each earlier transient failure counts as
+// recovered.
+func withRetry(c retrier, pol faults.RetryPolicy, once func() error) (retries int, err error) {
+	start := c.Now()
+	var overcome []string
+	for attempt := 1; ; attempt++ {
+		err = once()
+		if err == nil {
+			for _, cls := range overcome {
+				c.injector().Recover(cls)
+			}
+			return attempt - 1, nil
+		}
+		cls, transient := faults.ClassOf(err)
+		if !transient {
+			return attempt - 1, err
+		}
+		if attempt >= pol.Attempts() {
+			return attempt - 1, fmt.Errorf("core: giving up after %d attempts: %w", attempt, err)
+		}
+		backoff := pol.Backoff(attempt)
+		if pol.Deadline > 0 && c.Now()-start+backoff > pol.Deadline {
+			return attempt - 1, fmt.Errorf("core: deadline %v exceeded after %d attempts: %w", pol.Deadline, attempt, err)
+		}
+		overcome = append(overcome, cls)
+		c.Sleep(backoff)
+	}
+}
+
 // --- EVM connector ---
 
 // EVMConnector adapts an Ethereum-family chain.
 type EVMConnector struct {
 	client *eth.Client
+	retry  faults.RetryPolicy
 }
 
 // NewEVMConnector wraps a chain.
@@ -129,6 +223,16 @@ func (e *EVMConnector) Unit() chain.Unit { return e.client.Chain().Config().Unit
 // Now implements Connector.
 func (e *EVMConnector) Now() time.Duration { return e.client.Chain().Now() }
 
+// Sleep implements Connector.
+func (e *EVMConnector) Sleep(d time.Duration) { e.client.Sleep(d) }
+
+// SetResilience implements Connector.
+func (e *EVMConnector) SetResilience(pol faults.RetryPolicy) { e.retry = pol }
+
+func (e *EVMConnector) defaultRetry() faults.RetryPolicy { return e.retry }
+
+func (e *EVMConnector) injector() *faults.Injector { return e.client.Chain().Faults() }
+
 // NewAccount implements Connector.
 func (e *EVMConnector) NewAccount(tokens float64) (*Account, error) {
 	amt := chain.AmountFromTokens(tokens, e.Unit())
@@ -141,7 +245,8 @@ func (e *EVMConnector) Balance(acct *Account) chain.Amount {
 }
 
 // Deploy implements Connector: a single creation transaction carrying the
-// runtime code and the constructor calldata.
+// runtime code and the constructor calldata, resubmitted under the default
+// resilience policy when the mempool drops it.
 func (e *EVMConnector) Deploy(acct *Account, compiled *lang.Compiled, args []lang.Value) (*Handle, *OpResult, error) {
 	start := e.Now()
 	ctorData, err := lang.EncodeArgsEVM(lang.CtorMethodName, compiled.Program.Ctor.Params, args)
@@ -149,16 +254,45 @@ func (e *EVMConnector) Deploy(acct *Account, compiled *lang.Compiled, args []lan
 		return nil, nil, err
 	}
 	gasLimit := compiled.Analysis.EVMDeployGas + compiled.Analysis.EVMDeployGas/4
-	rcpt, addr, err := e.client.Deploy(acct.evm, compiled.EVMCode, ctorData, nil, gasLimit)
+	var (
+		rcpt *chain.Receipt
+		addr chain.Address
+	)
+	retries, err := withRetry(e, e.defaultRetry(), func() error {
+		var err error
+		rcpt, addr, err = e.client.Deploy(acct.evm, compiled.EVMCode, ctorData, nil, gasLimit)
+		return err
+	})
+	res := opResult(start, e.Now(), rcpt)
+	res.Retries = retries
 	if err != nil {
-		return nil, opResult(start, e.Now(), rcpt), err
+		return nil, res, err
 	}
 	h := &Handle{Connector: e.Name(), EVMAddr: addr, Compiled: compiled}
-	return h, opResult(start, e.Now(), rcpt), nil
+	return h, res, nil
 }
 
-// Call implements Connector.
-func (e *EVMConnector) Call(acct *Account, h *Handle, api string, pay uint64, args ...lang.Value) (lang.Value, *OpResult, error) {
+// Invoke implements Connector.
+func (e *EVMConnector) Invoke(acct *Account, h *Handle, api string, opts CallOpts, args ...lang.Value) (lang.Value, *OpResult, error) {
+	start := e.Now()
+	var (
+		v   lang.Value
+		res *OpResult
+	)
+	retries, err := withRetry(e, resolveRetry(e, opts), func() error {
+		var err error
+		v, res, err = e.callOnce(acct, h, api, opts.Pay, args)
+		return err
+	})
+	if res != nil {
+		res.Latency = e.Now() - start
+		res.Retries = retries
+	}
+	return v, res, err
+}
+
+// callOnce is one attempt of an API call.
+func (e *EVMConnector) callOnce(acct *Account, h *Handle, api string, pay uint64, args []lang.Value) (lang.Value, *OpResult, error) {
 	start := e.Now()
 	a := h.Compiled.Program.FindAPI(api)
 	if a == nil {
@@ -202,9 +336,18 @@ type analysisCost struct{ gas uint64 }
 // deposit.
 func (e *EVMConnector) EscrowFunding() uint64 { return 0 }
 
+// Call implements Connector.
+//
+// Deprecated: use Invoke with CallOpts{Pay: pay}.
+func (e *EVMConnector) Call(acct *Account, h *Handle, api string, pay uint64, args ...lang.Value) (lang.Value, *OpResult, error) {
+	return e.Invoke(acct, h, api, CallOpts{Pay: pay}, args...)
+}
+
 // CallWithEscrowFunding implements Connector; identical to Call on EVM.
+//
+// Deprecated: use Invoke with CallOpts{Pay: pay, EscrowFund: true}.
 func (e *EVMConnector) CallWithEscrowFunding(acct *Account, h *Handle, api string, pay uint64, args ...lang.Value) (lang.Value, *OpResult, error) {
-	return e.Call(acct, h, api, pay, args...)
+	return e.Invoke(acct, h, api, CallOpts{Pay: pay, EscrowFund: true}, args...)
 }
 
 // View implements Connector.
@@ -263,6 +406,7 @@ func opResult(start, end time.Duration, rcpts ...*chain.Receipt) *OpResult {
 // AlgorandConnector adapts the Algorand chain.
 type AlgorandConnector struct {
 	client *algorand.Client
+	retry  faults.RetryPolicy
 }
 
 // NewAlgorandConnector wraps a chain.
@@ -283,6 +427,16 @@ func (a *AlgorandConnector) Unit() chain.Unit { return a.client.Chain().Config()
 
 // Now implements Connector.
 func (a *AlgorandConnector) Now() time.Duration { return a.client.Chain().Now() }
+
+// Sleep implements Connector.
+func (a *AlgorandConnector) Sleep(d time.Duration) { a.client.Sleep(d) }
+
+// SetResilience implements Connector.
+func (a *AlgorandConnector) SetResilience(pol faults.RetryPolicy) { a.retry = pol }
+
+func (a *AlgorandConnector) defaultRetry() faults.RetryPolicy { return a.retry }
+
+func (a *AlgorandConnector) injector() *faults.Injector { return a.client.Chain().Faults() }
 
 // NewAccount implements Connector.
 func (a *AlgorandConnector) NewAccount(tokens float64) (*Account, error) {
@@ -306,29 +460,67 @@ func (a *AlgorandConnector) Deploy(acct *Account, compiled *lang.Compiled, args 
 	if err != nil {
 		return nil, nil, err
 	}
-	rcpt1, appID, err := a.client.CreateApp(acct.algo, compiled.TEALSource, ctorArgs)
+	var (
+		rcpt1 *chain.Receipt
+		appID uint64
+	)
+	retries, err := withRetry(a, a.defaultRetry(), func() error {
+		var err error
+		rcpt1, appID, err = a.client.CreateApp(acct.algo, compiled.TEALSource, ctorArgs)
+		return err
+	})
+	res := opResult(start, a.Now(), rcpt1)
+	res.Retries = retries
 	if err != nil {
-		return nil, opResult(start, a.Now(), rcpt1), err
+		return nil, res, err
 	}
 	h := &Handle{Connector: a.Name(), AppID: appID, Compiled: compiled}
-	return h, opResult(start, a.Now(), rcpt1), nil
+	return h, res, nil
 }
 
 // EscrowFunding implements Connector.
 func (a *AlgorandConnector) EscrowFunding() uint64 { return algorand.MinBalance }
 
+// Invoke implements Connector.
+func (a *AlgorandConnector) Invoke(acct *Account, h *Handle, api string, opts CallOpts, args ...lang.Value) (lang.Value, *OpResult, error) {
+	escrowFund := uint64(0)
+	if opts.EscrowFund {
+		escrowFund = algorand.MinBalance
+	}
+	start := a.Now()
+	var (
+		v   lang.Value
+		res *OpResult
+	)
+	retries, err := withRetry(a, resolveRetry(a, opts), func() error {
+		var err error
+		v, res, err = a.callOnce(acct, h, api, opts.Pay, escrowFund, args)
+		return err
+	})
+	if res != nil {
+		res.Latency = a.Now() - start
+		res.Retries = retries
+	}
+	return v, res, err
+}
+
 // CallWithEscrowFunding implements Connector: the API call grouped with the
 // MinBalance funding payment in one atomic operation.
+//
+// Deprecated: use Invoke with CallOpts{Pay: pay, EscrowFund: true}.
 func (a *AlgorandConnector) CallWithEscrowFunding(acct *Account, h *Handle, api string, pay uint64, args ...lang.Value) (lang.Value, *OpResult, error) {
-	return a.call(acct, h, api, pay, algorand.MinBalance, args)
+	return a.Invoke(acct, h, api, CallOpts{Pay: pay, EscrowFund: true}, args...)
 }
 
 // Call implements Connector.
+//
+// Deprecated: use Invoke with CallOpts{Pay: pay}.
 func (a *AlgorandConnector) Call(acct *Account, h *Handle, api string, pay uint64, args ...lang.Value) (lang.Value, *OpResult, error) {
-	return a.call(acct, h, api, pay, 0, args)
+	return a.Invoke(acct, h, api, CallOpts{Pay: pay}, args...)
 }
 
-func (a *AlgorandConnector) call(acct *Account, h *Handle, api string, pay, escrowFund uint64, args []lang.Value) (lang.Value, *OpResult, error) {
+// callOnce is one attempt of an API call.
+func (a *AlgorandConnector) callOnce(acct *Account, h *Handle, api string, pay, escrowFund uint64, args []lang.Value) (lang.Value, *OpResult, error) {
 	start := a.Now()
 	ap := h.Compiled.Program.FindAPI(api)
 	if ap == nil {

@@ -92,7 +92,8 @@ func (a *DIDAnchor) Anchor(payer *Account, d did.DID) (*OpResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, op, err := a.conn.CallWithEscrowFunding(payer, a.handle, "register", 0,
+	_, op, err := a.conn.Invoke(payer, a.handle, "register",
+		CallOpts{EscrowFund: true, Retry: a.sys.retry},
 		lang.Uint64Value(d.Uint64()), lang.BytesValue(digest[:]))
 	return op, err
 }

@@ -190,10 +190,7 @@ func (p *Prover) SubmitProofQuorum(conn Connector, bundle *ProofBundle, rewardPe
 	bundleHash := polcrypto.Hash(data)
 
 	code := bundle.Proofs[0].Request.OLC
-	via, err := p.sys.NodeIDForOLC(code)
-	if err != nil {
-		return nil, err
-	}
+	via := p.sys.EntryNode(p.DID)
 	record := quorumConcat(bundleCID, bundleHash)
 	h, hops, found, err := p.sys.LookupContract(via, code)
 	if err != nil {
@@ -208,7 +205,8 @@ func (p *Prover) SubmitProofQuorum(conn Connector, bundle *ProofBundle, rewardPe
 		if err != nil {
 			return nil, err
 		}
-		_, insertOp, err := conn.CallWithEscrowFunding(p.accounts[conn.Name()], handle, "insert_data", 0,
+		_, insertOp, err := conn.Invoke(p.accounts[conn.Name()], handle, "insert_data",
+			CallOpts{EscrowFund: true, Retry: p.sys.retry},
 			lang.BytesValue(record), lang.Uint64Value(p.DID.Uint64()))
 		if err != nil {
 			return nil, err
@@ -224,7 +222,8 @@ func (p *Prover) SubmitProofQuorum(conn Connector, bundle *ProofBundle, rewardPe
 		}
 		return &SubmissionResult{Handle: handle, Deployed: true, Op: op, Hops: hops}, nil
 	}
-	_, op, err := conn.Call(p.accounts[conn.Name()], h, "insert_data", 0,
+	_, op, err := conn.Invoke(p.accounts[conn.Name()], h, "insert_data",
+		CallOpts{Retry: p.sys.retry},
 		lang.BytesValue(record), lang.Uint64Value(p.DID.Uint64()))
 	if err != nil {
 		return nil, err
@@ -257,7 +256,7 @@ func (v *Verifier) VerifyProverQuorum(conn Connector, h *Handle, prover did.DID,
 	if err != nil {
 		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
 	}
-	data, err := v.sys.IPFS.Get(bundleCID)
+	data, err := v.fetchReport(conn, bundleCID)
 	if err != nil {
 		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
 	}
@@ -310,7 +309,7 @@ func (v *Verifier) VerifyProverQuorum(conn Connector, h *Handle, prover did.DID,
 	}
 
 	// Report integrity, then the on-chain verify and garbage-in as usual.
-	reportData, err := v.sys.IPFS.Get(req.CID)
+	reportData, err := v.fetchReport(conn, req.CID)
 	if err != nil {
 		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
 	}
@@ -318,16 +317,16 @@ func (v *Verifier) VerifyProverQuorum(conn Connector, h *Handle, prover did.DID,
 	if err := json.Unmarshal(reportData, &report); err != nil {
 		return &Verification{Prover: prover, Accepted: false, Reason: "malformed report: " + err.Error()}, nil
 	}
-	_, op, err := conn.Call(acct, h, "verify", 0,
+	_, op, err := conn.Invoke(acct, h, "verify", CallOpts{Retry: v.sys.retry},
 		lang.Uint64Value(key), lang.AddressValue(req.Wallet))
 	if err != nil {
 		return nil, err
 	}
-	via, err := v.sys.NodeIDForOLC(req.OLC)
+	target, err := v.sys.NodeIDForOLC(req.OLC)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := v.sys.Cube.AppendCID(via, via, req.OLC, h.ID(), string(req.CID)); err != nil {
+	if _, err := v.sys.Cube.AppendCID(v.sys.EntryNode(v.DID), target, req.OLC, h.ID(), string(req.CID)); err != nil {
 		return nil, err
 	}
 	return &Verification{Prover: prover, Report: report, CID: req.CID, Accepted: true, Op: op}, nil

@@ -7,6 +7,7 @@ import (
 
 	"agnopol/internal/chain"
 	"agnopol/internal/did"
+	"agnopol/internal/faults"
 	"agnopol/internal/hypercube"
 	"agnopol/internal/ipfs"
 	"agnopol/internal/lang"
@@ -39,6 +40,12 @@ type System struct {
 	// obs holds the proof-pipeline instrumentation (see obs.go); nil when
 	// uninstrumented. Set once via Instrument before actors run.
 	obs *sysObs
+
+	// flt injects the off-chain fault classes (witness churn, IPFS,
+	// hypercube); nil when fault injection is off. retry is the policy
+	// actors apply to recover; the zero policy means single attempts.
+	flt   *faults.Injector
+	retry faults.RetryPolicy
 }
 
 // NewSystem builds the shared substrate with a deterministic seed.
@@ -63,6 +70,19 @@ func NewSystem(seed uint64) (*System, error) {
 	}
 	return s, nil
 }
+
+// SetResilience attaches the fault injector and retry policy to the
+// system's off-chain substrates: the IPFS swarm and the hypercube consult
+// the injector directly, and the actors drive recovery under pol.
+func (s *System) SetResilience(inj *faults.Injector, pol faults.RetryPolicy) {
+	s.flt = inj
+	s.retry = pol
+	s.IPFS.SetFaults(inj)
+	s.Cube.SetFaults(inj)
+}
+
+// Faults returns the system's fault injector, nil when off.
+func (s *System) Faults() *faults.Injector { return s.flt }
 
 // RegisterDID creates a DID for a public key and indexes its UInt
 // compression, mirroring the thesis' DID-generation smart contract (§2.1)
@@ -111,6 +131,14 @@ func (s *System) NodeIDForOLC(code string) (uint64, error) {
 		return 0, err
 	}
 	return bs.Uint64(), nil
+}
+
+// EntryNode maps an actor's DID to the hypercube node its device enters
+// the DHT through (Fig. 2.3: the querying user contacts the network via
+// their own node, then the query routes to the area's responsible node —
+// entering via the target itself would make every route zero hops).
+func (s *System) EntryNode(d did.DID) uint64 {
+	return d.Uint64() & (1<<uint(s.R) - 1)
 }
 
 // LookupContract queries the hypercube for the contract of an area

@@ -12,6 +12,7 @@ import (
 
 	"agnopol/internal/chain"
 	"agnopol/internal/evm"
+	"agnopol/internal/faults"
 	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
 )
@@ -100,6 +101,9 @@ type Validator struct {
 type pendingTx struct {
 	tx        *Tx
 	submitted time.Duration
+	// delayed marks a transaction whose propagation was pushed back by an
+	// injected tx_delay fault; inclusion counts as the recovery.
+	delayed bool
 }
 
 // Chain is one simulated Ethereum-family network.
@@ -120,6 +124,13 @@ type Chain struct {
 	// spikeBlocksLeft tracks the remaining blocks of an ongoing
 	// congestion episode.
 	spikeBlocksLeft int
+	// faultSpike marks the current episode as fault-injected; its end is
+	// the recovery.
+	faultSpike bool
+
+	// flt injects deterministic faults at the mempool and demand model;
+	// nil when fault injection is off.
+	flt *faults.Injector
 
 	// history is the explorer's transaction log (Fig. 3.1).
 	history []TxRecord
@@ -160,6 +171,12 @@ func NewChain(cfg Config, seed uint64) *Chain {
 
 // Config returns the network configuration.
 func (c *Chain) Config() Config { return c.cfg }
+
+// SetFaults attaches a fault injector to the mempool and demand model.
+func (c *Chain) SetFaults(inj *faults.Injector) { c.flt = inj }
+
+// Faults returns the attached fault injector, nil when off.
+func (c *Chain) Faults() *faults.Injector { return c.flt }
 
 // Now returns the current simulated time.
 func (c *Chain) Now() time.Duration { return c.clock.Now() }
@@ -238,7 +255,19 @@ func (c *Chain) Submit(tx *Tx) (chain.Hash32, error) {
 	if c.st.GetBalance(tx.From).Cmp(upfront) < 0 {
 		return chain.Hash32{}, ErrInsufficientEth
 	}
-	c.mempool = append(c.mempool, &pendingTx{tx: tx, submitted: c.clock.Now()})
+	if err := c.flt.Try(faults.ClassTxDrop, "eth.mempool"); err != nil {
+		// The node accepted the RPC but the transaction never propagates;
+		// the submitter's retry layer recovers by resubmitting.
+		return chain.Hash32{}, err
+	}
+	p := &pendingTx{tx: tx, submitted: c.clock.Now()}
+	if hit, mag := c.flt.Draw(faults.ClassTxDelay, "eth.mempool"); hit {
+		// Propagation stalls for up to three slots before the transaction
+		// becomes includable; inclusion is the recovery.
+		p.submitted += time.Duration(mag * float64(3*c.cfg.SlotDuration))
+		p.delayed = true
+	}
+	c.mempool = append(c.mempool, p)
 	if c.obs != nil {
 		c.obs.txsSubmitted.Inc()
 		c.obs.mempoolDepth.Set(float64(len(c.mempool)))
@@ -318,6 +347,9 @@ func (c *Chain) Step() *Block {
 				c.receipts[tx.Hash()] = rcpt
 				blk.TxHashes = append(blk.TxHashes, tx.Hash())
 				userGas += rcpt.GasUsed
+				if p.delayed {
+					c.flt.Recover(faults.ClassTxDelay)
+				}
 				if c.obs != nil {
 					c.obs.txsIncluded.Inc()
 					c.obs.inclusionLatency.Observe((blk.Time - p.submitted).Seconds())
@@ -390,8 +422,23 @@ func (c *Chain) backgroundDemand() float64 {
 		mean *= math.Pow(ratio, c.cfg.CongestionElasticity)
 	}
 	d := mean * math.Exp(c.cfg.CongestionSigma*c.rng.NormFloat64()-c.cfg.CongestionSigma*c.cfg.CongestionSigma/2)
+	if c.spikeBlocksLeft == 0 {
+		if hit, mag := c.flt.Draw(faults.ClassCongestion, "eth.demand"); hit {
+			// Injected storm: blocks fill for one to five blocks; the
+			// episode's end is the recovery.
+			c.spikeBlocksLeft = 1 + int(mag*4)
+			c.faultSpike = true
+			if c.obs != nil {
+				c.obs.congestionSpikes.Inc()
+			}
+		}
+	}
 	if c.spikeBlocksLeft > 0 {
 		c.spikeBlocksLeft--
+		if c.spikeBlocksLeft == 0 && c.faultSpike {
+			c.faultSpike = false
+			c.flt.Recover(faults.ClassCongestion)
+		}
 		return d * c.cfg.SpikeFactor
 	}
 	if c.rng.Float64() < c.cfg.SpikeProb {

@@ -49,6 +49,14 @@ func (cl *Client) APIExtraDelay() time.Duration {
 	return d
 }
 
+// Sleep advances the simulated clock by d — the client-side wait the
+// resilience layer's backoff uses between retries.
+func (cl *Client) Sleep(d time.Duration) {
+	if d > 0 {
+		cl.chain.clock.AdvanceTo(cl.chain.clock.Now() + d)
+	}
+}
+
 // ErrTimeout reports a transaction not confirmed within the wait budget.
 var ErrTimeout = errors.New("eth: transaction not confirmed in time")
 

@@ -16,6 +16,8 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+
+	"agnopol/internal/faults"
 )
 
 // Entry is the content of a hypercube node for one keyword (one area),
@@ -64,6 +66,18 @@ type Network struct {
 
 	totalHops    uint64
 	totalLookups uint64
+	rerouted     uint64
+
+	// flt injects node failures on routing paths; nil when fault
+	// injection is off.
+	flt *faults.Injector
+}
+
+// SetFaults attaches a fault injector to the routing layer.
+func (h *Network) SetFaults(inj *faults.Injector) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.flt = inj
 }
 
 // New creates an r-dimensional hypercube with all 2^r logical nodes. r must
@@ -118,6 +132,37 @@ func (h *Network) Route(from, to uint64) []uint64 {
 	return path
 }
 
+// routeResilient walks greedily from 'from' to 'to' like Route, but
+// consults the fault injector at every intermediate hop: when the greedy
+// next-hop node is down, the walk detours via the least significant
+// differing bit instead. Any differing bit closes the Hamming distance, so
+// reroutes never lengthen the path and the r-hop bound survives failures.
+// The endpoints never fail — the requester is alive and the responsible
+// node must serve, matching the paper's assumption that content
+// responsibility is re-homed out of band.
+func (h *Network) routeResilient(from, to uint64) (path []uint64, rerouted int) {
+	path = []uint64{from}
+	cur := from
+	for cur != to {
+		diff := cur ^ to
+		next := cur ^ (1 << uint(bits.Len64(diff)-1))
+		if next != to && h.flt.Hit(faults.ClassCubeNodeDown, "cube.route") {
+			next = cur ^ (1 << uint(bits.TrailingZeros64(diff)))
+			rerouted++
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path, rerouted
+}
+
+// finishRoute records a completed fault-aware route: every reroute that
+// still delivered the request counts as a recovery.
+func (h *Network) finishRoute(rerouted int) {
+	h.rerouted += uint64(rerouted)
+	h.flt.RecoverN(faults.ClassCubeNodeDown, rerouted)
+}
+
 // Hops returns the routing distance between two node IDs.
 func (h *Network) Hops(from, to uint64) int {
 	return bits.OnesCount64(from ^ to)
@@ -142,7 +187,7 @@ func (h *Network) Put(via, targetID uint64, keyword string, entry *Entry) (int, 
 	if err := h.checkID(targetID); err != nil {
 		return 0, err
 	}
-	path := h.Route(via, targetID)
+	path, rerouted := h.routeResilient(via, targetID)
 	for _, nid := range path[:len(path)-1] {
 		h.nodes[nid].forwarded++
 	}
@@ -151,6 +196,7 @@ func (h *Network) Put(via, targetID uint64, keyword string, entry *Entry) (int, 
 	node.storesServed++
 	h.totalHops += uint64(len(path) - 1)
 	h.totalLookups++
+	h.finishRoute(rerouted)
 	return len(path) - 1, nil
 }
 
@@ -165,7 +211,7 @@ func (h *Network) Get(via, targetID uint64, keyword string) (*Entry, int, bool, 
 	if err := h.checkID(targetID); err != nil {
 		return nil, 0, false, err
 	}
-	path := h.Route(via, targetID)
+	path, rerouted := h.routeResilient(via, targetID)
 	for _, nid := range path[:len(path)-1] {
 		h.nodes[nid].forwarded++
 	}
@@ -173,6 +219,7 @@ func (h *Network) Get(via, targetID uint64, keyword string) (*Entry, int, bool, 
 	node.lookupsServed++
 	h.totalHops += uint64(len(path) - 1)
 	h.totalLookups++
+	h.finishRoute(rerouted)
 	e, ok := node.entries[keyword]
 	return e.Clone(), len(path) - 1, ok, nil
 }
@@ -189,7 +236,7 @@ func (h *Network) AppendCID(via, targetID uint64, keyword, contractID, cid strin
 	if err := h.checkID(targetID); err != nil {
 		return 0, err
 	}
-	path := h.Route(via, targetID)
+	path, rerouted := h.routeResilient(via, targetID)
 	node := h.nodes[targetID]
 	e, ok := node.entries[keyword]
 	if !ok {
@@ -200,6 +247,7 @@ func (h *Network) AppendCID(via, targetID uint64, keyword, contractID, cid strin
 	node.storesServed++
 	h.totalHops += uint64(len(path) - 1)
 	h.totalLookups++
+	h.finishRoute(rerouted)
 	return len(path) - 1, nil
 }
 
@@ -234,6 +282,8 @@ type Stats struct {
 	Lookups uint64
 	AvgHops float64
 	MaxHops int
+	// Rerouted counts hops detoured around injected node failures.
+	Rerouted uint64
 }
 
 // Stats returns aggregate routing statistics. MaxHops is the theoretical
@@ -241,7 +291,7 @@ type Stats struct {
 func (h *Network) Stats() Stats {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	s := Stats{Lookups: h.totalLookups, MaxHops: h.r}
+	s := Stats{Lookups: h.totalLookups, MaxHops: h.r, Rerouted: h.rerouted}
 	if h.totalLookups > 0 {
 		s.AvgHops = float64(h.totalHops) / float64(h.totalLookups)
 	}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"agnopol/internal/faults"
 	"agnopol/internal/polcrypto"
 )
 
@@ -48,6 +49,16 @@ type Network struct {
 	mu      sync.RWMutex
 	peers   map[string]bool
 	objects map[CID]*object
+
+	// flt injects fetch and pin failures; nil when fault injection is off.
+	flt *faults.Injector
+}
+
+// SetFaults attaches a fault injector to the swarm's fetch and pin paths.
+func (n *Network) SetFaults(inj *faults.Injector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flt = inj
 }
 
 // NewNetwork creates an empty swarm.
@@ -98,6 +109,11 @@ func (n *Network) Pin(peer string, cid CID) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, cid)
 	}
+	if err := n.flt.Try(faults.ClassIPFSUnpin, "ipfs.pin"); err != nil {
+		// The pin RPC fails, leaving the content at GC risk until the
+		// caller re-pins.
+		return err
+	}
 	obj.pinned[peer] = true
 	obj.cached[peer] = true
 	return nil
@@ -120,6 +136,11 @@ func (n *Network) Unpin(peer string, cid CID) error {
 func (n *Network) Get(cid CID) ([]byte, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	if err := n.flt.Try(faults.ClassIPFSFetch, "ipfs.get"); err != nil {
+		// No reachable provider answered this request; a later retry can
+		// find one.
+		return nil, err
+	}
 	obj, ok := n.objects[cid]
 	if !ok || (len(obj.pinned) == 0 && len(obj.cached) == 0) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, cid)

@@ -13,6 +13,7 @@ import (
 	"agnopol/internal/chain"
 	"agnopol/internal/core"
 	"agnopol/internal/eth"
+	"agnopol/internal/faults"
 	"agnopol/internal/geo"
 	"agnopol/internal/obs"
 	"agnopol/internal/olc"
@@ -94,6 +95,29 @@ func rewardFor(c core.Connector) uint64 {
 	return 1e15 // 0.001 ETH / MATIC
 }
 
+// Spec describes one experiment for Execute, the single entry point the
+// historical Run* family now wraps. The zero value of every optional field
+// selects the historical behaviour: no observability, no verification
+// phase, no fault injection.
+type Spec struct {
+	// Chain selects the network preset (see AllChains).
+	Chain ChainName
+	// Users is the prover count; must be a multiple of UsersPerContract.
+	Users int
+	// Seed drives every random stream of the run, fault streams included.
+	Seed uint64
+	// Obs optionally attaches an observability bundle: chain metrics, VM
+	// profiles, pipeline spans, and — when Faults is set — the
+	// faults_injected_total / faults_recovered_total counters.
+	Obs *obs.Obs
+	// Verify adds the funding + verification phase after collection.
+	Verify bool
+	// Faults optionally attaches a fault plan; the injector is seeded from
+	// Seed, so the same (Spec, Seed) is bit-for-bit reproducible. Nil keeps
+	// the run on the exact no-fault code path.
+	Faults *faults.Plan
+}
+
 // Run executes the thesis experiment: users provers in groups of
 // UsersPerContract per location, arriving sequentially. Every group's first
 // prover deploys the area contract, the rest attach. The verification phase
@@ -109,39 +133,132 @@ func Run(name ChainName, users int, seed uint64) (*Result, error) {
 // interaction runs under a sim.user span inside a sim.experiment span.
 // A nil bundle reproduces Run exactly.
 func RunObserved(name ChainName, users int, seed uint64, o *obs.Obs) (*Result, error) {
-	conn, sys, err := newExperiment(name, users, seed, o)
+	vr, err := Execute(Spec{Chain: name, Users: users, Seed: seed, Obs: o})
 	if err != nil {
 		return nil, err
 	}
-	exSp := sys.TraceScope().Start("sim.experiment",
-		obs.L("chain", string(name)), obs.L("users", fmt.Sprint(users)))
+	return vr.Result, nil
+}
+
+// Execute runs one experiment described by spec and returns the result;
+// VerifySummary, VerifyFees and Accepted stay zero unless spec.Verify is
+// set. It subsumes Run, RunObserved, RunWithVerify and
+// RunWithVerifyObserved, which remain as thin wrappers.
+func Execute(spec Spec) (*VerifyResult, error) {
+	conn, sys, err := newExperiment(spec)
+	if err != nil {
+		return nil, err
+	}
+	labels := []obs.Label{
+		obs.L("chain", string(spec.Chain)), obs.L("users", fmt.Sprint(spec.Users))}
+	if spec.Verify {
+		labels = append(labels, obs.L("verify", "true"))
+	}
+	if spec.Faults != nil {
+		labels = append(labels, obs.L("faults", "true"))
+	}
+	exSp := sys.TraceScope().Start("sim.experiment", labels...)
 	defer exSp.End()
-	res, _, err := collect(name, conn, sys, users)
-	return res, err
+
+	// The verifier exists before collection starts so its creation cost
+	// never leaks into the measured phases (§4.3).
+	var verifier *core.Verifier
+	if spec.Verify {
+		verifier, err = core.NewVerifier(sys)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := verifier.EnsureAccount(conn, 100); err != nil {
+			return nil, err
+		}
+	}
+
+	base, stagedUsers, err := collect(spec.Chain, conn, sys, spec.Users)
+	if err != nil {
+		return nil, err
+	}
+	out := &VerifyResult{Result: base}
+	if !spec.Verify {
+		return out, nil
+	}
+
+	reward := rewardFor(conn)
+	for g := 0; g < spec.Users/UsersPerContract; g++ {
+		// All provers of a group staged onto the same contract; fund it
+		// once, through the deployer's handle.
+		h := stagedUsers[g*UsersPerContract].handle
+		if _, err := verifier.FundContract(conn, h, uint64(UsersPerContract)*reward); err != nil {
+			return nil, err
+		}
+	}
+
+	// Verification phase.
+	var verifyLat []time.Duration
+	for _, s := range stagedUsers {
+		ver, err := verifier.VerifyProver(conn, s.handle, s.prover.DID)
+		if err != nil {
+			return nil, err
+		}
+		if ver.Accepted {
+			out.Accepted++
+		}
+		verifyLat = append(verifyLat, ver.Op.Latency)
+		out.VerifyFees = out.VerifyFees.Add(ver.Op.Fee)
+	}
+	out.VerifySummary = stats.SummarizeDurations(verifyLat)
+	return out, nil
 }
 
 // newExperiment validates the grid parameters and builds one run's world:
-// a fresh connector and system, both instrumented when o is non-nil.
-// Every experiment owns its whole world — runs share nothing but the obs
-// bundle — which is what lets RunMatrix fan cells out over workers.
-func newExperiment(name ChainName, users int, seed uint64, o *obs.Obs) (core.Connector, *core.System, error) {
-	if users%UsersPerContract != 0 {
-		return nil, nil, fmt.Errorf("sim: users=%d must be a multiple of %d", users, UsersPerContract)
+// a fresh connector and system, instrumented when spec.Obs is non-nil and
+// fault-wired when spec.Faults is. Every experiment owns its whole world —
+// runs share nothing but the obs bundle — which is what lets RunMatrix fan
+// cells out over workers.
+func newExperiment(spec Spec) (core.Connector, *core.System, error) {
+	if spec.Users%UsersPerContract != 0 {
+		return nil, nil, fmt.Errorf("sim: users=%d must be a multiple of %d", spec.Users, UsersPerContract)
 	}
-	if contracts := users / UsersPerContract; contracts > len(Locations) {
+	if contracts := spec.Users / UsersPerContract; contracts > len(Locations) {
 		return nil, nil, fmt.Errorf("sim: %d contracts exceed the %d thesis locations", contracts, len(Locations))
 	}
-	conn, err := NewConnector(name, seed)
+	conn, err := NewConnector(spec.Chain, spec.Seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	sys, err := core.NewSystem(seed)
+	sys, err := core.NewSystem(spec.Seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	InstrumentConnector(conn, o)
-	sys.Instrument(o)
+	InstrumentConnector(conn, spec.Obs)
+	sys.Instrument(spec.Obs)
+	applyFaults(spec, conn, sys)
 	return conn, sys, nil
+}
+
+// applyFaults wires a spec's fault plan into the freshly built world: one
+// injector per run, seeded from the run seed so every fault stream is a
+// pure function of (seed, site, sequence) — worker scheduling in RunMatrix
+// can never shift a draw. The chain consults the injector at its mempool,
+// the off-chain substrates via System, and both connector and actors run
+// under the default retry policy. A nil plan is a no-op, leaving the run
+// on the exact code path a fault-free build takes.
+func applyFaults(spec Spec, conn core.Connector, sys *core.System) {
+	if spec.Faults == nil {
+		return
+	}
+	var reg *obs.Registry
+	if spec.Obs != nil {
+		reg = spec.Obs.Registry
+	}
+	inj := faults.NewInjector(spec.Faults, spec.Seed, reg)
+	switch c := conn.(type) {
+	case *core.EVMConnector:
+		c.Chain().SetFaults(inj)
+	case *core.AlgorandConnector:
+		c.Chain().SetFaults(inj)
+	}
+	conn.SetResilience(faults.DefaultRetry)
+	sys.SetResilience(inj, faults.DefaultRetry)
 }
 
 // staged pairs a prover with the contract its proof landed on, for phases
@@ -276,7 +393,7 @@ func submitUser(sc *obs.Scope, conn core.Connector, p *core.Prover, w *core.Witn
 	if !ok {
 		return nil, "", fmt.Errorf("sim: user %d has no account on %s", u, conn.Name())
 	}
-	proof, err := p.RequestProof(w, cid, acct.Address())
+	proof, err := p.RequestProofResilient(conn, w, cid, acct.Address())
 	if err != nil {
 		return nil, "", fmt.Errorf("sim: user %d proof: %w", u, err)
 	}
@@ -310,49 +427,5 @@ func RunWithVerify(name ChainName, users int, seed uint64) (*VerifyResult, error
 // so the verify flavour gets the same spans and histograms, plus the
 // pol.verify instrumentation of the verification phase.
 func RunWithVerifyObserved(name ChainName, users int, seed uint64, o *obs.Obs) (*VerifyResult, error) {
-	conn, sys, err := newExperiment(name, users, seed, o)
-	if err != nil {
-		return nil, err
-	}
-	exSp := sys.TraceScope().Start("sim.experiment", obs.L("chain", string(name)),
-		obs.L("users", fmt.Sprint(users)), obs.L("verify", "true"))
-	defer exSp.End()
-	verifier, err := core.NewVerifier(sys)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := verifier.EnsureAccount(conn, 100); err != nil {
-		return nil, err
-	}
-
-	base, stagedUsers, err := collect(name, conn, sys, users)
-	if err != nil {
-		return nil, err
-	}
-	reward := rewardFor(conn)
-	for g := 0; g < users/UsersPerContract; g++ {
-		// All provers of a group staged onto the same contract; fund it
-		// once, through the deployer's handle.
-		h := stagedUsers[g*UsersPerContract].handle
-		if _, err := verifier.FundContract(conn, h, uint64(UsersPerContract)*reward); err != nil {
-			return nil, err
-		}
-	}
-
-	// Verification phase.
-	out := &VerifyResult{Result: base}
-	var verifyLat []time.Duration
-	for _, s := range stagedUsers {
-		ver, err := verifier.VerifyProver(conn, s.handle, s.prover.DID)
-		if err != nil {
-			return nil, err
-		}
-		if ver.Accepted {
-			out.Accepted++
-		}
-		verifyLat = append(verifyLat, ver.Op.Latency)
-		out.VerifyFees = out.VerifyFees.Add(ver.Op.Fee)
-	}
-	out.VerifySummary = stats.SummarizeDurations(verifyLat)
-	return out, nil
+	return Execute(Spec{Chain: name, Users: users, Seed: seed, Obs: o, Verify: true})
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"agnopol/internal/faults"
 	"agnopol/internal/obs"
 	"agnopol/internal/stats"
 )
@@ -40,6 +41,15 @@ type MatrixSpec struct {
 	Seed uint64
 	// Parallel is the worker count; values below 1 select GOMAXPROCS.
 	Parallel int
+	// Faults optionally applies a fault plan to every run. Each run's
+	// injector is seeded from that run's derived seed, so fault streams
+	// are as scheduling-independent as the runs themselves.
+	Faults *faults.Plan
+	// Verify adds the funding + verification phase to every run. The
+	// aggregates still cover only deploy/attach (matching the tables);
+	// the phase matters to fault sweeps, whose report-fetch fault class
+	// only fires during verification.
+	Verify bool
 }
 
 // CellRun is one completed run of the grid.
@@ -129,7 +139,14 @@ func RunMatrix(spec MatrixSpec, o *obs.Obs) (*MatrixResult, error) {
 			for idx := range jobs {
 				cell := cells[idx/reps]
 				seed := deriveSeed(spec.Seed, idx)
-				r, err := RunObserved(cell.Chain, cell.Users, seed, o)
+				vr, err := Execute(Spec{
+					Chain: cell.Chain, Users: cell.Users, Seed: seed,
+					Obs: o, Faults: spec.Faults, Verify: spec.Verify,
+				})
+				var r *Result
+				if vr != nil {
+					r = vr.Result
+				}
 				runs[idx] = CellRun{Cell: cell, Rep: idx % reps, Seed: seed, Result: r}
 				errs[idx] = err
 			}

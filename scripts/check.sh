@@ -30,6 +30,12 @@ echo "== parallel matrix =="
 # upload as an artifact.
 go run ./cmd/polbench -matrix -parallel 4 -reps 2 -benchout BENCH_parallel.json > /dev/null
 
+echo "== fault sweep =="
+# Reliability smoke: the full pipeline under the default fault profile
+# (sequential baseline + parallel re-run, determinism checked inside);
+# leaves FAULTS_report.json for CI to upload as an artifact.
+go run ./cmd/polbench -faults default -faultrate 0.2 -reps 2 -parallel 4 -faultsout FAULTS_report.json > /dev/null
+
 echo "== benchmarks (1 iteration) =="
 go test -bench=. -benchmem -benchtime=1x ./... > /dev/null
 
