@@ -10,6 +10,8 @@
 //	polbench -tables -json                # machine-readable results
 //	polbench -matrix -parallel 4 -reps 5  # parallel cross-seed matrix run
 //	polbench -faults default -faultrate 0.2  # reliability sweep + recovery report
+//	polbench -vmbench                     # VM interpreter micro-benchmarks -> BENCH_vm.json
+//	polbench -tables -cpuprofile cpu.out  # profile any run with pprof
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,6 +30,7 @@ import (
 	"agnopol/internal/obs"
 	"agnopol/internal/sim"
 	"agnopol/internal/stats"
+	"agnopol/internal/vmbench"
 )
 
 func main() {
@@ -42,10 +46,14 @@ func main() {
 		matrix    = flag.Bool("matrix", false, "run the Table 5.1–5.4 grid through the parallel matrix engine")
 		parallel  = flag.Int("parallel", 0, "matrix worker count (0 = GOMAXPROCS)")
 		reps      = flag.Int("reps", 1, "seed-varied repetitions per matrix cell")
-		benchOut  = flag.String("benchout", "BENCH_parallel.json", "where -matrix writes the sequential-vs-parallel speedup record")
+		benchOut  = flag.String("benchout", "", "where -matrix (default BENCH_parallel.json) or -vmbench (default BENCH_vm.json) writes its record")
 		faultsPro = flag.String("faults", "", fmt.Sprintf("run a reliability sweep under a fault profile (%s)", strings.Join(faults.ProfileNames(), ", ")))
 		faultRate = flag.Float64("faultrate", 0.1, "per-draw fault probability for -faults, in [0,1]")
 		faultsOut = flag.String("faultsout", "FAULTS_report.json", "where -faults writes the recovery-rate report")
+		vmbenchF  = flag.Bool("vmbench", false, "run the VM interpreter micro-benchmarks (u256 fast path vs big.Int reference)")
+		vmbenchT  = flag.String("vmbenchtime", "1s", "testing -benchtime for -vmbench (e.g. 1s, 100x; 1x = CI smoke)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -63,6 +71,15 @@ func main() {
 	if (setFlags["faultrate"] || setFlags["faultsout"]) && *faultsPro == "" {
 		usageErr("-faultrate and -faultsout require -faults <profile>")
 	}
+	if setFlags["vmbenchtime"] && !*vmbenchF {
+		usageErr("-vmbenchtime requires -vmbench")
+	}
+	if setFlags["benchout"] && !*matrix && !*vmbenchF {
+		usageErr("-benchout only applies to -matrix or -vmbench runs")
+	}
+	if setFlags["benchout"] && *matrix && *vmbenchF {
+		usageErr("-benchout is ambiguous when both -matrix and -vmbench run; invoke them separately")
+	}
 	if *faultRate < 0 || *faultRate > 1 {
 		usageErr(fmt.Sprintf("-faultrate %v is outside [0,1]", *faultRate))
 	}
@@ -74,8 +91,40 @@ func main() {
 		}
 	}
 
-	if !*tables && !*figures && !*analysis && *fig == "" && !*matrix && *faultsPro == "" {
+	if !*tables && !*figures && !*analysis && *fig == "" && !*matrix && *faultsPro == "" && !*vmbenchF {
 		*tables, *figures, *analysis = true, true, true
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "polbench: CPU profile written to %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "polbench: heap profile written to %s\n", *memProf)
+		}()
 	}
 
 	var o *obs.Obs
@@ -117,7 +166,21 @@ func main() {
 	}
 
 	if *matrix {
-		if err := runMatrixMode(*seed, *reps, *parallel, *benchOut, o, *jsonOut); err != nil {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_parallel.json"
+		}
+		if err := runMatrixMode(*seed, *reps, *parallel, out, o, *jsonOut); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *vmbenchF {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_vm.json"
+		}
+		if err := runVMBench(*vmbenchT, out, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -248,19 +311,23 @@ type cellSummaryJSON struct {
 // cross-seed summaries (taken from the parallel run — the determinism
 // check asserts the sequential ones are equal).
 type benchParallelJSON struct {
-	Grid              string            `json:"grid"`
-	Cells             int               `json:"cells"`
-	Reps              int               `json:"reps"`
-	RunsTotal         int               `json:"runs_total"`
-	Seed              uint64            `json:"seed"`
-	GOMAXPROCS        int               `json:"gomaxprocs"`
-	NumCPU            int               `json:"num_cpu"`
-	Parallel          int               `json:"parallel"`
-	SequentialSeconds float64           `json:"sequential_seconds"`
-	ParallelSeconds   float64           `json:"parallel_seconds"`
-	Speedup           float64           `json:"speedup"`
-	Deterministic     bool              `json:"deterministic"`
-	Summaries         []cellSummaryJSON `json:"summaries"`
+	Grid              string  `json:"grid"`
+	Cells             int     `json:"cells"`
+	Reps              int     `json:"reps"`
+	RunsTotal         int     `json:"runs_total"`
+	Seed              uint64  `json:"seed"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	NumCPU            int     `json:"num_cpu"`
+	Parallel          int     `json:"parallel"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+	// SpeedupValid is false when GOMAXPROCS < 2: with a single scheduler
+	// thread the "parallel" run cannot actually overlap work, so the
+	// speedup number measures goroutine overhead, not parallelism.
+	SpeedupValid  bool              `json:"speedup_valid"`
+	Deterministic bool              `json:"deterministic"`
+	Summaries     []cellSummaryJSON `json:"summaries"`
 }
 
 // runMatrixMode fans the Table 5.1–5.4 grid out over the matrix engine:
@@ -282,6 +349,11 @@ func runMatrixMode(seed uint64, reps, parallel int, benchOut string, o *obs.Obs,
 	if !deterministic {
 		return fmt.Errorf("matrix is not deterministic: parallel=%d summaries diverge from the sequential baseline", par.Parallel)
 	}
+	speedupValid := runtime.GOMAXPROCS(0) >= 2
+	if !speedupValid {
+		fmt.Fprintf(os.Stderr, "polbench: warning: GOMAXPROCS=%d — the sequential-vs-parallel speedup is not a parallelism measurement; recording speedup_valid=false\n",
+			runtime.GOMAXPROCS(0))
+	}
 	if !jsonOut {
 		fmt.Println(par)
 		fmt.Printf("speedup: sequential %v, parallel(%d) %v — %.2fx\n\n",
@@ -301,6 +373,7 @@ func runMatrixMode(seed uint64, reps, parallel int, benchOut string, o *obs.Obs,
 		SequentialSeconds: seq.Elapsed.Seconds(),
 		ParallelSeconds:   par.Elapsed.Seconds(),
 		Speedup:           seq.Elapsed.Seconds() / par.Elapsed.Seconds(),
+		SpeedupValid:      speedupValid,
 		Deterministic:     deterministic,
 	}
 	for _, s := range par.Summaries {
@@ -327,6 +400,33 @@ func runMatrixMode(seed uint64, reps, parallel int, benchOut string, o *obs.Obs,
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "polbench: speedup record written to %s\n", benchOut)
+	return nil
+}
+
+// runVMBench runs the interpreter micro-benchmarks and writes the
+// BENCH_vm.json before/after record (u256 fast path vs big.Int reference).
+func runVMBench(benchtime, out string, jsonOut bool) error {
+	rep, err := vmbench.Run(benchtime)
+	if err != nil {
+		return err
+	}
+	if !jsonOut {
+		fmt.Print(rep)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "polbench: VM benchmark record written to %s\n", out)
 	return nil
 }
 

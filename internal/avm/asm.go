@@ -12,6 +12,10 @@ type Instr struct {
 	Args []string
 	// Line is the 1-based source line, for error messages.
 	Line int
+	// Cost is the opcode's budget cost, precomputed at parse time so the
+	// interpreter loop skips the cost-table lookup. Zero means "not
+	// precomputed" and the interpreter falls back to the table.
+	Cost uint64
 }
 
 // Program is a parsed TEAL program ready for execution.
@@ -47,7 +51,7 @@ func Parse(src string) (*Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("avm: line %d: %w", lineNo+1, err)
 		}
-		p.Instrs = append(p.Instrs, Instr{Op: fields[0], Args: fields[1:], Line: lineNo + 1})
+		p.Instrs = append(p.Instrs, Instr{Op: fields[0], Args: fields[1:], Line: lineNo + 1, Cost: instrCost(fields[0])})
 	}
 	return p, nil
 }

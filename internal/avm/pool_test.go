@@ -1,0 +1,189 @@
+package avm
+
+import (
+	"testing"
+
+	"agnopol/internal/chain"
+)
+
+// TestPooledScratchIsolation: a program that stores into scratch must not
+// leak the value into a later call that only loads — the dirty-list clear
+// in release() is what keeps pooled machines indistinguishable from fresh
+// ones.
+func TestPooledScratchIsolation(t *testing.T) {
+	writer, err := Parse(`
+int 77
+store 9
+int 1
+return
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := Parse(`
+load 9
+itob
+log
+int 1
+return
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := NewMemLedger()
+	for i := 0; i < 20; i++ {
+		if res := Execute(writer, led, TxContext{AppID: 1}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		res := Execute(reader, led, TxContext{AppID: 1})
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if v, err := Btoi([]byte(res.Logs[0])); err != nil || v != 0 {
+			t.Fatalf("round %d: scratch leaked across pooled calls: got %d", i, v)
+		}
+	}
+}
+
+// TestPooledSenderEscapesToLedger: a contract that stores its creator's
+// address in a global must still see the original creator after other
+// senders run on the recycled machine. Guards against pushing slices that
+// alias the pooled machine's tx field — the ledger would then track
+// whoever called last instead of the creator.
+func TestPooledSenderEscapesToLedger(t *testing.T) {
+	writer, err := Parse(`
+byte "creator"
+txn Sender
+app_global_put
+int 1
+return
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := Parse(`
+byte "creator"
+app_global_get
+txn Sender
+==
+return
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := NewMemLedger()
+	creator := chain.AddressFromBytes([]byte("the-creator-address!"))
+	stranger := chain.AddressFromBytes([]byte("a-total-stranger----"))
+	if res := Execute(writer, led, TxContext{AppID: 1, Sender: creator}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// The stranger's call reuses the pooled machine; the stored global must
+	// not follow it.
+	if res := Execute(checker, led, TxContext{AppID: 1, Sender: stranger}); res.Err != nil || res.Approved {
+		t.Fatalf("stored creator aliased the pooled machine: approved=%v err=%v", res.Approved, res.Err)
+	}
+	if res := Execute(checker, led, TxContext{AppID: 1, Sender: creator}); res.Err != nil || !res.Approved {
+		t.Fatalf("creator no longer matches its own stored address: approved=%v err=%v", res.Approved, res.Err)
+	}
+}
+
+// TestPooledMachineConcurrent exercises the machine pool under -race.
+func TestPooledMachineConcurrent(t *testing.T) {
+	prog, err := Parse(`
+int 6
+int 7
+*
+store 3
+load 3
+itob
+log
+int 1
+return
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			led := NewMemLedger()
+			for i := 0; i < 200; i++ {
+				res := Execute(prog, led, TxContext{AppID: 1, Sender: chain.Address{byte(i)}})
+				if res.Err != nil {
+					done <- res.Err
+					return
+				}
+				if v, err := Btoi([]byte(res.Logs[0])); err != nil || v != 42 {
+					done <- res.Err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInstrCostPrecomputed(t *testing.T) {
+	prog, err := Parse(`
+byte "x"
+sha256
+pop
+int 1
+return
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sha Instr
+	for _, ins := range prog.Instrs {
+		if ins.Op == "sha256" {
+			sha = ins
+		}
+		if ins.Cost == 0 {
+			t.Fatalf("instruction %q has no precomputed cost", ins.Op)
+		}
+	}
+	if sha.Cost != 35 {
+		t.Fatalf("sha256 cost = %d, want 35", sha.Cost)
+	}
+	// And the executed cost matches: byte(1) + sha256(35) + pop(1) + int(1) + return(1).
+	res := Execute(prog, NewMemLedger(), TxContext{AppID: 1})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Cost != 39 {
+		t.Fatalf("cost = %d, want 39", res.Cost)
+	}
+}
+
+func BenchmarkExecuteLoop(b *testing.B) {
+	prog, err := Parse(`
+int 50
+store 0
+loop:
+load 0
+int 1
+-
+store 0
+load 0
+bnz loop
+int 1
+return
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	led := NewMemLedger()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := Execute(prog, led, TxContext{AppID: 1}); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}

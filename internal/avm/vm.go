@@ -3,6 +3,7 @@ package avm
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"agnopol/internal/chain"
 	"agnopol/internal/obs"
@@ -67,27 +68,81 @@ var (
 	ErrBadProgram     = errors.New("avm: bad program")
 )
 
-// opCost gives non-unit opcode costs; everything else costs 1.
+// opCost gives non-unit opcode costs; everything else costs 1. Parse bakes
+// these into Instr.Cost so the interpreter loop never consults the map.
 var opCost = map[string]uint64{
 	"sha256": 35,
 }
 
+// instrCost is the budget cost of op (≥ 1).
+func instrCost(op string) uint64 {
+	if c := opCost[op]; c != 0 {
+		return c
+	}
+	return 1
+}
+
+// machine is the pooled per-call interpreter state. The AVM already
+// computes on uint64 values, so the analogue of the EVM's u256 rewrite is
+// recycling the machine itself: the 256-slot scratch space (~10 KB) and the
+// stack/call-stack slices dominate per-Execute allocation. Scratch slots
+// are cleared lazily via a dirty list — a call that writes three slots pays
+// for three, not 256.
 type machine struct {
 	prog   *Program
 	ledger Ledger
 	tx     TxContext
 
-	stack   []Value
-	scratch [256]Value
-	callers []int
-	cost    uint64
-	budget  uint64
-	logs    []string
-	ret     []byte
+	stack        []Value
+	scratch      [256]Value
+	scratchDirty []uint16
+	callers      []int
+	cost         uint64
+	budget       uint64
+	logs         []string
+	ret          []byte
 
 	itxnOpen     bool
 	itxnReceiver chain.Address
 	itxnAmount   uint64
+}
+
+var machinePool = sync.Pool{New: func() any { return new(machine) }}
+
+// reset prepares a pooled machine for one call.
+func (m *machine) reset(prog *Program, ledger Ledger, tx TxContext) {
+	m.prog = prog
+	m.ledger = ledger
+	m.tx = tx
+	m.stack = m.stack[:0]
+	m.callers = m.callers[:0]
+	m.cost = 0
+	m.budget = uint64(tx.BudgetTxns) * DefaultBudget
+	m.logs = nil // escapes into Result, never pooled
+	m.ret = nil
+	m.itxnOpen = false
+	m.itxnReceiver = chain.Address{}
+	m.itxnAmount = 0
+}
+
+// release drops every reference before the machine returns to the pool:
+// dirty scratch slots, any values left on the stack's backing array, and
+// the borrowed program/ledger.
+func (m *machine) release() {
+	m.prog = nil
+	m.ledger = nil
+	m.tx = TxContext{}
+	for _, i := range m.scratchDirty {
+		m.scratch[i] = Value{}
+	}
+	m.scratchDirty = m.scratchDirty[:0]
+	full := m.stack[:cap(m.stack)]
+	for i := range full {
+		full[i] = Value{}
+	}
+	m.stack = m.stack[:0]
+	m.logs = nil
+	m.ret = nil
 }
 
 // Execute runs a parsed program as an application call. State mutations go
@@ -97,12 +152,8 @@ func Execute(prog *Program, ledger Ledger, tx TxContext) Result {
 	if tx.BudgetTxns < 1 {
 		tx.BudgetTxns = 1
 	}
-	m := &machine{
-		prog:   prog,
-		ledger: ledger,
-		tx:     tx,
-		budget: uint64(tx.BudgetTxns) * DefaultBudget,
-	}
+	m := machinePool.Get().(*machine)
+	m.reset(prog, ledger, tx)
 	approved, err := m.run()
 	res := Result{
 		Approved: approved && err == nil,
@@ -111,6 +162,8 @@ func Execute(prog *Program, ledger Ledger, tx TxContext) Result {
 		Return:   m.ret,
 		Err:      err,
 	}
+	m.release()
+	machinePool.Put(m)
 	return res
 }
 
@@ -158,9 +211,9 @@ func (m *machine) run() (bool, error) {
 	pc := 0
 	for pc < len(m.prog.Instrs) {
 		ins := m.prog.Instrs[pc]
-		c := opCost[ins.Op]
-		if c == 0 {
-			c = 1
+		c := ins.Cost
+		if c == 0 { // program not built by Parse
+			c = instrCost(ins.Op)
 		}
 		m.cost += c
 		if m.tx.Profiler != nil {
@@ -193,7 +246,12 @@ func (m *machine) run() (bool, error) {
 		case "txn":
 			switch ins.Args[0] {
 			case "Sender":
-				m.push(BytesValue(m.tx.Sender[:]))
+				// Copy out of the machine struct: the pushed value can
+				// escape into the ledger (e.g. a stored creator address),
+				// and a slice aliasing the pooled machine's tx field would
+				// be rewritten by the next call that reuses the machine.
+				sender := m.tx.Sender
+				m.push(BytesValue(sender[:]))
 			case "ApplicationID":
 				if m.tx.CreateMode {
 					m.push(Uint64Value(0))
@@ -429,6 +487,7 @@ func (m *machine) run() (bool, error) {
 				return false, errAt(err)
 			}
 			m.scratch[i] = v
+			m.scratchDirty = append(m.scratchDirty, uint16(i))
 
 		case "load":
 			i, err := argUint(ins.Args[0])

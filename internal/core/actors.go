@@ -269,7 +269,7 @@ func (p *Prover) RequestProof(w *Witness, cid ipfs.CID, wallet [20]byte) (*Locat
 	}
 	// The prover checks the certificate before spending fees on it.
 	vSp := p.sys.span("pol.cert_verify")
-	err = proof.Verify()
+	err = p.sys.verifyProof(proof)
 	vSp.End()
 	if err != nil {
 		return nil, err
@@ -559,7 +559,7 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 	if err != nil {
 		return nil, err
 	}
-	if polcrypto.Verify(proverKey, parsed.Hash[:], parsed.Signature) {
+	if v.sys.verifySig(proverKey, parsed.Hash[:], parsed.Signature) {
 		return v.rejected(prover, ErrSelfSigned.Error()), nil
 	}
 	signed := false
@@ -567,7 +567,7 @@ func (v *Verifier) VerifyProver(conn Connector, h *Handle, prover did.DID) (*Ver
 		if bytes.Equal(pub, proverKey) {
 			continue
 		}
-		if polcrypto.Verify(pub, parsed.Hash[:], parsed.Signature) {
+		if v.sys.verifySig(pub, parsed.Hash[:], parsed.Signature) {
 			signed = true
 			break
 		}

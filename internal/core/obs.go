@@ -51,6 +51,8 @@ type sysObs struct {
 	proofsAttached    *obs.Counter
 	verifAccepted     *obs.Counter
 	verifRejected     *obs.Counter
+	sigCacheHits      *obs.Counter
+	sigCacheMisses    *obs.Counter
 }
 
 // Instrument attaches an observability bundle to the system: per-phase
@@ -80,6 +82,8 @@ func (s *System) Instrument(o *obs.Obs) {
 	so.proofsAttached = reg.Counter("core_proofs_attached_total")
 	so.verifAccepted = reg.Counter("core_verifications_total", obs.L("result", "accepted"))
 	so.verifRejected = reg.Counter("core_verifications_total", obs.L("result", "rejected"))
+	so.sigCacheHits = reg.Counter("core_sigcache_total", obs.L("result", "hit"))
+	so.sigCacheMisses = reg.Counter("core_sigcache_total", obs.L("result", "miss"))
 	reg.Help("core_phase_duration_seconds", "Wall-clock duration of each proof-pipeline phase.")
 	reg.Help("core_chain_op_latency_seconds", "Simulated latency of on-chain PoL operations.")
 	reg.Help("core_hypercube_hops", "DHT routing hops per contract lookup.")
@@ -88,6 +92,7 @@ func (s *System) Instrument(o *obs.Obs) {
 	reg.Help("core_contracts_deployed_total", "PoL contracts deployed (first prover in an area).")
 	reg.Help("core_proofs_attached_total", "Proofs attached to an existing contract.")
 	reg.Help("core_verifications_total", "Verifier decisions on staged proofs.")
+	reg.Help("core_sigcache_total", "Signature-verification cache lookups by result.")
 	s.obs = so
 }
 
@@ -139,6 +144,18 @@ func (s *System) observeChainOp(op string, latency time.Duration) {
 func (s *System) rejectProof(reason string) {
 	if s.obs != nil {
 		s.obs.o.Registry.Counter("core_proofs_rejected_total", obs.L("reason", reason)).Inc()
+	}
+}
+
+// countSigCache records a signature-cache lookup outcome; nil-safe.
+func (s *System) countSigCache(hit bool) {
+	if s.obs == nil {
+		return
+	}
+	if hit {
+		s.obs.sigCacheHits.Inc()
+	} else {
+		s.obs.sigCacheMisses.Inc()
 	}
 }
 

@@ -163,7 +163,7 @@ func (p *Prover) RequestProofQuorum(witnesses []*Witness, cid ipfs.CID, wallet [
 		}
 		bundle.Proofs = append(bundle.Proofs, proof)
 	}
-	if err := bundle.Validate(); err != nil {
+	if err := p.sys.validateBundle(bundle); err != nil {
 		return nil, err
 	}
 	return bundle, nil
@@ -173,7 +173,7 @@ func (p *Prover) RequestProofQuorum(witnesses []*Witness, cid ipfs.CID, wallet [
 // on-chain, deploying the area contract when needed — the quorum analogue
 // of SubmitProof.
 func (p *Prover) SubmitProofQuorum(conn Connector, bundle *ProofBundle, rewardPerProver uint64) (*SubmissionResult, error) {
-	if err := bundle.Validate(); err != nil {
+	if err := p.sys.validateBundle(bundle); err != nil {
 		return nil, err
 	}
 	data, err := marshalBundle(bundle)
@@ -267,7 +267,7 @@ func (v *Verifier) VerifyProverQuorum(conn Connector, h *Handle, prover did.DID,
 	if err != nil {
 		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
 	}
-	if err := bundle.Validate(); err != nil {
+	if err := v.sys.validateBundle(bundle); err != nil {
 		return &Verification{Prover: prover, Accepted: false, Reason: err.Error()}, nil
 	}
 	req := bundle.Proofs[0].Request

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"container/list"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+
+	"agnopol/internal/polcrypto"
+)
+
+// defaultSigCacheSize bounds the signature-verification memo. A quorum run
+// re-checks every proof in a bundle at collection, submission and
+// verification time; a few thousand entries cover the largest experiment
+// matrix while keeping the cache at ~1 MiB worst case.
+const defaultSigCacheSize = 4096
+
+// sigCacheKey is the full verification input. ed25519 keys and signatures
+// have fixed sizes and the system only ever signs 32-byte proof hashes, so
+// the key is a comparable value type — no per-lookup allocation.
+type sigCacheKey struct {
+	pub  [ed25519.PublicKeySize]byte
+	hash [32]byte
+	sig  [ed25519.SignatureSize]byte
+}
+
+type sigCacheEntry struct {
+	key sigCacheKey
+	ok  bool
+}
+
+// sigCache memoizes (pubkey, hash, signature) → valid under a bounded LRU.
+// Both outcomes are cached: a forged signature stays invalid forever, and
+// re-rejecting it should be as cheap as re-accepting a genuine one.
+type sigCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List
+	idx map[sigCacheKey]*list.Element
+}
+
+func newSigCache(capacity int) *sigCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &sigCache{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[sigCacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the memoized verdict and whether it was present.
+func (c *sigCache) get(k sigCacheKey) (ok, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.idx[k]
+	if !found {
+		return false, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*sigCacheEntry).ok, true
+}
+
+// put records a verdict, evicting the least-recently-used entry at capacity.
+func (c *sigCache) put(k sigCacheKey, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.idx[k]; found {
+		el.Value.(*sigCacheEntry).ok = ok
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[k] = c.ll.PushFront(&sigCacheEntry{key: k, ok: ok})
+	if c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.idx, back.Value.(*sigCacheEntry).key)
+	}
+}
+
+// len reports the number of cached verdicts.
+func (c *sigCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// sigKeyFor packs the verification input into a cache key. Inputs with a
+// non-canonical shape (wrong key or signature length, message that is not a
+// 32-byte hash) are not cacheable.
+func sigKeyFor(pub ed25519.PublicKey, msg, sig []byte) (sigCacheKey, bool) {
+	var k sigCacheKey
+	if len(pub) != ed25519.PublicKeySize || len(msg) != 32 || len(sig) != ed25519.SignatureSize {
+		return k, false
+	}
+	copy(k.pub[:], pub)
+	copy(k.hash[:], msg)
+	copy(k.sig[:], sig)
+	return k, true
+}
+
+// verifySig is polcrypto.Verify memoized through the system's signature
+// cache. Quorum validation re-checks the same (witness, hash, signature)
+// triple at bundle collection, submission and on-chain verification; the
+// scalar math runs once and every re-check is a map hit. Hits and misses
+// feed core_sigcache_total when the system is instrumented.
+func (s *System) verifySig(pub ed25519.PublicKey, msg, sig []byte) bool {
+	key, cacheable := sigKeyFor(pub, msg, sig)
+	if !cacheable {
+		return polcrypto.Verify(pub, msg, sig)
+	}
+	if ok, hit := s.sigs.get(key); hit {
+		s.countSigCache(true)
+		return ok
+	}
+	s.countSigCache(false)
+	ok := polcrypto.Verify(pub, msg, sig)
+	s.sigs.put(key, ok)
+	return ok
+}
+
+// verifyProof is LocationProof.Verify routed through the signature cache.
+// The public Verify stays self-contained (callers without a System keep
+// working); every in-system verification path goes through here.
+func (s *System) verifyProof(p *LocationProof) error {
+	if p.Request.Hash() != p.Hash {
+		return errors.New("core: proof hash does not match request fields")
+	}
+	if !s.verifySig(p.WitnessPub, p.Hash[:], p.Signature) {
+		return fmt.Errorf("core: %w", polcrypto.ErrBadSignature)
+	}
+	return nil
+}
+
+// validateBundle is ProofBundle.Validate with cached signature checks —
+// same consistency rules, same error shapes.
+func (s *System) validateBundle(b *ProofBundle) error {
+	if len(b.Proofs) == 0 {
+		return fmt.Errorf("%w: empty bundle", ErrBundleInconsistent)
+	}
+	first := b.Proofs[0].Request
+	for i, p := range b.Proofs {
+		if err := s.verifyProof(p); err != nil {
+			return fmt.Errorf("core: bundle proof %d: %w", i, err)
+		}
+		r := p.Request
+		if r.DID != first.DID || r.OLC != first.OLC || r.CID != first.CID || r.Wallet != first.Wallet {
+			return fmt.Errorf("%w: proof %d", ErrBundleInconsistent, i)
+		}
+	}
+	return nil
+}

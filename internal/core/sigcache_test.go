@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"agnopol/internal/chain"
+	"agnopol/internal/obs"
+	"agnopol/internal/polcrypto"
+)
+
+func sigCacheCounters(t *testing.T, o *obs.Obs) (hits, misses uint64) {
+	t.Helper()
+	reg := o.Registry
+	return reg.Counter("core_sigcache_total", obs.L("result", "hit")).Value(),
+		reg.Counter("core_sigcache_total", obs.L("result", "miss")).Value()
+}
+
+// TestSigCacheHitAndCounters: the second verification of the same triple
+// must come from the cache and bump the hit counter, for genuine and forged
+// signatures alike.
+func TestSigCacheHitAndCounters(t *testing.T) {
+	sys, err := NewSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	sys.Instrument(o)
+
+	rng := chain.NewRand(42)
+	kp := polcrypto.MustGenerateKeyPair(rng)
+	msg := polcrypto.Hash([]byte("claim"))
+	sig := kp.Sign(msg[:])
+
+	for round := 0; round < 3; round++ {
+		if !sys.verifySig(kp.Public, msg[:], sig) {
+			t.Fatalf("round %d: genuine signature rejected", round)
+		}
+	}
+	hits, misses := sigCacheCounters(t, o)
+	if misses != 1 || hits != 2 {
+		t.Fatalf("genuine: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+
+	// A forged signature is cached as invalid — repeat checks are hits and
+	// still rejected.
+	forged := append([]byte(nil), sig...)
+	forged[0] ^= 0xff
+	for round := 0; round < 2; round++ {
+		if sys.verifySig(kp.Public, msg[:], forged) {
+			t.Fatalf("round %d: forged signature accepted", round)
+		}
+	}
+	hits, misses = sigCacheCounters(t, o)
+	if misses != 2 || hits != 3 {
+		t.Fatalf("after forgery: hits=%d misses=%d, want 3/2", hits, misses)
+	}
+}
+
+// TestSigCacheUncacheableShapes: inputs that are not (32-byte key, 32-byte
+// hash, 64-byte sig) bypass the cache entirely.
+func TestSigCacheUncacheableShapes(t *testing.T) {
+	sys, err := NewSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := chain.NewRand(7)
+	kp := polcrypto.MustGenerateKeyPair(rng)
+	longMsg := []byte("not a 32-byte hash, deliberately longer than that")
+	sig := kp.Sign(longMsg)
+	for round := 0; round < 2; round++ {
+		if !sys.verifySig(kp.Public, longMsg, sig) {
+			t.Fatal("valid signature over non-hash message rejected")
+		}
+	}
+	if n := sys.sigs.len(); n != 0 {
+		t.Fatalf("uncacheable input landed in the cache: len=%d", n)
+	}
+	if sys.verifySig(nil, longMsg, sig) {
+		t.Fatal("nil public key accepted")
+	}
+}
+
+// TestSigCacheEviction: the LRU stays bounded and evicts oldest-first.
+func TestSigCacheEviction(t *testing.T) {
+	c := newSigCache(3)
+	keys := make([]sigCacheKey, 5)
+	for i := range keys {
+		keys[i].hash[0] = byte(i + 1)
+		c.put(keys[i], true)
+	}
+	if c.len() != 3 {
+		t.Fatalf("cache len = %d, want 3", c.len())
+	}
+	for i, want := range []bool{false, false, true, true, true} {
+		if _, hit := c.get(keys[i]); hit != want {
+			t.Fatalf("key %d: hit=%v, want %v", i, hit, want)
+		}
+	}
+	// Touching the oldest survivor protects it from the next eviction.
+	c.get(keys[2])
+	var fresh sigCacheKey
+	fresh.hash[0] = 0xee
+	c.put(fresh, false)
+	if _, hit := c.get(keys[2]); !hit {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, hit := c.get(keys[3]); hit {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+	if ok, hit := c.get(fresh); !hit || ok {
+		t.Fatalf("fresh entry: ok=%v hit=%v, want false/true", ok, hit)
+	}
+}
+
+// TestVerifyProofCachedMatchesUncached: the cached path agrees with the
+// public LocationProof.Verify on both accept and reject.
+func TestVerifyProofCachedMatchesUncached(t *testing.T) {
+	sys, err := NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := chain.NewRand(9)
+	kp := polcrypto.MustGenerateKeyPair(rng)
+	proof := &LocationProof{
+		Request:    ProofRequest{DID: "did:pol:abc", OLC: "8FQFMGGM+22", Nonce: 5},
+		WitnessPub: kp.Public,
+	}
+	proof.Hash = proof.Request.Hash()
+	proof.Signature = kp.Sign(proof.Hash[:])
+
+	for round := 0; round < 2; round++ {
+		pubErr, sysErr := proof.Verify(), sys.verifyProof(proof)
+		if (pubErr == nil) != (sysErr == nil) {
+			t.Fatalf("round %d: Verify=%v verifyProof=%v", round, pubErr, sysErr)
+		}
+	}
+	proof.Signature[3] ^= 0x40
+	for round := 0; round < 2; round++ {
+		pubErr, sysErr := proof.Verify(), sys.verifyProof(proof)
+		if pubErr == nil || sysErr == nil {
+			t.Fatalf("round %d: tampered proof accepted: Verify=%v verifyProof=%v", round, pubErr, sysErr)
+		}
+	}
+	// Tampered request: rejected before any signature math, so the cache is
+	// untouched.
+	n := sys.sigs.len()
+	bad := *proof
+	bad.Request.Nonce++
+	if err := sys.verifyProof(&bad); err == nil {
+		t.Fatal("hash-mismatched proof accepted")
+	}
+	if sys.sigs.len() != n {
+		t.Fatal("hash mismatch reached the signature cache")
+	}
+}

@@ -37,6 +37,10 @@ type System struct {
 	didIndex map[uint64]did.DID
 	dir      witnessDirectory
 
+	// sigs memoizes ed25519 signature verifications (see sigcache.go);
+	// quorum paths re-check the same proof several times per claim.
+	sigs *sigCache
+
 	// obs holds the proof-pipeline instrumentation (see obs.go); nil when
 	// uninstrumented. Set once via Instrument before actors run.
 	obs *sysObs
@@ -67,6 +71,7 @@ func NewSystem(seed uint64) (*System, error) {
 		R:        DefaultHypercubeDimension,
 		handles:  make(map[string]*Handle),
 		didIndex: make(map[uint64]did.DID),
+		sigs:     newSigCache(defaultSigCacheSize),
 	}
 	return s, nil
 }

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"agnopol/internal/chain"
 	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
+	"agnopol/internal/u256"
 )
 
 // Execution errors. Any of them consumes all remaining gas and reverts state
@@ -22,8 +24,6 @@ var (
 )
 
 const stackLimit = 1024
-
-var two256 = new(big.Int).Lsh(big.NewInt(1), 256)
 
 // Log is an emitted event.
 type Log struct {
@@ -62,22 +62,52 @@ type Result struct {
 	Err error
 }
 
-type interpreter struct {
-	ctx   Context
-	state *journaledState
-	code  []byte
+// Constant opcode gas as flat tables so the dispatch loop pays an array
+// index instead of a map lookup. Populated from constGas (gas.go) at init.
+var (
+	constGasTab [256]uint64
+	hasConstGas [256]bool
+)
 
-	stack  []*big.Int
+func init() {
+	for op, g := range constGas {
+		constGasTab[op] = g
+		hasConstGas[op] = true
+	}
+}
+
+// slotRef keys the flat warm/original-value storage maps. The interpreter
+// only ever touches slots of the executing contract plus value-transfer
+// targets, so one flat map replaces the per-address nested maps of the
+// reference implementation.
+type slotRef struct {
+	addr chain.Address
+	key  chain.Hash32
+}
+
+// interpreter is the pooled per-execution state of the fast VM: a fixed
+// value-typed u256 stack, reusable byte memory, flat access-list maps and a
+// jumpdest bitmap. Everything that does not escape into the Result is
+// recycled through interpPool, so a warm Execute allocates only what the
+// program itself materializes (logs, return data, journal entries).
+type interpreter struct {
+	ctx       Context
+	state     journaledState
+	code      []byte
+	callValue u256.Word
+
+	stack  [stackLimit]u256.Word
+	sp     int
 	mem    []byte
 	gas    uint64
 	refund uint64
 	logs   []Log
 
 	warmAddrs map[chain.Address]bool
-	warmSlots map[chain.Address]map[chain.Hash32]bool
-	origSlots map[chain.Address]map[chain.Hash32]chain.Hash32
+	warmSlots map[slotRef]bool
+	origSlots map[slotRef]chain.Hash32
 
-	jumpdests map[uint64]bool
+	jumpdests []bool
 
 	// Opcode profiling state: the opcode whose gas consumption is being
 	// accumulated, and the gas level when it started executing. Only
@@ -86,6 +116,8 @@ type interpreter struct {
 	profStart uint64
 	profArmed bool
 }
+
+var interpPool = sync.Pool{New: func() any { return new(interpreter) }}
 
 // profTick attributes the previous opcode's gas (its full consumption is
 // known only once the next opcode is reached) and arms accounting for op.
@@ -109,41 +141,76 @@ func (in *interpreter) profFlush() {
 // Execute runs code in the given context and returns the result. Gas
 // accounting covers opcode execution only; the chain layer adds intrinsic
 // transaction gas (IntrinsicGas) and code-deposit gas for deployments.
+//
+// Semantics are bit-identical to ExecuteRef (the retained big.Int reference
+// interpreter); the differential tests in diff_test.go enforce this.
 func Execute(ctx Context, code []byte) Result {
-	in := &interpreter{
-		ctx:       ctx,
-		state:     &journaledState{inner: ctx.State},
-		code:      code,
-		gas:       ctx.GasLimit,
-		warmAddrs: map[chain.Address]bool{ctx.Address: true, ctx.Caller: true},
-		warmSlots: make(map[chain.Address]map[chain.Hash32]bool),
-		origSlots: make(map[chain.Address]map[chain.Hash32]chain.Hash32),
-		jumpdests: scanJumpdests(code),
-	}
-	if ctx.Value == nil {
-		in.ctx.Value = new(big.Int)
-	}
+	in := interpPool.Get().(*interpreter)
+	in.reset(ctx, code)
 	res := in.run()
 	if res.Err != nil || res.Reverted {
 		in.state.j.revert()
 	}
 	res.Logs = in.logs
+	in.release()
+	interpPool.Put(in)
 	return res
 }
 
-func scanJumpdests(code []byte) map[uint64]bool {
-	dests := make(map[uint64]bool)
+// reset prepares a pooled interpreter for one execution.
+func (in *interpreter) reset(ctx Context, code []byte) {
+	in.ctx = ctx
+	in.state = journaledState{inner: ctx.State}
+	in.code = code
+	in.callValue = u256.FromBig(ctx.Value)
+	in.sp = 0
+	in.mem = in.mem[:0]
+	in.gas = ctx.GasLimit
+	in.refund = 0
+	in.logs = nil // escapes into Result, never pooled
+	if in.warmAddrs == nil {
+		in.warmAddrs = make(map[chain.Address]bool, 8)
+		in.warmSlots = make(map[slotRef]bool, 16)
+		in.origSlots = make(map[slotRef]chain.Hash32, 16)
+	}
+	in.warmAddrs[ctx.Address] = true
+	in.warmAddrs[ctx.Caller] = true
+	in.scanJumpdests(code)
+	in.profArmed = false
+}
+
+// release drops every reference that must not survive in the pool. The logs
+// slice escaped into the Result, so only the pointer is cleared; the maps
+// keep their buckets (clear preserves capacity) for the next run.
+func (in *interpreter) release() {
+	in.ctx = Context{}
+	in.state = journaledState{}
+	in.code = nil
+	in.logs = nil
+	clear(in.warmAddrs)
+	clear(in.warmSlots)
+	clear(in.origSlots)
+}
+
+// scanJumpdests rebuilds the valid-destination bitmap over code, reusing the
+// pooled slice when it is large enough.
+func (in *interpreter) scanJumpdests(code []byte) {
+	if cap(in.jumpdests) >= len(code) {
+		in.jumpdests = in.jumpdests[:len(code)]
+		clear(in.jumpdests)
+	} else {
+		in.jumpdests = make([]bool, len(code))
+	}
 	for pc := 0; pc < len(code); {
 		op := Opcode(code[pc])
 		if op == JUMPDEST {
-			dests[uint64(pc)] = true
+			in.jumpdests[pc] = true
 		}
 		if n, ok := op.IsPush(); ok {
 			pc += n
 		}
 		pc++
 	}
-	return dests
 }
 
 func (in *interpreter) useGas(amount uint64) bool {
@@ -155,36 +222,50 @@ func (in *interpreter) useGas(amount uint64) bool {
 	return true
 }
 
-func (in *interpreter) push(v *big.Int) error {
-	if len(in.stack) >= stackLimit {
+func (in *interpreter) push(v u256.Word) error {
+	if in.sp >= stackLimit {
 		return ErrStackOverflow
 	}
-	in.stack = append(in.stack, v)
+	in.stack[in.sp] = v
+	in.sp++
 	return nil
 }
 
-func (in *interpreter) pop() (*big.Int, error) {
-	if len(in.stack) == 0 {
-		return nil, ErrStackUnderflow
+func (in *interpreter) pop() (u256.Word, error) {
+	if in.sp == 0 {
+		return u256.Word{}, ErrStackUnderflow
 	}
-	v := in.stack[len(in.stack)-1]
-	in.stack = in.stack[:len(in.stack)-1]
-	return v, nil
+	in.sp--
+	return in.stack[in.sp], nil
 }
 
-func (in *interpreter) popN(n int) ([]*big.Int, error) {
-	if len(in.stack) < n {
-		return nil, ErrStackUnderflow
+// pop2 removes the two topmost words; a was the top of the stack.
+func (in *interpreter) pop2() (a, b u256.Word, err error) {
+	if in.sp < 2 {
+		return a, b, ErrStackUnderflow
 	}
-	out := make([]*big.Int, n)
+	in.sp -= 2
+	return in.stack[in.sp+1], in.stack[in.sp], nil
+}
+
+// popN copies the topmost len(dst) words into dst in pop order (dst[0] was
+// the top). Callers pass a fixed-size local array slice, so nothing heap-
+// allocates.
+func (in *interpreter) popN(dst []u256.Word) error {
+	n := len(dst)
+	if in.sp < n {
+		return ErrStackUnderflow
+	}
 	for i := 0; i < n; i++ {
-		out[i] = in.stack[len(in.stack)-1-i]
+		dst[i] = in.stack[in.sp-1-i]
 	}
-	in.stack = in.stack[:len(in.stack)-n]
-	return out, nil
+	in.sp -= n
+	return nil
 }
 
-// expandMem charges and grows memory to cover [off, off+size).
+// expandMem charges and grows memory to cover [off, off+size). Pooled memory
+// is reused by capacity; bytes exposed beyond the previous length are zeroed
+// so a recycled buffer behaves exactly like a fresh one.
 func (in *interpreter) expandMem(off, size uint64) bool {
 	if size == 0 {
 		return true
@@ -200,9 +281,16 @@ func (in *interpreter) expandMem(off, size uint64) bool {
 		if !in.useGas(memoryGas(newWords) - memoryGas(curWords)) {
 			return false
 		}
-		grown := make([]byte, newWords*32)
-		copy(grown, in.mem)
-		in.mem = grown
+		newLen := int(newWords * 32)
+		if newLen <= cap(in.mem) {
+			prev := len(in.mem)
+			in.mem = in.mem[:newLen]
+			clear(in.mem[prev:])
+		} else {
+			grown := make([]byte, newLen)
+			copy(grown, in.mem)
+			in.mem = grown
+		}
 	}
 	return true
 }
@@ -214,63 +302,44 @@ func (in *interpreter) memSlice(off, size uint64) []byte {
 	return in.mem[off : off+size]
 }
 
-func u256(v *big.Int) *big.Int {
-	if v.Sign() < 0 || v.Cmp(two256) >= 0 {
-		return new(big.Int).Mod(v, two256)
-	}
-	return v
+func wordToHash32(v u256.Word) chain.Hash32 {
+	return chain.Hash32(v.Bytes32())
 }
 
-func boolWord(b bool) *big.Int {
-	if b {
-		return big.NewInt(1)
-	}
-	return new(big.Int)
+func hash32ToWord(h chain.Hash32) u256.Word {
+	return u256.SetBytes(h[:])
 }
 
-func wordToHash(v *big.Int) chain.Hash32 {
-	var h chain.Hash32
-	v.FillBytes(h[:])
-	return h
-}
-
-func hashToWord(h chain.Hash32) *big.Int {
-	return new(big.Int).SetBytes(h[:])
-}
-
-func wordToAddress(v *big.Int) chain.Address {
-	var buf [32]byte
-	v.FillBytes(buf[:])
+func wordToAddr(v u256.Word) chain.Address {
+	buf := v.Bytes32()
 	var a chain.Address
 	copy(a[:], buf[12:])
 	return a
 }
 
 func (in *interpreter) slotWarm(addr chain.Address, key chain.Hash32) bool {
-	m, ok := in.warmSlots[addr]
-	if !ok {
-		m = make(map[chain.Hash32]bool)
-		in.warmSlots[addr] = m
-	}
-	if m[key] {
+	ref := slotRef{addr, key}
+	if in.warmSlots[ref] {
 		return true
 	}
-	m[key] = true
+	in.warmSlots[ref] = true
 	return false
 }
 
 func (in *interpreter) originalSlot(addr chain.Address, key chain.Hash32) chain.Hash32 {
-	m, ok := in.origSlots[addr]
-	if !ok {
-		m = make(map[chain.Hash32]chain.Hash32)
-		in.origSlots[addr] = m
-	}
-	if v, ok := m[key]; ok {
+	ref := slotRef{addr, key}
+	if v, ok := in.origSlots[ref]; ok {
 		return v
 	}
 	v := in.state.GetStorage(addr, key)
-	m[key] = v
+	in.origSlots[ref] = v
 	return v
+}
+
+// validJump reports whether dest is a JUMPDEST (64-bit truncated, matching
+// big.Int.Uint64 in the reference interpreter).
+func (in *interpreter) validJump(dest uint64) bool {
+	return dest < uint64(len(in.jumpdests)) && in.jumpdests[dest]
 }
 
 //nolint:gocyclo // a bytecode interpreter is one big dispatch by nature.
@@ -287,8 +356,8 @@ func (in *interpreter) run() Result {
 			in.profTick(op)
 		}
 
-		if g, ok := constGas[op]; ok {
-			if !in.useGas(g) {
+		if hasConstGas[op] {
+			if !in.useGas(constGasTab[op]) {
 				return fail(ErrOutOfGas)
 			}
 		}
@@ -303,8 +372,7 @@ func (in *interpreter) run() Result {
 			if end > uint64(len(in.code)) {
 				end = uint64(len(in.code))
 			}
-			v := new(big.Int).SetBytes(in.code[pc+1 : end])
-			if err := in.push(v); err != nil {
+			if err := in.push(u256.SetBytes(in.code[pc+1 : end])); err != nil {
 				return fail(err)
 			}
 			pc += n + 1
@@ -315,10 +383,10 @@ func (in *interpreter) run() Result {
 				return fail(ErrOutOfGas)
 			}
 			n := int(op-DUP1) + 1
-			if len(in.stack) < n {
+			if in.sp < n {
 				return fail(ErrStackUnderflow)
 			}
-			if err := in.push(new(big.Int).Set(in.stack[len(in.stack)-n])); err != nil {
+			if err := in.push(in.stack[in.sp-n]); err != nil {
 				return fail(err)
 			}
 			pc++
@@ -329,10 +397,10 @@ func (in *interpreter) run() Result {
 				return fail(ErrOutOfGas)
 			}
 			n := int(op-SWAP1) + 1
-			if len(in.stack) < n+1 {
+			if in.sp < n+1 {
 				return fail(ErrStackUnderflow)
 			}
-			top := len(in.stack) - 1
+			top := in.sp - 1
 			in.stack[top], in.stack[top-n] = in.stack[top-n], in.stack[top]
 			pc++
 			continue
@@ -344,62 +412,45 @@ func (in *interpreter) run() Result {
 			return Result{GasUsed: in.ctx.GasLimit - in.gas, Refund: in.refund}
 
 		case ADD, MUL, SUB, DIV, MOD, AND, OR, XOR, LT, GT, EQ, SHL, SHR, BYTE:
-			args, err := in.popN(2)
+			a, b, err := in.pop2()
 			if err != nil {
 				return fail(err)
 			}
-			a, b := args[0], args[1]
-			var v *big.Int
+			var v u256.Word
 			switch op {
 			case ADD:
-				v = u256(new(big.Int).Add(a, b))
+				v = a.Add(b)
 			case MUL:
-				v = u256(new(big.Int).Mul(a, b))
+				v = a.Mul(b)
 			case SUB:
-				v = u256(new(big.Int).Sub(a, b))
+				v = a.Sub(b)
 			case DIV:
-				if b.Sign() == 0 {
-					v = new(big.Int)
-				} else {
-					v = new(big.Int).Div(a, b)
-				}
+				v = a.Div(b)
 			case MOD:
-				if b.Sign() == 0 {
-					v = new(big.Int)
-				} else {
-					v = new(big.Int).Mod(a, b)
-				}
+				v = a.Mod(b)
 			case AND:
-				v = new(big.Int).And(a, b)
+				v = a.And(b)
 			case OR:
-				v = new(big.Int).Or(a, b)
+				v = a.Or(b)
 			case XOR:
-				v = new(big.Int).Xor(a, b)
+				v = a.Xor(b)
 			case LT:
-				v = boolWord(a.Cmp(b) < 0)
+				v = u256.FromBool(a.Lt(b))
 			case GT:
-				v = boolWord(a.Cmp(b) > 0)
+				v = u256.FromBool(a.Gt(b))
 			case EQ:
-				v = boolWord(a.Cmp(b) == 0)
+				v = u256.FromBool(a == b)
 			case SHL:
-				if a.Cmp(big.NewInt(256)) >= 0 {
-					v = new(big.Int)
-				} else {
-					v = u256(new(big.Int).Lsh(b, uint(a.Uint64())))
+				if a.IsUint64() && a.Uint64() < 256 {
+					v = b.Lsh(uint(a.Uint64()))
 				}
 			case SHR:
-				if a.Cmp(big.NewInt(256)) >= 0 {
-					v = new(big.Int)
-				} else {
-					v = new(big.Int).Rsh(b, uint(a.Uint64()))
+				if a.IsUint64() && a.Uint64() < 256 {
+					v = b.Rsh(uint(a.Uint64()))
 				}
 			case BYTE:
-				if a.Cmp(big.NewInt(32)) >= 0 {
-					v = new(big.Int)
-				} else {
-					var buf [32]byte
-					b.FillBytes(buf[:])
-					v = big.NewInt(int64(buf[a.Uint64()]))
+				if a.IsUint64() {
+					v = b.Byte(a.Uint64())
 				}
 			}
 			if err := in.push(v); err != nil {
@@ -407,16 +458,14 @@ func (in *interpreter) run() Result {
 			}
 
 		case EXP:
-			args, err := in.popN(2)
+			base, exp, err := in.pop2()
 			if err != nil {
 				return fail(err)
 			}
-			base, exp := args[0], args[1]
-			expBytes := uint64((exp.BitLen() + 7) / 8)
-			if !in.useGas(GasExp + GasExpByte*expBytes) {
+			if !in.useGas(GasExp + GasExpByte*uint64(exp.ByteLen())) {
 				return fail(ErrOutOfGas)
 			}
-			if err := in.push(new(big.Int).Exp(base, exp, two256)); err != nil {
+			if err := in.push(base.Exp(exp)); err != nil {
 				return fail(err)
 			}
 
@@ -425,22 +474,22 @@ func (in *interpreter) run() Result {
 			if err != nil {
 				return fail(err)
 			}
-			var v *big.Int
+			var v u256.Word
 			if op == ISZERO {
-				v = boolWord(a.Sign() == 0)
+				v = u256.FromBool(a.IsZero())
 			} else {
-				v = new(big.Int).Sub(new(big.Int).Sub(two256, big.NewInt(1)), a)
+				v = a.Not()
 			}
 			if err := in.push(v); err != nil {
 				return fail(err)
 			}
 
 		case KECCAK256:
-			args, err := in.popN(2)
+			a, b, err := in.pop2()
 			if err != nil {
 				return fail(err)
 			}
-			off, size := args[0].Uint64(), args[1].Uint64()
+			off, size := a.Uint64(), b.Uint64()
 			words := (size + 31) / 32
 			if !in.useGas(GasKeccak256 + GasKeccak256Word*words) {
 				return fail(ErrOutOfGas)
@@ -449,32 +498,32 @@ func (in *interpreter) run() Result {
 				return fail(ErrOutOfGas)
 			}
 			h := polcrypto.Hash(in.memSlice(off, size))
-			if err := in.push(new(big.Int).SetBytes(h[:])); err != nil {
+			if err := in.push(u256.SetBytes(h[:])); err != nil {
 				return fail(err)
 			}
 
 		case ADDRESS:
-			if err := in.push(new(big.Int).SetBytes(in.ctx.Address[:])); err != nil {
+			if err := in.push(u256.SetBytes(in.ctx.Address[:])); err != nil {
 				return fail(err)
 			}
 		case CALLER:
-			if err := in.push(new(big.Int).SetBytes(in.ctx.Caller[:])); err != nil {
+			if err := in.push(u256.SetBytes(in.ctx.Caller[:])); err != nil {
 				return fail(err)
 			}
 		case CALLVALUE:
-			if err := in.push(new(big.Int).Set(in.ctx.Value)); err != nil {
+			if err := in.push(in.callValue); err != nil {
 				return fail(err)
 			}
 		case TIMESTAMP:
-			if err := in.push(new(big.Int).SetUint64(in.ctx.Timestamp)); err != nil {
+			if err := in.push(u256.FromUint64(in.ctx.Timestamp)); err != nil {
 				return fail(err)
 			}
 		case NUMBER:
-			if err := in.push(new(big.Int).SetUint64(in.ctx.BlockNumber)); err != nil {
+			if err := in.push(u256.FromUint64(in.ctx.BlockNumber)); err != nil {
 				return fail(err)
 			}
 		case SELFBALANCE:
-			if err := in.push(in.state.GetBalance(in.ctx.Address)); err != nil {
+			if err := in.push(u256.FromBig(in.state.GetBalance(in.ctx.Address))); err != nil {
 				return fail(err)
 			}
 
@@ -483,7 +532,7 @@ func (in *interpreter) run() Result {
 			if err != nil {
 				return fail(err)
 			}
-			addr := wordToAddress(a)
+			addr := wordToAddr(a)
 			cost := uint64(GasColdAccount)
 			if in.warmAddrs[addr] {
 				cost = GasWarmAccess
@@ -492,7 +541,7 @@ func (in *interpreter) run() Result {
 			if !in.useGas(cost) {
 				return fail(ErrOutOfGas)
 			}
-			if err := in.push(in.state.GetBalance(addr)); err != nil {
+			if err := in.push(u256.FromBig(in.state.GetBalance(addr))); err != nil {
 				return fail(err)
 			}
 
@@ -508,11 +557,11 @@ func (in *interpreter) run() Result {
 					buf[i] = in.ctx.CallData[off+i]
 				}
 			}
-			if err := in.push(new(big.Int).SetBytes(buf[:])); err != nil {
+			if err := in.push(u256.SetBytes(buf[:])); err != nil {
 				return fail(err)
 			}
 		case CALLDATASIZE:
-			if err := in.push(big.NewInt(int64(len(in.ctx.CallData)))); err != nil {
+			if err := in.push(u256.FromUint64(uint64(len(in.ctx.CallData)))); err != nil {
 				return fail(err)
 			}
 
@@ -533,29 +582,29 @@ func (in *interpreter) run() Result {
 			if !in.expandMem(off, 32) {
 				return fail(ErrOutOfGas)
 			}
-			if err := in.push(new(big.Int).SetBytes(in.memSlice(off, 32))); err != nil {
+			if err := in.push(u256.SetBytes(in.memSlice(off, 32))); err != nil {
 				return fail(err)
 			}
 		case MSTORE:
-			args, err := in.popN(2)
+			a, b, err := in.pop2()
 			if err != nil {
 				return fail(err)
 			}
 			if !in.useGas(GasVeryLow) {
 				return fail(ErrOutOfGas)
 			}
-			off := args[0].Uint64()
+			off := a.Uint64()
 			if !in.expandMem(off, 32) {
 				return fail(ErrOutOfGas)
 			}
-			args[1].FillBytes(in.mem[off : off+32])
+			b.PutBytes32(in.mem[off : off+32])
 
 		case SLOAD:
 			a, err := in.pop()
 			if err != nil {
 				return fail(err)
 			}
-			key := wordToHash(a)
+			key := wordToHash32(a)
 			cost := uint64(GasColdSLoad)
 			if in.slotWarm(in.ctx.Address, key) {
 				cost = GasWarmAccess
@@ -563,17 +612,17 @@ func (in *interpreter) run() Result {
 			if !in.useGas(cost) {
 				return fail(ErrOutOfGas)
 			}
-			if err := in.push(hashToWord(in.state.GetStorage(in.ctx.Address, key))); err != nil {
+			if err := in.push(hash32ToWord(in.state.GetStorage(in.ctx.Address, key))); err != nil {
 				return fail(err)
 			}
 
 		case SSTORE:
-			args, err := in.popN(2)
+			a, b, err := in.pop2()
 			if err != nil {
 				return fail(err)
 			}
-			key := wordToHash(args[0])
-			value := wordToHash(args[1])
+			key := wordToHash32(a)
+			value := wordToHash32(b)
 			cost := uint64(0)
 			if !in.slotWarm(in.ctx.Address, key) {
 				cost += GasColdSLoad
@@ -604,19 +653,19 @@ func (in *interpreter) run() Result {
 				return fail(err)
 			}
 			dest := a.Uint64()
-			if !in.jumpdests[dest] {
+			if !in.validJump(dest) {
 				return fail(ErrInvalidJump)
 			}
 			pc = dest
 			continue
 		case JUMPI:
-			args, err := in.popN(2)
+			a, b, err := in.pop2()
 			if err != nil {
 				return fail(err)
 			}
-			if args[1].Sign() != 0 {
-				dest := args[0].Uint64()
-				if !in.jumpdests[dest] {
+			if !b.IsZero() {
+				dest := a.Uint64()
+				if !in.validJump(dest) {
 					return fail(ErrInvalidJump)
 				}
 				pc = dest
@@ -624,15 +673,15 @@ func (in *interpreter) run() Result {
 			}
 
 		case PC:
-			if err := in.push(new(big.Int).SetUint64(pc)); err != nil {
+			if err := in.push(u256.FromUint64(pc)); err != nil {
 				return fail(err)
 			}
 		case MSIZE:
-			if err := in.push(big.NewInt(int64(len(in.mem)))); err != nil {
+			if err := in.push(u256.FromUint64(uint64(len(in.mem)))); err != nil {
 				return fail(err)
 			}
 		case GAS:
-			if err := in.push(new(big.Int).SetUint64(in.gas)); err != nil {
+			if err := in.push(u256.FromUint64(in.gas)); err != nil {
 				return fail(err)
 			}
 		case JUMPDEST:
@@ -640,8 +689,9 @@ func (in *interpreter) run() Result {
 
 		case LOG0, LOG1, LOG2:
 			topicCount := int(op - LOG0)
-			args, err := in.popN(2 + topicCount)
-			if err != nil {
+			var argbuf [4]u256.Word
+			args := argbuf[:2+topicCount]
+			if err := in.popN(args); err != nil {
 				return fail(err)
 			}
 			off, size := args[0].Uint64(), args[1].Uint64()
@@ -653,7 +703,7 @@ func (in *interpreter) run() Result {
 			}
 			log := Log{Address: in.ctx.Address, Data: append([]byte(nil), in.memSlice(off, size)...)}
 			for i := 0; i < topicCount; i++ {
-				log.Topics = append(log.Topics, wordToHash(args[2+i]))
+				log.Topics = append(log.Topics, wordToHash32(args[2+i]))
 			}
 			in.logs = append(in.logs, log)
 
@@ -661,18 +711,18 @@ func (in *interpreter) run() Result {
 			// Value-transfer call (the contract language only transfers to
 			// externally-owned accounts; nested contract execution is not
 			// part of the compiled programs).
-			args, err := in.popN(7)
-			if err != nil {
+			var argbuf [7]u256.Word
+			if err := in.popN(argbuf[:]); err != nil {
 				return fail(err)
 			}
-			to := wordToAddress(args[1])
-			value := args[2]
+			to := wordToAddr(argbuf[1])
+			value := argbuf[2]
 			cost := uint64(GasColdAccount)
 			if in.warmAddrs[to] {
 				cost = GasWarmAccess
 			}
 			in.warmAddrs[to] = true
-			if value.Sign() > 0 {
+			if !value.IsZero() {
 				cost += GasCallValue
 				if !in.state.AccountExists(to) {
 					cost += GasNewAccount
@@ -681,24 +731,26 @@ func (in *interpreter) run() Result {
 			if !in.useGas(cost) {
 				return fail(ErrOutOfGas)
 			}
-			if in.state.GetBalance(in.ctx.Address).Cmp(value) < 0 {
-				if err := in.push(new(big.Int)); err != nil {
+			// Balance movement stays on big.Int: the StateDB boundary.
+			valueBig := value.ToBig()
+			if in.state.GetBalance(in.ctx.Address).Cmp(valueBig) < 0 {
+				if err := in.push(u256.Zero); err != nil {
 					return fail(err)
 				}
 			} else {
-				in.state.SubBalance(in.ctx.Address, value)
-				in.state.AddBalance(to, value)
-				if err := in.push(big.NewInt(1)); err != nil {
+				in.state.SubBalance(in.ctx.Address, valueBig)
+				in.state.AddBalance(to, valueBig)
+				if err := in.push(u256.One); err != nil {
 					return fail(err)
 				}
 			}
 
 		case RETURN, REVERT:
-			args, err := in.popN(2)
+			a, b, err := in.pop2()
 			if err != nil {
 				return fail(err)
 			}
-			off, size := args[0].Uint64(), args[1].Uint64()
+			off, size := a.Uint64(), b.Uint64()
 			if !in.expandMem(off, size) {
 				return fail(ErrOutOfGas)
 			}

@@ -1,0 +1,273 @@
+// Package vmbench measures interpreter throughput on the workload the
+// evaluation chapter actually times: deploying the PoL contract and
+// attaching a user (one insert_data Invoke). The EVM workload runs on both
+// engines — the u256 fast path (evm.Execute) and the retained big.Int
+// reference (evm.ExecuteRef) — so BENCH_vm.json records a measured
+// before/after rather than a remembered number. The AVM workload has no
+// big.Int baseline (it always computed on uint64); its record tracks the
+// pooled machine's ns/op and allocs/op.
+package vmbench
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"testing"
+
+	"agnopol/internal/avm"
+	"agnopol/internal/chain"
+	"agnopol/internal/core"
+	"agnopol/internal/evm"
+	"agnopol/internal/lang"
+)
+
+// Engine is one engine's measurement of a workload.
+type Engine struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Workload is one benchmark with its per-engine results. NsImprovement and
+// AllocsReduction are bigint/u256 ratios (higher is better), present only
+// when both engines ran.
+type Workload struct {
+	Name            string  `json:"name"`
+	U256            *Engine `json:"u256,omitempty"`
+	BigInt          *Engine `json:"bigint_ref,omitempty"`
+	NsImprovement   float64 `json:"ns_improvement,omitempty"`
+	AllocsReduction float64 `json:"allocs_reduction,omitempty"`
+}
+
+// Report is the BENCH_vm.json record.
+type Report struct {
+	Benchtime  string     `json:"benchtime"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Workloads  []Workload `json:"workloads"`
+	// Headline numbers for the EVM deploy+attach workload — the metric the
+	// perf acceptance gate reads.
+	DeployAttachNsImprovement   float64 `json:"evm_deploy_attach_ns_improvement"`
+	DeployAttachAllocsReduction float64 `json:"evm_deploy_attach_allocs_reduction"`
+}
+
+func (r *Report) String() string {
+	s := fmt.Sprintf("VM microbenchmarks (benchtime %s, GOMAXPROCS %d)\n", r.Benchtime, r.GOMAXPROCS)
+	for _, w := range r.Workloads {
+		s += fmt.Sprintf("  %-24s", w.Name)
+		if w.U256 != nil {
+			s += fmt.Sprintf("  u256 %12.0f ns/op %6d allocs/op", w.U256.NsPerOp, w.U256.AllocsPerOp)
+		}
+		if w.BigInt != nil {
+			s += fmt.Sprintf("  bigint %12.0f ns/op %6d allocs/op  (%.1fx ns, %.1fx allocs)",
+				w.BigInt.NsPerOp, w.BigInt.AllocsPerOp, w.NsImprovement, w.AllocsReduction)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+var testingInitOnce sync.Once
+
+// setBenchtime routes the requested duration/count into the testing
+// package, which only reads it from its registered flag.
+func setBenchtime(v string) error {
+	if err := flag.Set("test.benchtime", v); err != nil {
+		return fmt.Errorf("vmbench: bad benchtime %q: %w", v, err)
+	}
+	return nil
+}
+
+// Run compiles the PoL contract, sanity-checks both engines agree on the
+// workload, and measures it. benchtime is a testing -benchtime value
+// ("1s", "100x", …); "1x" gives a compile-and-run smoke for CI.
+func Run(benchtime string) (*Report, error) {
+	compiled, err := core.CompilePoL()
+	if err != nil {
+		return nil, fmt.Errorf("vmbench: compile: %w", err)
+	}
+
+	w, err := newEVMWorkload(compiled)
+	if err != nil {
+		return nil, err
+	}
+	aw, err := newAVMWorkload(compiled)
+	if err != nil {
+		return nil, err
+	}
+
+	testingInitOnce.Do(testing.Init)
+	if err := setBenchtime(benchtime); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Benchtime: benchtime, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	fast := measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.run(evm.Execute)
+		}
+	})
+	ref := measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.run(evm.ExecuteRef)
+		}
+	})
+	da := Workload{Name: "evm_deploy_attach", U256: &fast, BigInt: &ref}
+	da.NsImprovement = ratio(ref.NsPerOp, fast.NsPerOp)
+	da.AllocsReduction = ratio(float64(ref.AllocsPerOp), float64(fast.AllocsPerOp))
+	rep.Workloads = append(rep.Workloads, da)
+	rep.DeployAttachNsImprovement = da.NsImprovement
+	rep.DeployAttachAllocsReduction = da.AllocsReduction
+
+	am := measure(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			aw.run()
+		}
+	})
+	rep.Workloads = append(rep.Workloads, Workload{Name: "avm_deploy_attach", U256: &am})
+
+	return rep, nil
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func measure(fn func(*testing.B)) Engine {
+	r := testing.Benchmark(fn)
+	nsPerOp := 0.0
+	allocs, bytesOp := int64(0), int64(0)
+	if r.N > 0 {
+		nsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		allocs = int64(r.MemAllocs) / int64(r.N)
+		bytesOp = int64(r.MemBytes) / int64(r.N)
+	}
+	return Engine{NsPerOp: nsPerOp, AllocsPerOp: allocs, BytesPerOp: bytesOp, Iterations: r.N}
+}
+
+// evmWorkload is the deploy+attach Invoke pair against a fresh world state
+// per iteration — the VM cycles behind one Table 5.1 sample.
+type evmWorkload struct {
+	code     []byte
+	ctorData []byte
+	callData []byte
+	self     chain.Address
+	from     chain.Address
+}
+
+func newEVMWorkload(compiled *lang.Compiled) (*evmWorkload, error) {
+	ctorData, err := lang.EncodeArgsEVM(lang.CtorMethodName, compiled.Program.Ctor.Params,
+		[]lang.Value{
+			lang.BytesValue([]byte("45.4642,9.1900")), // position
+			lang.Uint64Value(1),                       // did
+			lang.Uint64Value(100),                     // rewardPerProver
+		})
+	if err != nil {
+		return nil, fmt.Errorf("vmbench: encode ctor: %w", err)
+	}
+	var insertParams []lang.Param
+	for _, api := range compiled.Program.APIs {
+		if api.Name == "insert_data" {
+			insertParams = api.Params
+		}
+	}
+	callData, err := lang.EncodeArgsEVM("insert_data", insertParams,
+		[]lang.Value{
+			lang.BytesValue([]byte("proof-cid-0123456789abcdef")),
+			lang.Uint64Value(7),
+		})
+	if err != nil {
+		return nil, fmt.Errorf("vmbench: encode insert_data: %w", err)
+	}
+	w := &evmWorkload{
+		code:     compiled.EVMCode,
+		ctorData: ctorData,
+		callData: callData,
+		self:     chain.AddressFromBytes([]byte("vmbench-contract")),
+		from:     chain.AddressFromBytes([]byte("vmbench-caller")),
+	}
+	// Sanity on both engines before anything is timed.
+	for _, exec := range []func(evm.Context, []byte) evm.Result{evm.Execute, evm.ExecuteRef} {
+		if deploy, attach := w.run(exec); deploy.Err != nil || deploy.Reverted ||
+			attach.Err != nil || attach.Reverted {
+			return nil, fmt.Errorf("vmbench: workload sanity: deploy=%+v attach=%+v", deploy, attach)
+		}
+	}
+	return w, nil
+}
+
+func (w *evmWorkload) run(exec func(evm.Context, []byte) evm.Result) (deploy, attach evm.Result) {
+	st := evm.NewMemState()
+	st.AddBalance(w.from, big.NewInt(1_000_000))
+	ctx := evm.Context{
+		State: st, Caller: w.from, Address: w.self,
+		GasLimit: 10_000_000, BlockNumber: 1, Timestamp: 1000,
+	}
+	ctx.CallData = w.ctorData
+	deploy = exec(ctx, w.code)
+	ctx.CallData = w.callData
+	attach = exec(ctx, w.code)
+	return deploy, attach
+}
+
+// avmWorkload is the same pair on the Algorand VM.
+type avmWorkload struct {
+	prog       *avm.Program
+	ctorArgs   [][]byte
+	insertArgs [][]byte
+	sender     chain.Address
+}
+
+func newAVMWorkload(compiled *lang.Compiled) (*avmWorkload, error) {
+	ctorArgs, err := lang.EncodeArgsTEAL("", compiled.Program.Ctor.Params,
+		[]lang.Value{
+			lang.BytesValue([]byte("45.4642,9.1900")),
+			lang.Uint64Value(1),
+			lang.Uint64Value(100),
+		})
+	if err != nil {
+		return nil, fmt.Errorf("vmbench: encode teal ctor: %w", err)
+	}
+	var insertParams []lang.Param
+	for _, api := range compiled.Program.APIs {
+		if api.Name == "insert_data" {
+			insertParams = api.Params
+		}
+	}
+	insertArgs, err := lang.EncodeArgsTEAL("insert_data", insertParams,
+		[]lang.Value{
+			lang.BytesValue([]byte("proof-cid-0123456789abcdef")),
+			lang.Uint64Value(7),
+		})
+	if err != nil {
+		return nil, fmt.Errorf("vmbench: encode teal insert_data: %w", err)
+	}
+	w := &avmWorkload{
+		prog:       compiled.TEALProgram,
+		ctorArgs:   ctorArgs,
+		insertArgs: insertArgs,
+		sender:     chain.AddressFromBytes([]byte("vmbench-sender")),
+	}
+	if create, call := w.run(); create.Err != nil || !create.Approved ||
+		call.Err != nil || !call.Approved {
+		return nil, fmt.Errorf("vmbench: avm workload sanity: create=%+v call=%+v", create, call)
+	}
+	return w, nil
+}
+
+func (w *avmWorkload) run() (create, call avm.Result) {
+	led := avm.NewMemLedger()
+	create = avm.Execute(w.prog, led, avm.TxContext{
+		Sender: w.sender, AppID: 7, CreateMode: true, Args: w.ctorArgs, BudgetTxns: 4,
+	})
+	call = avm.Execute(w.prog, led, avm.TxContext{
+		Sender: w.sender, AppID: 7, Args: w.insertArgs, BudgetTxns: 4,
+	})
+	return create, call
+}

@@ -1,0 +1,39 @@
+package vmbench
+
+import "testing"
+
+// TestRunSmoke runs the whole harness at one iteration per engine — the
+// same configuration CI uses — and checks the record is well-formed.
+func TestRunSmoke(t *testing.T) {
+	rep, err := Run("1x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 2 {
+		t.Fatalf("want 2 workloads, got %d", len(rep.Workloads))
+	}
+	evmW := rep.Workloads[0]
+	if evmW.Name != "evm_deploy_attach" || evmW.U256 == nil || evmW.BigInt == nil {
+		t.Fatalf("malformed evm workload: %+v", evmW)
+	}
+	if evmW.U256.Iterations < 1 || evmW.BigInt.Iterations < 1 {
+		t.Fatalf("benchmarks did not run: %+v", evmW)
+	}
+	avmW := rep.Workloads[1]
+	if avmW.Name != "avm_deploy_attach" || avmW.U256 == nil || avmW.BigInt != nil {
+		t.Fatalf("malformed avm workload: %+v", avmW)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+// TestWorkloadEnginesAgree: the benchmark workload itself is a differential
+// test — both engines must produce identical deploy and attach results.
+func TestWorkloadEnginesAgree(t *testing.T) {
+	// newEVMWorkload runs the sanity pass over both engines and fails on
+	// any divergence or revert; reaching here means they agreed.
+	if _, err := Run("1x"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,6 +36,12 @@ echo "== fault sweep =="
 # leaves FAULTS_report.json for CI to upload as an artifact.
 go run ./cmd/polbench -faults default -faultrate 0.2 -reps 2 -parallel 4 -faultsout FAULTS_report.json > /dev/null
 
+echo "== vm microbenchmarks =="
+# One iteration per engine: sanity-checks the u256 fast path against the
+# big.Int reference on the deploy+attach workload and leaves BENCH_vm.json
+# for CI to upload as an artifact.
+go run ./cmd/polbench -vmbench -vmbenchtime 1x -benchout BENCH_vm.json > /dev/null
+
 echo "== benchmarks (1 iteration) =="
 go test -bench=. -benchmem -benchtime=1x ./... > /dev/null
 
