@@ -1,0 +1,205 @@
+// Command benchgate is the CI benchmark-regression gate: it compares a
+// freshly generated benchmark record against the committed baseline and
+// fails (exit 1) when performance regressed beyond the tolerance.
+//
+//	benchgate -kind vm -fresh BENCH_vm.json -baseline ci/baseline/BENCH_vm.json
+//	benchgate -kind throughput -fresh BENCH_throughput.json -baseline ci/baseline/BENCH_throughput.json
+//
+// For -kind vm every workload's u256 ns/op may regress at most -tolerance
+// (default 25%) against the baseline. For -kind throughput the record must
+// be deterministic, and — when the measurement is valid (GOMAXPROCS >= 2)
+// on both sides — the sharded run's txs/sec may not regress beyond the
+// tolerance; a valid fresh record at >= -minshards shards must additionally
+// reach -minspeedup over its own serial baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "", "record kind: vm or throughput")
+		fresh      = flag.String("fresh", "", "freshly generated benchmark record")
+		baseline   = flag.String("baseline", "", "committed baseline record")
+		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional regression against the baseline")
+		minSpeedup = flag.Float64("minspeedup", 1.8, "required sharded-vs-serial speedup when the measurement is valid")
+		minShards  = flag.Int("minshards", 4, "shard count from which -minspeedup is enforced")
+	)
+	flag.Parse()
+	if *kind == "" || *fresh == "" || *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -kind, -fresh and -baseline are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tolerance < 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: -tolerance %v must be >= 0\n", *tolerance)
+		os.Exit(2)
+	}
+
+	var (
+		problems []string
+		err      error
+	)
+	switch *kind {
+	case "vm":
+		problems, err = gateVM(*fresh, *baseline, *tolerance)
+	case "throughput":
+		problems, err = gateThroughput(*fresh, *baseline, *tolerance, *minSpeedup, *minShards)
+	default:
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want vm or throughput)\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %s gate passed (%s vs %s)\n", *kind, *fresh, *baseline)
+}
+
+// vmSeries mirrors the per-engine block of BENCH_vm.json.
+type vmSeries struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// vmWorkload mirrors one workloads[] entry of BENCH_vm.json.
+type vmWorkload struct {
+	Name string    `json:"name"`
+	U256 *vmSeries `json:"u256"`
+}
+
+// vmRecord mirrors the fields of BENCH_vm.json the gate reads.
+type vmRecord struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workloads  []vmWorkload `json:"workloads"`
+}
+
+// throughputRun mirrors one runs[] entry of BENCH_throughput.json.
+type throughputRun struct {
+	Shards        int     `json:"shards"`
+	TxsPerSecWall float64 `json:"txs_per_sec_wall"`
+}
+
+// throughputRecord mirrors the fields of BENCH_throughput.json the gate
+// reads.
+type throughputRecord struct {
+	Speedup       float64         `json:"speedup"`
+	SpeedupValid  bool            `json:"speedup_valid"`
+	Deterministic bool            `json:"deterministic"`
+	Runs          []throughputRun `json:"runs"`
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// regressed reports whether fresh exceeds base by more than tol (for
+// costs, where bigger is worse).
+func regressed(fresh, base, tol float64) bool {
+	return base > 0 && fresh > base*(1+tol)
+}
+
+// gateVM checks every baseline workload's u256 ns/op against the fresh
+// record. A workload missing from the fresh record is itself a failure —
+// a silently dropped benchmark must not pass the gate.
+func gateVM(freshPath, basePath string, tol float64) ([]string, error) {
+	var fresh, base vmRecord
+	if err := readJSON(freshPath, &fresh); err != nil {
+		return nil, err
+	}
+	if err := readJSON(basePath, &base); err != nil {
+		return nil, err
+	}
+	freshBy := make(map[string]vmWorkload, len(fresh.Workloads))
+	for _, w := range fresh.Workloads {
+		freshBy[w.Name] = w
+	}
+	var problems []string
+	for _, bw := range base.Workloads {
+		if bw.U256 == nil {
+			continue
+		}
+		fw, ok := freshBy[bw.Name]
+		if !ok || fw.U256 == nil {
+			problems = append(problems, fmt.Sprintf(
+				"workload %q present in baseline but missing from fresh record", bw.Name))
+			continue
+		}
+		if regressed(fw.U256.NsPerOp, bw.U256.NsPerOp, tol) {
+			problems = append(problems, fmt.Sprintf(
+				"workload %q ns/op regressed %.1f%% (fresh %.0f vs baseline %.0f, tolerance %.0f%%)",
+				bw.Name, 100*(fw.U256.NsPerOp/bw.U256.NsPerOp-1),
+				fw.U256.NsPerOp, bw.U256.NsPerOp, 100*tol))
+		}
+	}
+	return problems, nil
+}
+
+// shardedRun picks the highest-shard-count run of a record.
+func shardedRun(r throughputRecord) (throughputRun, bool) {
+	var best throughputRun
+	found := false
+	for _, run := range r.Runs {
+		if !found || run.Shards > best.Shards {
+			best, found = run, true
+		}
+	}
+	return best, found
+}
+
+// gateThroughput checks the soak record: determinism always; throughput
+// and speedup only when the measurements are parallelism-valid, because a
+// single-threaded runner's numbers measure goroutine overhead, not the
+// sharded pipeline.
+func gateThroughput(freshPath, basePath string, tol, minSpeedup float64, minShards int) ([]string, error) {
+	var fresh, base throughputRecord
+	if err := readJSON(freshPath, &fresh); err != nil {
+		return nil, err
+	}
+	if err := readJSON(basePath, &base); err != nil {
+		return nil, err
+	}
+	var problems []string
+	if !fresh.Deterministic {
+		problems = append(problems, "fresh record is not deterministic: sharded digest diverged from the serial baseline")
+	}
+	freshRun, okFresh := shardedRun(fresh)
+	if !okFresh {
+		problems = append(problems, "fresh record has no runs")
+		return problems, nil
+	}
+	if fresh.SpeedupValid && freshRun.Shards >= minShards && fresh.Speedup < minSpeedup {
+		problems = append(problems, fmt.Sprintf(
+			"speedup %.2fx at %d shards is below the required %.2fx",
+			fresh.Speedup, freshRun.Shards, minSpeedup))
+	}
+	baseRun, okBase := shardedRun(base)
+	if fresh.SpeedupValid && base.SpeedupValid && okBase &&
+		baseRun.TxsPerSecWall > 0 && freshRun.TxsPerSecWall > 0 {
+		// Throughput is an inverse cost: gate on per-tx wall time.
+		if regressed(1/freshRun.TxsPerSecWall, 1/baseRun.TxsPerSecWall, tol) {
+			problems = append(problems, fmt.Sprintf(
+				"sharded throughput regressed %.1f%% (fresh %.0f txs/sec vs baseline %.0f, tolerance %.0f%%)",
+				100*(baseRun.TxsPerSecWall/freshRun.TxsPerSecWall-1),
+				freshRun.TxsPerSecWall, baseRun.TxsPerSecWall, 100*tol))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name string, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func vmRec(names []string, nsPerOp []float64) vmRecord {
+	r := vmRecord{GOMAXPROCS: 1}
+	for i, n := range names {
+		r.Workloads = append(r.Workloads, vmWorkload{
+			Name: n, U256: &vmSeries{NsPerOp: nsPerOp[i]},
+		})
+	}
+	return r
+}
+
+func TestGateVM(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json",
+		vmRec([]string{"evm", "avm"}, []float64{1000, 500}))
+
+	cases := []struct {
+		name  string
+		fresh vmRecord
+		want  int
+		match string
+	}{
+		{
+			name:  "within tolerance passes",
+			fresh: vmRec([]string{"evm", "avm"}, []float64{1200, 600}),
+			want:  0,
+		},
+		{
+			name:  "regression beyond tolerance fails",
+			fresh: vmRec([]string{"evm", "avm"}, []float64{1300, 500}),
+			want:  1, match: "ns/op regressed",
+		},
+		{
+			name:  "improvement passes",
+			fresh: vmRec([]string{"evm", "avm"}, []float64{400, 200}),
+			want:  0,
+		},
+		{
+			name:  "dropped workload fails",
+			fresh: vmRec([]string{"evm"}, []float64{1000}),
+			want:  1, match: "missing from fresh",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := writeJSON(t, dir, "fresh.json", tc.fresh)
+			problems, err := gateVM(fresh, base, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(problems) != tc.want {
+				t.Fatalf("problems = %v, want %d", problems, tc.want)
+			}
+			if tc.match != "" && !strings.Contains(problems[0], tc.match) {
+				t.Fatalf("problem %q does not mention %q", problems[0], tc.match)
+			}
+		})
+	}
+}
+
+func throughputRec(valid, deterministic bool, speedup float64, shards int, tps float64) throughputRecord {
+	return throughputRecord{
+		Speedup: speedup, SpeedupValid: valid, Deterministic: deterministic,
+		Runs: []throughputRun{
+			{Shards: 1, TxsPerSecWall: tps / speedup},
+			{Shards: shards, TxsPerSecWall: tps},
+		},
+	}
+}
+
+func TestGateThroughput(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", throughputRec(true, true, 2.5, 4, 10000))
+
+	cases := []struct {
+		name  string
+		fresh throughputRecord
+		want  int
+		match string
+	}{
+		{
+			name:  "healthy record passes",
+			fresh: throughputRec(true, true, 2.4, 4, 9500),
+			want:  0,
+		},
+		{
+			name:  "non-deterministic fails",
+			fresh: throughputRec(true, false, 2.4, 4, 9500),
+			want:  1, match: "not deterministic",
+		},
+		{
+			name:  "speedup below floor fails",
+			fresh: throughputRec(true, true, 1.2, 4, 9500),
+			want:  1, match: "below the required",
+		},
+		{
+			name: "invalid measurement skips speedup and throughput gates",
+			// A GOMAXPROCS=1 runner: speedup 0.9 would fail the floor and
+			// the throughput comparison, but speedup_valid=false means
+			// neither gate applies; determinism still must hold.
+			fresh: throughputRec(false, true, 0.9, 4, 200),
+			want:  0,
+		},
+		{
+			name:  "speedup floor not enforced below minshards",
+			fresh: throughputRec(true, true, 1.2, 2, 9500),
+			want:  0,
+		},
+		{
+			name:  "throughput regression beyond tolerance fails",
+			fresh: throughputRec(true, true, 2.4, 4, 6000),
+			want:  1, match: "throughput regressed",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := writeJSON(t, dir, "fresh.json", tc.fresh)
+			problems, err := gateThroughput(fresh, base, 0.25, 1.8, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(problems) != tc.want {
+				t.Fatalf("problems = %v, want %d", problems, tc.want)
+			}
+			if tc.match != "" && !strings.Contains(problems[0], tc.match) {
+				t.Fatalf("problem %q does not mention %q", problems[0], tc.match)
+			}
+		})
+	}
+}
+
+func TestGateVMReadErrors(t *testing.T) {
+	if _, err := gateVM("does-not-exist.json", "also-missing.json", 0.25); err == nil {
+		t.Fatal("missing files must error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gateVM(bad, bad, 0.25); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}

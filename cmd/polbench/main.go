@@ -11,6 +11,7 @@
 //	polbench -matrix -parallel 4 -reps 5  # parallel cross-seed matrix run
 //	polbench -faults default -faultrate 0.2  # reliability sweep + recovery report
 //	polbench -vmbench                     # VM interpreter micro-benchmarks -> BENCH_vm.json
+//	polbench -soak -areas 8 -shards 4     # sharded soak/load harness -> BENCH_throughput.json
 //	polbench -tables -cpuprofile cpu.out  # profile any run with pprof
 package main
 
@@ -52,6 +53,12 @@ func main() {
 		faultsOut = flag.String("faultsout", "FAULTS_report.json", "where -faults writes the recovery-rate report")
 		vmbenchF  = flag.Bool("vmbench", false, "run the VM interpreter micro-benchmarks (u256 fast path vs big.Int reference)")
 		vmbenchT  = flag.String("vmbenchtime", "1s", "testing -benchtime for -vmbench (e.g. 1s, 100x; 1x = CI smoke)")
+		soak      = flag.Bool("soak", false, "run the sharded soak/load harness -> BENCH_throughput.json")
+		soakChain = flag.String("soakchain", "goerli", "network preset for -soak (goerli, polygon, algorand)")
+		areas     = flag.Int("areas", 8, "soak areas (M): one check-in contract each")
+		soakUsers = flag.Int("soakusers", 32, "soak users (K) issuing check-ins every round")
+		soakRound = flag.Int("soakrounds", 20, "soak rounds (T) of sustained load")
+		shards    = flag.Int("shards", 4, "execution shard count for the sharded soak run (vs the serial baseline)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -74,11 +81,16 @@ func main() {
 	if setFlags["vmbenchtime"] && !*vmbenchF {
 		usageErr("-vmbenchtime requires -vmbench")
 	}
-	if setFlags["benchout"] && !*matrix && !*vmbenchF {
-		usageErr("-benchout only applies to -matrix or -vmbench runs")
+	for _, name := range []string{"soakchain", "areas", "soakusers", "soakrounds", "shards"} {
+		if setFlags[name] && !*soak {
+			usageErr(fmt.Sprintf("-%s requires -soak", name))
+		}
 	}
-	if setFlags["benchout"] && *matrix && *vmbenchF {
-		usageErr("-benchout is ambiguous when both -matrix and -vmbench run; invoke them separately")
+	if setFlags["benchout"] && !*matrix && !*vmbenchF && !*soak {
+		usageErr("-benchout only applies to -matrix, -vmbench or -soak runs")
+	}
+	if setFlags["benchout"] && boolCount(*matrix, *vmbenchF, *soak) > 1 {
+		usageErr("-benchout is ambiguous when more than one of -matrix, -vmbench and -soak run; invoke them separately")
 	}
 	if *faultRate < 0 || *faultRate > 1 {
 		usageErr(fmt.Sprintf("-faultrate %v is outside [0,1]", *faultRate))
@@ -91,7 +103,7 @@ func main() {
 		}
 	}
 
-	if !*tables && !*figures && !*analysis && *fig == "" && !*matrix && *faultsPro == "" && !*vmbenchF {
+	if !*tables && !*figures && !*analysis && *fig == "" && !*matrix && *faultsPro == "" && !*vmbenchF && !*soak {
 		*tables, *figures, *analysis = true, true, true
 	}
 
@@ -181,6 +193,16 @@ func main() {
 			out = "BENCH_vm.json"
 		}
 		if err := runVMBench(*vmbenchT, out, *jsonOut); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *soak {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_throughput.json"
+		}
+		if err := runSoakMode(*soakChain, *areas, *soakUsers, *soakRound, *shards, *seed, out, o, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -430,6 +452,120 @@ func runVMBench(benchtime, out string, jsonOut bool) error {
 	return nil
 }
 
+// soakRunJSON is one shard configuration's measurements in the throughput
+// record.
+type soakRunJSON struct {
+	Shards          int       `json:"shards"`
+	TxsSubmitted    uint64    `json:"txs_submitted"`
+	TxsIncluded     uint64    `json:"txs_included"`
+	Blocks          uint64    `json:"blocks"`
+	WallSeconds     float64   `json:"wall_seconds"`
+	SimSeconds      float64   `json:"simulated_seconds"`
+	TxsPerSecWall   float64   `json:"txs_per_sec_wall"`
+	TxsPerSecSim    float64   `json:"txs_per_sec_simulated"`
+	Utilization     []float64 `json:"per_shard_utilization"`
+	ShardTxs        []uint64  `json:"per_shard_txs"`
+	ParallelBatches uint64    `json:"parallel_batches"`
+	Digest          string    `json:"digest"`
+}
+
+// benchThroughputJSON is the machine-readable BENCH_throughput.json record:
+// the soak grid, the serial baseline and the sharded run, and the speedup
+// between them.
+type benchThroughputJSON struct {
+	Chain      string `json:"chain"`
+	Areas      int    `json:"areas"`
+	Users      int    `json:"users"`
+	Rounds     int    `json:"rounds"`
+	Seed       uint64 `json:"seed"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Speedup is sharded wall txs/sec over the serial baseline's.
+	Speedup float64 `json:"speedup"`
+	// SpeedupValid is false when GOMAXPROCS < 2: with one scheduler thread
+	// the shard workers cannot overlap, so the ratio measures goroutine
+	// overhead, not parallelism.
+	SpeedupValid bool `json:"speedup_valid"`
+	// Deterministic records that every run landed on the same chain digest.
+	Deterministic bool          `json:"deterministic"`
+	Runs          []soakRunJSON `json:"runs"`
+}
+
+func soakRunJSONOf(r *sim.SoakResult) soakRunJSON {
+	return soakRunJSON{
+		Shards:       r.Shards,
+		TxsSubmitted: r.Submitted, TxsIncluded: r.Included, Blocks: r.Blocks,
+		WallSeconds: r.Wall.Seconds(), SimSeconds: r.Simulated.Seconds(),
+		TxsPerSecWall: r.TxsPerSecWall(), TxsPerSecSim: r.TxsPerSecSimulated(),
+		Utilization: r.Utilization, ShardTxs: r.ShardTxs,
+		ParallelBatches: r.ParallelBatches,
+		Digest:          fmt.Sprintf("%x", r.Digest[:]),
+	}
+}
+
+// runSoakMode runs the soak harness twice — the serial baseline, then the
+// requested shard count — checks the two chains are bit-identical, prints
+// the throughput comparison and writes the BENCH_throughput.json record.
+func runSoakMode(chainName string, areas, users, rounds, shards int, seed uint64, out string, o *obs.Obs, jsonOut bool) error {
+	spec := sim.SoakSpec{
+		Chain: sim.ChainName(chainName), Areas: areas, Users: users,
+		Rounds: rounds, Shards: 1, Seed: seed, Obs: o,
+	}
+	base, err := sim.RunSoak(spec)
+	if err != nil {
+		return fmt.Errorf("soak (serial baseline): %w", err)
+	}
+	spec.Shards = shards
+	sharded, err := sim.RunSoak(spec)
+	if err != nil {
+		return fmt.Errorf("soak: %w", err)
+	}
+	deterministic := base.Digest == sharded.Digest
+	if !deterministic {
+		return fmt.Errorf("soak is not deterministic: shards=%d digest diverges from the serial baseline", shards)
+	}
+	speedupValid := runtime.GOMAXPROCS(0) >= 2 && shards >= 2
+	if !speedupValid {
+		fmt.Fprintf(os.Stderr, "polbench: warning: GOMAXPROCS=%d, shards=%d — the serial-vs-sharded speedup is not a parallelism measurement; recording speedup_valid=false\n",
+			runtime.GOMAXPROCS(0), shards)
+	}
+	speedup := 0.0
+	if base.TxsPerSecWall() > 0 {
+		speedup = sharded.TxsPerSecWall() / base.TxsPerSecWall()
+	}
+	if !jsonOut {
+		fmt.Printf("Soak — %s, %d areas × %d users × %d rounds\n", chainName, areas, users, rounds)
+		fmt.Printf("  serial:    %7.0f txs/sec wall (%d txs in %v)\n",
+			base.TxsPerSecWall(), base.Included, base.Wall.Round(time.Millisecond))
+		fmt.Printf("  %d shards:  %7.0f txs/sec wall (%d txs in %v) — %.2fx, utilization %v\n",
+			shards, sharded.TxsPerSecWall(), sharded.Included,
+			sharded.Wall.Round(time.Millisecond), speedup, sharded.Utilization)
+		fmt.Printf("  deterministic: %v (digest %x)\n\n", deterministic, sharded.Digest[:8])
+	}
+
+	rec := benchThroughputJSON{
+		Chain: chainName, Areas: areas, Users: users, Rounds: rounds, Seed: seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Speedup: speedup, SpeedupValid: speedupValid, Deterministic: deterministic,
+		Runs: []soakRunJSON{soakRunJSONOf(base), soakRunJSONOf(sharded)},
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "polbench: throughput record written to %s\n", out)
+	return nil
+}
+
 // faultClassJSON is one fault class's tally in the recovery-rate report.
 type faultClassJSON struct {
 	Class        string  `json:"class"`
@@ -530,6 +666,17 @@ func runFaultSweep(profile string, rate float64, plan *faults.Plan, seed uint64,
 	}
 	fmt.Fprintf(os.Stderr, "polbench: recovery-rate report written to %s\n", out)
 	return nil
+}
+
+// boolCount counts the set flags among mutually exclusive modes.
+func boolCount(bs ...bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 // usageErr rejects an incoherent flag combination: message, usage, exit 2.

@@ -152,6 +152,11 @@ type Chain struct {
 	// flt injects deterministic faults at the pending pool; nil when
 	// fault injection is off.
 	flt *faults.Injector
+
+	// shards is the execution fan-out Step may use; <=1 means serial.
+	// shardStats tallies per-shard work once SetShards configures it.
+	shards     int
+	shardStats *chain.ShardStats
 }
 
 // NewChain builds a network from a preset and seed.
@@ -234,13 +239,24 @@ func (c *Chain) App(appID uint64) (*App, bool) {
 
 // Submit queues a signed group for the next round.
 func (c *Chain) Submit(g Group) (chain.Hash32, error) {
-	if len(g) == 0 {
-		return chain.Hash32{}, errors.New("algorand: empty group")
-	}
 	for _, tx := range g {
 		if err := tx.Verify(); err != nil {
 			return chain.Hash32{}, err
 		}
+	}
+	return c.submitVerified(g)
+}
+
+// submitVerified runs the admission checks past signature verification and
+// queues the group. SubmitBatch calls it after verifying signatures
+// concurrently; the checks and fault draws here must stay serial, in
+// submission order, so batched and one-by-one submission build the same
+// pending pool and consume the same fault streams.
+func (c *Chain) submitVerified(g Group) (chain.Hash32, error) {
+	if len(g) == 0 {
+		return chain.Hash32{}, errors.New("algorand: empty group")
+	}
+	for _, tx := range g {
 		if tx.Fee < MinFee {
 			return chain.Hash32{}, fmt.Errorf("algorand: fee %d below min fee %d", tx.Fee, MinFee)
 		}
@@ -308,16 +324,34 @@ func (c *Chain) Step() *Block {
 	}
 	blk.Seed = chain.Hash32(polcrypto.Hash(prev.Seed[:], leader.Output[:]))
 
-	var remaining []*pendingGroup
+	// Selection: every propagated group is included (capacity is never the
+	// bottleneck at our scale); execution fans out across shards when the
+	// round allows it, then the merge applies deferred effects in
+	// canonical order.
+	var remaining, sel []*pendingGroup
 	for _, p := range c.pending {
 		if p.submitted >= roundTime {
 			remaining = append(remaining, p)
 			continue
 		}
-		rcpt := c.executeGroup(p.group, blk)
+		sel = append(sel, p)
+	}
+	c.pending = remaining
+
+	receipts, effects := c.applyRound(sel, blk)
+	for i, p := range sel {
+		rcpt := receipts[i]
 		rcpt.Submitted = p.submitted
 		c.receipts[p.group.Hash()] = rcpt
 		blk.Groups = append(blk.Groups, p.group.Hash())
+		// Deferred globals from the sharded executor; zero on the serial
+		// path, which applies them inline.
+		if effects[i].feeSink > 0 {
+			c.led.balances[c.feeSink] += effects[i].feeSink
+		}
+		if c.obs != nil && effects[i].fees > 0 {
+			c.obs.fees.Add(effects[i].fees)
+		}
 		if p.delayed {
 			c.flt.Recover(faults.ClassTxDelay)
 		}
@@ -331,7 +365,6 @@ func (c *Chain) Step() *Block {
 			}
 		}
 	}
-	c.pending = remaining
 
 	blk.Hash = chain.Hash32(polcrypto.Hash(blk.Seed[:], hashGroups(blk.Groups)))
 

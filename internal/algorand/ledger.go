@@ -136,11 +136,23 @@ func (l *ledger) Pay(from, to chain.Address, amount uint64) error {
 	return nil
 }
 
-// AppAddress implements avm.Ledger: the application escrow address.
-func (l *ledger) AppAddress(appID uint64) chain.Address {
+// appEscrowAddress derives the escrow address of an application — a pure
+// function of the ID, shared by the ledger and its shard overlays.
+func appEscrowAddress(appID uint64) chain.Address {
 	h := polcrypto.Hash([]byte(fmt.Sprintf("appID:%d", appID)))
 	return chain.AddressFromBytes(h[:])
 }
+
+// AppAddress implements avm.Ledger: the application escrow address.
+func (l *ledger) AppAddress(appID uint64) chain.Address {
+	return appEscrowAddress(appID)
+}
+
+// setBalance implements ledgerView for overlay commits.
+func (l *ledger) setBalance(addr chain.Address, v uint64) { l.balances[addr] = v }
+
+// putApp implements ledgerView for overlay commits.
+func (l *ledger) putApp(a *App) { l.apps[a.ID] = a }
 
 // Round implements avm.Ledger.
 func (l *ledger) Round() uint64 { return l.round }

@@ -1,0 +1,696 @@
+package algorand
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"agnopol/internal/avm"
+	"agnopol/internal/chain"
+	"agnopol/internal/obs"
+	"agnopol/internal/polcrypto"
+)
+
+// Sharded round application. Groups touching disjoint state — determined by
+// conflict keys over senders, payment receivers and called applications —
+// execute concurrently on copy-on-write ledger overlays; the per-group
+// atomic rollback the serial path gets from whole-ledger snapshots is
+// provided by stacking a second overlay per group, which is also far
+// cheaper than snapshotting the world. Rounds containing application or
+// asset creation (which advance chain-global sequence counters) fall back
+// to the serial path wholesale, so creation order is always canonical.
+
+// ConflictKeys names the state an atomic group may touch. Application calls
+// carry the app's key and its escrow account (inner payments debit it);
+// beneficiary wallets named only in call arguments are paid from the
+// escrow, which is already in the component, so they need no key of their
+// own — the bit-identity tests verify the assumption on the PoL workloads.
+func (g Group) ConflictKeys() []chain.ConflictKey {
+	keys := make([]chain.ConflictKey, 0, 2*len(g))
+	for _, tx := range g {
+		keys = append(keys, chain.AccountKey(tx.Sender))
+		switch tx.Type {
+		case TxPay:
+			keys = append(keys, chain.AccountKey(tx.Receiver))
+		case TxAppCall:
+			keys = append(keys,
+				chain.AppKey(tx.AppID),
+				chain.AccountKey(appEscrowAddress(tx.AppID)))
+		case TxAppCreate, TxAssetCreate:
+			keys = append(keys, chain.GlobalKey())
+		case TxAssetOptIn:
+			keys = append(keys, chain.AssetKey(tx.AssetID))
+		case TxAssetTransfer:
+			keys = append(keys,
+				chain.AssetKey(tx.AssetID),
+				chain.AccountKey(tx.Receiver))
+		}
+	}
+	return keys
+}
+
+// shardable reports whether a group may run on the concurrent path:
+// payments and application calls only. Creation and asset traffic advances
+// global sequences, so any such group serializes the whole round.
+func (g Group) shardable() bool {
+	for _, tx := range g {
+		if tx.Type != TxPay && tx.Type != TxAppCall {
+			return false
+		}
+	}
+	return true
+}
+
+// ledgerView is the surface group execution needs from its backing state:
+// the AVM's Ledger plus app lookup and the raw writes commit uses. Both the
+// canonical ledger and overlays implement it, so overlays stack — a shard
+// overlay over the ledger, a per-group rollback overlay over the shard's.
+type ledgerView interface {
+	avm.Ledger
+	app(id uint64) *App
+	setBalance(addr chain.Address, v uint64)
+	putApp(a *App)
+}
+
+var (
+	_ ledgerView = (*ledger)(nil)
+	_ ledgerView = (*ledgerOverlay)(nil)
+)
+
+// ledgerOverlay is a copy-on-write view over a ledgerView: reads fall
+// through, balance writes stay local, and application mutations clone the
+// app (deep-copying its key/value state) on first write.
+type ledgerOverlay struct {
+	base     ledgerView
+	balances map[chain.Address]uint64
+	apps     map[uint64]*App
+}
+
+func newLedgerOverlay(base ledgerView) *ledgerOverlay {
+	return &ledgerOverlay{
+		base:     base,
+		balances: make(map[chain.Address]uint64),
+		apps:     make(map[uint64]*App),
+	}
+}
+
+func (o *ledgerOverlay) app(id uint64) *App {
+	if a, ok := o.apps[id]; ok {
+		if a.Deleted {
+			return nil
+		}
+		return a
+	}
+	return o.base.app(id)
+}
+
+// appForWrite returns the overlay's clone of an app, cloning it from the
+// base on first write.
+func (o *ledgerOverlay) appForWrite(id uint64) *App {
+	if a, ok := o.apps[id]; ok {
+		if a.Deleted {
+			return nil
+		}
+		return a
+	}
+	a := o.base.app(id)
+	if a == nil {
+		return nil
+	}
+	cp := cloneApp(a)
+	o.apps[id] = cp
+	return cp
+}
+
+func cloneApp(a *App) *App {
+	cp := &App{
+		ID: a.ID, Creator: a.Creator, Program: a.Program, Source: a.Source,
+		Deleted: a.Deleted, CreateAt: a.CreateAt,
+		Globals: make(map[string]avm.Value, len(a.Globals)),
+	}
+	for k, v := range a.Globals {
+		cp.Globals[k] = v
+	}
+	if a.Locals != nil {
+		cp.Locals = make(map[chain.Address]map[string]avm.Value, len(a.Locals))
+		for addr, m := range a.Locals {
+			mm := make(map[string]avm.Value, len(m))
+			for k, v := range m {
+				mm[k] = v
+			}
+			cp.Locals[addr] = mm
+		}
+	}
+	return cp
+}
+
+// GlobalGet implements avm.Ledger.
+func (o *ledgerOverlay) GlobalGet(appID uint64, key string) (avm.Value, bool) {
+	a := o.app(appID)
+	if a == nil {
+		return avm.Value{}, false
+	}
+	v, ok := a.Globals[key]
+	return v, ok
+}
+
+// GlobalPut implements avm.Ledger.
+func (o *ledgerOverlay) GlobalPut(appID uint64, key string, v avm.Value) {
+	if a := o.appForWrite(appID); a != nil {
+		a.Globals[key] = v
+	}
+}
+
+// GlobalDel implements avm.Ledger.
+func (o *ledgerOverlay) GlobalDel(appID uint64, key string) {
+	if a := o.appForWrite(appID); a != nil {
+		delete(a.Globals, key)
+	}
+}
+
+// LocalGet implements avm.Ledger.
+func (o *ledgerOverlay) LocalGet(appID uint64, addr chain.Address, key string) (avm.Value, bool) {
+	a := o.app(appID)
+	if a == nil {
+		return avm.Value{}, false
+	}
+	v, ok := a.Locals[addr][key]
+	return v, ok
+}
+
+// LocalPut implements avm.Ledger.
+func (o *ledgerOverlay) LocalPut(appID uint64, addr chain.Address, key string, v avm.Value) {
+	a := o.appForWrite(appID)
+	if a == nil {
+		return
+	}
+	if a.Locals == nil {
+		a.Locals = make(map[chain.Address]map[string]avm.Value)
+	}
+	m, ok := a.Locals[addr]
+	if !ok {
+		m = make(map[string]avm.Value)
+		a.Locals[addr] = m
+	}
+	m[key] = v
+}
+
+// LocalDel implements avm.Ledger.
+func (o *ledgerOverlay) LocalDel(appID uint64, addr chain.Address, key string) {
+	if a := o.appForWrite(appID); a != nil {
+		delete(a.Locals[addr], key)
+	}
+}
+
+// OptedIn implements avm.Ledger.
+func (o *ledgerOverlay) OptedIn(appID uint64, addr chain.Address) bool {
+	a := o.app(appID)
+	if a == nil {
+		return false
+	}
+	_, ok := a.Locals[addr]
+	return ok
+}
+
+// Balance implements avm.Ledger.
+func (o *ledgerOverlay) Balance(addr chain.Address) uint64 {
+	if v, ok := o.balances[addr]; ok {
+		return v
+	}
+	return o.base.Balance(addr)
+}
+
+// Pay implements avm.Ledger. The error text matches ledger.Pay so revert
+// messages are identical across the serial and sharded paths.
+func (o *ledgerOverlay) Pay(from, to chain.Address, amount uint64) error {
+	if o.Balance(from) < amount {
+		return fmt.Errorf("%w: %s has %d µALGO, needs %d",
+			avm.ErrInsufficientBalance, from, o.Balance(from), amount)
+	}
+	o.setBalance(from, o.Balance(from)-amount)
+	o.setBalance(to, o.Balance(to)+amount)
+	return nil
+}
+
+// AppAddress implements avm.Ledger.
+func (o *ledgerOverlay) AppAddress(appID uint64) chain.Address { return appEscrowAddress(appID) }
+
+// Round implements avm.Ledger.
+func (o *ledgerOverlay) Round() uint64 { return o.base.Round() }
+
+// LatestTimestamp implements avm.Ledger.
+func (o *ledgerOverlay) LatestTimestamp() uint64 { return o.base.LatestTimestamp() }
+
+func (o *ledgerOverlay) setBalance(addr chain.Address, v uint64) { o.balances[addr] = v }
+
+func (o *ledgerOverlay) putApp(a *App) { o.apps[a.ID] = a }
+
+// commit folds the overlay into its base. Overlays from different shards
+// write disjoint keys, so commit order does not matter; within an overlay
+// every key holds its final value, so map iteration order does not either.
+func (o *ledgerOverlay) commit() {
+	for addr, v := range o.balances {
+		o.base.setBalance(addr, v)
+	}
+	for _, a := range o.apps {
+		o.base.putApp(a)
+	}
+}
+
+// groupEffects carries a group's deferred globals out of the sharded
+// executor: the fee-sink credit and the fee-counter increment touch state
+// shared by every shard, so Step applies them at merge time in canonical
+// order.
+type groupEffects struct {
+	// feeSink is the µAlgo credit owed to the fee sink (the fees actually
+	// collected — on a revert, only from senders who could still pay).
+	feeSink uint64
+	// fees is the group's total fee for the obs counter; zero when the
+	// initial fee debit failed and nothing was charged.
+	fees uint64
+}
+
+// executeGroupSharded applies one atomic group on top of parent — a shard's
+// overlay — mirroring executeGroup exactly for the shardable transaction
+// types. Atomic rollback is a nested overlay that is simply discarded on
+// failure; fees are then re-charged from a fresh overlay, as the serial
+// path does after restoring its snapshot.
+func (c *Chain) executeGroupSharded(parent ledgerView, g Group, blk *Block) (*chain.Receipt, groupEffects) {
+	rcpt := &chain.Receipt{
+		TxHash:      g.Hash(),
+		BlockNumber: blk.Round,
+		Included:    blk.Time,
+	}
+	var eff groupEffects
+
+	totalFee := uint64(0)
+	for _, tx := range g {
+		totalFee += tx.Fee
+	}
+
+	o := newLedgerOverlay(parent)
+
+	// Fees first; insufficient fee balance fails the group outright.
+	for _, tx := range g {
+		bal := o.Balance(tx.Sender)
+		if bal < tx.Fee {
+			rcpt.Reverted = true
+			rcpt.RevertMsg = "insufficient balance for fee"
+			rcpt.Fee = chain.NewAmount(microToBig(0), c.cfg.Unit)
+			return rcpt, eff
+		}
+		o.setBalance(tx.Sender, bal-tx.Fee)
+	}
+	eff.fees = totalFee
+
+	// The group's payment (if any) feeds `gtxn 0 Amount`.
+	payAmount := uint64(0)
+
+	var prof obs.Profiler
+	if c.obs != nil {
+		prof = c.obs.prof
+	}
+
+	err := func() error {
+		for _, tx := range g {
+			switch tx.Type {
+			case TxPay:
+				if err := o.Pay(tx.Sender, tx.Receiver, tx.Amount); err != nil {
+					return err
+				}
+				payAmount = tx.Amount
+			case TxAppCall:
+				app := o.app(tx.AppID)
+				if app == nil {
+					return fmt.Errorf("algorand: no application %d", tx.AppID)
+				}
+				res := avm.Execute(app.Program, o, avm.TxContext{
+					Sender: tx.Sender, AppID: tx.AppID,
+					Args: tx.Args, OnCompletion: tx.OnCompletion,
+					PayAmount: payAmount, Fee: tx.Fee,
+					BudgetTxns: len(g), Profiler: prof,
+				})
+				rcpt.GasUsed += res.Cost
+				rcpt.Logs = append(rcpt.Logs, res.Logs...)
+				if !res.Approved {
+					return fmt.Errorf("algorand: call rejected: %w", errOf(res))
+				}
+				if res.Return != nil {
+					rcpt.ReturnValue = res.Return
+				}
+			default:
+				// applyRound never routes other types here.
+				return fmt.Errorf("algorand: tx type %d not shardable", tx.Type)
+			}
+		}
+		return nil
+	}()
+
+	if err != nil {
+		// Discard the group's overlay — everything except the fees rolls
+		// back — then re-charge fees where the pre-group balance allows.
+		fees := make(map[chain.Address]uint64)
+		for _, tx := range g {
+			fees[tx.Sender] += tx.Fee
+		}
+		o = newLedgerOverlay(parent)
+		for addr, fee := range fees {
+			if bal := o.Balance(addr); bal >= fee {
+				o.setBalance(addr, bal-fee)
+				eff.feeSink += fee
+			}
+		}
+		rcpt.Reverted = true
+		rcpt.RevertMsg = err.Error()
+	} else {
+		eff.feeSink = totalFee
+	}
+	o.commit()
+	rcpt.Fee = chain.NewAmount(microToBig(totalFee), c.cfg.Unit)
+	return rcpt, eff
+}
+
+// SetShards configures how many execution shards Step may fan out to; n <= 1
+// keeps the serial path. The setting changes scheduling only — round
+// contents are identical at every value.
+func (c *Chain) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.shards = n
+	c.shardStats = chain.NewShardStats(n)
+}
+
+// Shards returns the configured shard count.
+func (c *Chain) Shards() int {
+	if c.shards < 1 {
+		return 1
+	}
+	return c.shards
+}
+
+// ShardStats returns a copy of the per-shard execution tallies accumulated
+// since SetShards, or nil when sharding was never configured.
+func (c *Chain) ShardStats() *chain.ShardStats {
+	if c.shardStats == nil {
+		return nil
+	}
+	cp := chain.NewShardStats(len(c.shardStats.Txs))
+	copy(cp.Txs, c.shardStats.Txs)
+	copy(cp.Gas, c.shardStats.Gas)
+	cp.ParallelBatches = c.shardStats.ParallelBatches
+	return cp
+}
+
+// applyRound executes one round's propagated groups and returns their
+// receipts plus deferred effects. Rounds of payments and app calls fan out
+// across conflict components when sharding is configured; anything else
+// runs the serial executeGroup path, which applies its effects inline
+// (their effects entries stay zero).
+func (c *Chain) applyRound(sel []*pendingGroup, blk *Block) ([]*chain.Receipt, []groupEffects) {
+	receipts := make([]*chain.Receipt, len(sel))
+	effects := make([]groupEffects, len(sel))
+	if len(sel) == 0 {
+		return receipts, effects
+	}
+	serial := func() {
+		var gas uint64
+		for i, p := range sel {
+			receipts[i] = c.executeGroup(p.group, blk)
+			gas += receipts[i].GasUsed
+		}
+		c.shardStats.Record(0, uint64(len(sel)), gas)
+	}
+	if c.shards <= 1 || len(sel) < 2 {
+		serial()
+		return receipts, effects
+	}
+	for _, p := range sel {
+		if !p.group.shardable() {
+			serial()
+			return receipts, effects
+		}
+	}
+	comps := chain.Partition(len(sel), func(i int) []chain.ConflictKey {
+		return sel[i].group.ConflictKeys()
+	})
+	if len(comps) < 2 {
+		serial()
+		return receipts, effects
+	}
+	nshards := c.shards
+	if nshards > len(comps) {
+		nshards = len(comps)
+	}
+	bins := chain.Assign(comps, nshards, func(i int) uint64 {
+		return uint64(len(sel[i].group))
+	})
+	overlays := make([]*ledgerOverlay, nshards)
+	shardTxs := make([]uint64, nshards)
+	shardGas := make([]uint64, nshards)
+	var wg sync.WaitGroup
+	for si := 0; si < nshards; si++ {
+		overlays[si] = newLedgerOverlay(c.led)
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			for _, comp := range bins[si] {
+				for _, i := range comp {
+					receipts[i], effects[i] = c.executeGroupSharded(overlays[si], sel[i].group, blk)
+					shardTxs[si]++
+					shardGas[si] += receipts[i].GasUsed
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	for si, o := range overlays {
+		o.commit()
+		c.shardStats.Record(si, shardTxs[si], shardGas[si])
+	}
+	if c.shardStats != nil {
+		c.shardStats.ParallelBatches++
+	}
+	return receipts, effects
+}
+
+// SubmitBatch validates and queues a batch of signed groups in one call.
+// Signature verification runs concurrently when sharding is configured;
+// admission (fee floor, fault draws, pending append) stays serial in slice
+// order, so the pending pool and fault streams are identical to len(gs)
+// Submit calls. Result slot i is the hash or error for gs[i].
+func (c *Chain) SubmitBatch(gs []Group) ([]chain.Hash32, []error) {
+	hashes := make([]chain.Hash32, len(gs))
+	errs := make([]error, len(gs))
+	verr := make([]error, len(gs))
+	verify := func(i int) error {
+		for _, tx := range gs[i] {
+			if err := tx.Verify(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := c.Shards()
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(gs) {
+		workers = len(gs)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(gs) {
+						return
+					}
+					verr[i] = verify(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range gs {
+			verr[i] = verify(i)
+		}
+	}
+	for i, g := range gs {
+		if verr[i] != nil {
+			errs[i] = verr[i]
+			continue
+		}
+		hashes[i], errs[i] = c.submitVerified(g)
+	}
+	return hashes, errs
+}
+
+// PendingCount reports the pending-pool depth.
+func (c *Chain) PendingCount() int { return len(c.pending) }
+
+// Digest hashes the chain's externally observable end state — head block,
+// full ledger (balances, applications, assets) and every receipt — into one
+// value. The determinism gates compare digests across shard counts and
+// GOMAXPROCS settings: equal digests mean bit-identical rounds and state.
+func (c *Chain) Digest() chain.Hash32 {
+	var buf []byte
+	put := func(b []byte) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, b...)
+	}
+	putU64 := func(v uint64) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], v)
+		buf = append(buf, n[:]...)
+	}
+	putValue := func(v avm.Value) {
+		if v.IsBytes {
+			putU64(1)
+			put(v.Bytes)
+		} else {
+			putU64(0)
+			putU64(v.Uint)
+		}
+	}
+	head := c.Head()
+	put(head.Hash[:])
+	putU64(head.Round)
+	putU64(c.led.appSeq)
+	putU64(c.led.asa.assetSeq)
+
+	addrs := sortedAddrs(c.led.balances)
+	for _, a := range addrs {
+		put(a[:])
+		putU64(c.led.balances[a])
+	}
+
+	appIDs := make([]uint64, 0, len(c.led.apps))
+	for id := range c.led.apps {
+		appIDs = append(appIDs, id)
+	}
+	sort.Slice(appIDs, func(i, j int) bool { return appIDs[i] < appIDs[j] })
+	for _, id := range appIDs {
+		a := c.led.apps[id]
+		putU64(a.ID)
+		put(a.Creator[:])
+		put([]byte(a.Source))
+		putU64(a.CreateAt)
+		if a.Deleted {
+			putU64(1)
+		} else {
+			putU64(0)
+		}
+		keys := make([]string, 0, len(a.Globals))
+		for k := range a.Globals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			put([]byte(k))
+			putValue(a.Globals[k])
+		}
+		laddrs := make([]chain.Address, 0, len(a.Locals))
+		for addr := range a.Locals {
+			laddrs = append(laddrs, addr)
+		}
+		sort.Slice(laddrs, func(i, j int) bool {
+			return bytes.Compare(laddrs[i][:], laddrs[j][:]) < 0
+		})
+		for _, addr := range laddrs {
+			put(addr[:])
+			lkeys := make([]string, 0, len(a.Locals[addr]))
+			for k := range a.Locals[addr] {
+				lkeys = append(lkeys, k)
+			}
+			sort.Strings(lkeys)
+			for _, k := range lkeys {
+				put([]byte(k))
+				putValue(a.Locals[addr][k])
+			}
+		}
+	}
+
+	assetIDs := make([]uint64, 0, len(c.led.asa.assets))
+	for id := range c.led.asa.assets {
+		assetIDs = append(assetIDs, id)
+	}
+	sort.Slice(assetIDs, func(i, j int) bool { return assetIDs[i] < assetIDs[j] })
+	for _, id := range assetIDs {
+		a := c.led.asa.assets[id]
+		putU64(a.ID)
+		put(a.Creator[:])
+		put([]byte(a.Name))
+		put([]byte(a.UnitName))
+		putU64(a.Total)
+		putU64(uint64(a.Decimals))
+		putU64(a.CreateAt)
+	}
+	holders := make([]chain.Address, 0, len(c.led.asa.holdings))
+	for addr := range c.led.asa.holdings {
+		holders = append(holders, addr)
+	}
+	sort.Slice(holders, func(i, j int) bool {
+		return bytes.Compare(holders[i][:], holders[j][:]) < 0
+	})
+	for _, addr := range holders {
+		put(addr[:])
+		ids := make([]uint64, 0, len(c.led.asa.holdings[addr]))
+		for id := range c.led.asa.holdings[addr] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			putU64(id)
+			putU64(c.led.asa.holdings[addr][id])
+		}
+	}
+
+	rhashes := make([]chain.Hash32, 0, len(c.receipts))
+	for h := range c.receipts {
+		rhashes = append(rhashes, h)
+	}
+	sort.Slice(rhashes, func(i, j int) bool {
+		return bytes.Compare(rhashes[i][:], rhashes[j][:]) < 0
+	})
+	for _, h := range rhashes {
+		r := c.receipts[h]
+		put(h[:])
+		putU64(r.BlockNumber)
+		putU64(r.GasUsed)
+		putU64(uint64(r.Submitted))
+		putU64(uint64(r.Included))
+		if r.Reverted {
+			putU64(1)
+		} else {
+			putU64(0)
+		}
+		put([]byte(r.RevertMsg))
+		put(r.ReturnValue)
+		if r.Fee.Base != nil {
+			put(r.Fee.Base.Bytes())
+		}
+	}
+	return chain.Hash32(polcrypto.Hash(buf))
+}
+
+func sortedAddrs(m map[chain.Address]uint64) []chain.Address {
+	out := make([]chain.Address, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
+	return out
+}

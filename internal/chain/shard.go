@@ -1,0 +1,203 @@
+package chain
+
+// Sharded block building: pending transactions are partitioned into
+// conflict components (transactions that may read or write the same state),
+// components are packed onto N shards, and each shard executes its
+// components serially while shards run concurrently. Because components on
+// different shards touch disjoint state, the merged block is bit-identical
+// to a serial execution in canonical order — regardless of GOMAXPROCS or
+// the shard count. Both chain simulators (internal/eth, internal/algorand)
+// build on the key/partition/assign machinery here.
+
+// ConflictKind namespaces conflict keys so that, e.g., an account key and a
+// contract key for the same 20-byte value stay distinct resources.
+type ConflictKind uint8
+
+// Conflict-key namespaces.
+const (
+	// ConflictAccount is a balance/nonce-bearing account (sender or
+	// value receiver).
+	ConflictAccount ConflictKind = iota
+	// ConflictContract is a contract's code and storage, keyed by address.
+	ConflictContract
+	// ConflictApp is an Algorand application, keyed by ID.
+	ConflictApp
+	// ConflictAsset is an Algorand standard asset, keyed by ID.
+	ConflictAsset
+	// ConflictGlobal is chain-global state (creation sequence counters);
+	// any transaction carrying it conflicts with every other one that does.
+	ConflictGlobal
+)
+
+// ConflictKey names one state resource a transaction may touch. Two
+// transactions sharing any key must execute serially in canonical order;
+// transactions sharing no key commute and may run on different shards.
+type ConflictKey struct {
+	Kind ConflictKind
+	Addr Address // set for account/contract keys
+	ID   uint64  // set for app/asset keys
+}
+
+// AccountKey is the conflict key of an account's balance and nonce.
+func AccountKey(a Address) ConflictKey { return ConflictKey{Kind: ConflictAccount, Addr: a} }
+
+// ContractKey is the conflict key of a contract's code and storage.
+func ContractKey(a Address) ConflictKey { return ConflictKey{Kind: ConflictContract, Addr: a} }
+
+// AppKey is the conflict key of an Algorand application's state.
+func AppKey(id uint64) ConflictKey { return ConflictKey{Kind: ConflictApp, ID: id} }
+
+// AssetKey is the conflict key of an Algorand standard asset.
+func AssetKey(id uint64) ConflictKey { return ConflictKey{Kind: ConflictAsset, ID: id} }
+
+// GlobalKey is the conflict key of chain-global sequences.
+func GlobalKey() ConflictKey { return ConflictKey{Kind: ConflictGlobal} }
+
+// Partition groups n items (canonically ordered transactions) into conflict
+// components: the connected components of the graph whose edges join items
+// sharing a conflict key. Components are returned ordered by their smallest
+// member index, and each component lists its members in ascending index
+// order — so executing components in slice order, members in order,
+// reproduces the canonical serial order within every component.
+func Partition(n int, keysOf func(i int) []ConflictKey) [][]int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Keep the smaller index as root so roots are canonical.
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+	}
+	owner := make(map[ConflictKey]int)
+	for i := 0; i < n; i++ {
+		for _, k := range keysOf(i) {
+			if first, ok := owner[k]; ok {
+				union(i, first)
+			} else {
+				owner[k] = i
+			}
+		}
+	}
+	members := make(map[int][]int, n)
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, seen := members[r]; !seen {
+			roots = append(roots, r)
+		}
+		members[r] = append(members[r], i)
+	}
+	// Roots are the smallest index of their component, and were appended in
+	// ascending order of first appearance, so the result is ordered by
+	// smallest member already.
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, members[r])
+	}
+	return out
+}
+
+// Assign packs conflict components onto at most shards bins, balancing the
+// total weight per bin. Components are placed in descending-weight order
+// (ties broken by smaller first-member index) onto the currently lightest
+// bin (ties broken by lower bin index) — the classic LPT heuristic, made
+// deterministic by the tie-breaks. The returned slice has exactly shards
+// entries; a bin holds its components in the order assigned.
+func Assign(components [][]int, shards int, weight func(i int) uint64) [][][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	type comp struct {
+		idx int // position in components, the tie-break
+		w   uint64
+	}
+	order := make([]comp, len(components))
+	for ci, members := range components {
+		var w uint64
+		for _, i := range members {
+			w += weight(i)
+		}
+		order[ci] = comp{idx: ci, w: w}
+	}
+	// Insertion sort by descending weight, ascending idx on ties: component
+	// counts per block are small, and stability plus explicit tie-breaks
+	// keep the assignment independent of sort internals.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && (order[j].w > order[j-1].w ||
+			(order[j].w == order[j-1].w && order[j].idx < order[j-1].idx)); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	bins := make([][][]int, shards)
+	loads := make([]uint64, shards)
+	for _, c := range order {
+		best := 0
+		for b := 1; b < shards; b++ {
+			if loads[b] < loads[best] {
+				best = b
+			}
+		}
+		bins[best] = append(bins[best], components[c.idx])
+		loads[best] += c.w
+	}
+	return bins
+}
+
+// ShardStats accumulates per-shard execution tallies across blocks, the raw
+// material of the utilization figures in BENCH_throughput.json.
+type ShardStats struct {
+	Txs []uint64 // transactions (or tx groups) executed per shard
+	Gas []uint64 // execution gas (or opcode cost) per shard
+	// ParallelBatches counts block applications that actually fanned out
+	// to more than one shard; serial blocks bypass the worker pool.
+	ParallelBatches uint64
+}
+
+// NewShardStats sizes the tallies for n shards.
+func NewShardStats(n int) *ShardStats {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardStats{Txs: make([]uint64, n), Gas: make([]uint64, n)}
+}
+
+// Record adds one shard's tallies for a block.
+func (s *ShardStats) Record(shard int, txs, gas uint64) {
+	if s == nil || shard < 0 || shard >= len(s.Txs) {
+		return
+	}
+	s.Txs[shard] += txs
+	s.Gas[shard] += gas
+}
+
+// Utilization returns each shard's share of the total executed
+// transactions, or all zeros when nothing executed.
+func (s *ShardStats) Utilization() []float64 {
+	out := make([]float64, len(s.Txs))
+	var total uint64
+	for _, t := range s.Txs {
+		total += t
+	}
+	if total == 0 {
+		return out
+	}
+	for i, t := range s.Txs {
+		out[i] = float64(t) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package chain
+
+import (
+	"reflect"
+	"testing"
+)
+
+func addr(b byte) Address {
+	var a Address
+	a[0] = b
+	return a
+}
+
+func TestPartitionTable(t *testing.T) {
+	// Each case lists per-item key sets and the expected components.
+	cases := []struct {
+		name string
+		keys [][]ConflictKey
+		want [][]int
+	}{
+		{
+			name: "disjoint items stay alone",
+			keys: [][]ConflictKey{
+				{AccountKey(addr(1)), ContractKey(addr(10))},
+				{AccountKey(addr(2)), ContractKey(addr(11))},
+				{AccountKey(addr(3)), ContractKey(addr(12))},
+			},
+			want: [][]int{{0}, {1}, {2}},
+		},
+		{
+			name: "same sender across areas serializes",
+			// One user checking in to three different area contracts: the
+			// shared sender account chains all three together.
+			keys: [][]ConflictKey{
+				{AccountKey(addr(1)), ContractKey(addr(10))},
+				{AccountKey(addr(1)), ContractKey(addr(11))},
+				{AccountKey(addr(1)), ContractKey(addr(12))},
+			},
+			want: [][]int{{0, 1, 2}},
+		},
+		{
+			name: "same contract from many senders serializes",
+			// Three users hitting one area contract form one component;
+			// a fourth user on another contract stays apart.
+			keys: [][]ConflictKey{
+				{AccountKey(addr(1)), ContractKey(addr(10))},
+				{AccountKey(addr(2)), ContractKey(addr(10))},
+				{AccountKey(addr(3)), ContractKey(addr(10))},
+				{AccountKey(addr(4)), ContractKey(addr(11))},
+			},
+			want: [][]int{{0, 1, 2}, {3}},
+		},
+		{
+			name: "zero address account and contract keys stay distinct",
+			// The zero address as an account and as a contract are
+			// different resources: kinds differ, so no false conflict.
+			keys: [][]ConflictKey{
+				{AccountKey(Address{})},
+				{ContractKey(Address{})},
+			},
+			want: [][]int{{0}, {1}},
+		},
+		{
+			name: "zero address shared as same kind conflicts",
+			keys: [][]ConflictKey{
+				{AccountKey(Address{})},
+				{AccountKey(Address{})},
+			},
+			want: [][]int{{0, 1}},
+		},
+		{
+			name: "global key joins everything carrying it",
+			keys: [][]ConflictKey{
+				{AccountKey(addr(1)), GlobalKey()},
+				{AccountKey(addr(2))},
+				{AccountKey(addr(3)), GlobalKey()},
+			},
+			want: [][]int{{0, 2}, {1}},
+		},
+		{
+			name: "transitive chain merges into one component",
+			// 0-1 share a contract, 1-2 share a sender: all three join.
+			keys: [][]ConflictKey{
+				{AccountKey(addr(1)), ContractKey(addr(10))},
+				{AccountKey(addr(2)), ContractKey(addr(10))},
+				{AccountKey(addr(2)), ContractKey(addr(11))},
+			},
+			want: [][]int{{0, 1, 2}},
+		},
+		{
+			name: "app and asset keys with equal IDs stay distinct",
+			keys: [][]ConflictKey{
+				{AppKey(7)},
+				{AssetKey(7)},
+			},
+			want: [][]int{{0}, {1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Partition(len(tc.keys), func(i int) []ConflictKey { return tc.keys[i] })
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Partition = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	if got := Partition(0, func(int) []ConflictKey { return nil }); len(got) != 0 {
+		t.Fatalf("Partition(0) = %v, want empty", got)
+	}
+}
+
+func TestAssignBalancesAndIsDeterministic(t *testing.T) {
+	comps := [][]int{{0}, {1}, {2}, {3}, {4}, {5}}
+	weights := []uint64{100, 90, 10, 10, 10, 10}
+	w := func(i int) uint64 { return weights[i] }
+
+	bins := Assign(comps, 2, w)
+	if len(bins) != 2 {
+		t.Fatalf("got %d bins, want 2", len(bins))
+	}
+	load := func(b [][]int) uint64 {
+		var sum uint64
+		for _, comp := range b {
+			for _, i := range comp {
+				sum += w(i)
+			}
+		}
+		return sum
+	}
+	// LPT on these weights: {100, 10, 10} vs {90, 10, 10}.
+	if load(bins[0]) != 120 || load(bins[1]) != 110 {
+		t.Fatalf("loads = %d/%d, want 120/110", load(bins[0]), load(bins[1]))
+	}
+	for i := 0; i < 10; i++ {
+		again := Assign(comps, 2, w)
+		if !reflect.DeepEqual(bins, again) {
+			t.Fatalf("Assign not deterministic: %v vs %v", bins, again)
+		}
+	}
+}
+
+func TestAssignFewerComponentsThanShards(t *testing.T) {
+	comps := [][]int{{0, 1}}
+	bins := Assign(comps, 4, func(int) uint64 { return 1 })
+	if len(bins) != 4 {
+		t.Fatalf("got %d bins, want 4", len(bins))
+	}
+	nonEmpty := 0
+	for _, b := range bins {
+		if len(b) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("one component must land in exactly one bin, got %d", nonEmpty)
+	}
+}
+
+func TestShardStatsUtilization(t *testing.T) {
+	s := NewShardStats(4)
+	s.Record(0, 30, 300)
+	s.Record(1, 10, 100)
+	s.Record(1, 0, 0)
+	u := s.Utilization()
+	if u[0] != 0.75 || u[1] != 0.25 || u[2] != 0 || u[3] != 0 {
+		t.Fatalf("utilization = %v", u)
+	}
+	// Out-of-range and nil receivers are no-ops, not panics.
+	s.Record(9, 1, 1)
+	var nilStats *ShardStats
+	nilStats.Record(0, 1, 1)
+	empty := NewShardStats(2).Utilization()
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Fatalf("empty utilization = %v", empty)
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"agnopol/internal/algorand"
+	"agnopol/internal/chain"
+	"agnopol/internal/eth"
+	"agnopol/internal/lang"
+)
+
+func TestAreaRegistryRegisterAndLookup(t *testing.T) {
+	r := NewAreaRegistry(4)
+	if r.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", r.Shards())
+	}
+	h1 := &Handle{Connector: "evm", EVMAddr: chain.AddressFromBytes([]byte("a"))}
+	h2 := &Handle{Connector: "algorand", AppID: 7}
+	if err := r.Register("8FPHF8VV+X2", h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("8FPHF9WW+Y3", h2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("8FPHF8VV+X2", h1); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if err := r.Register("", h1); err == nil {
+		t.Fatal("empty area code must fail")
+	}
+	if err := r.Register("8FPHF0XX+Z4", nil); err == nil {
+		t.Fatal("nil handle must fail")
+	}
+	if got, ok := r.Lookup("8FPHF8VV+X2"); !ok || got != h1 {
+		t.Fatal("lookup must return the registered handle")
+	}
+	if _, ok := r.Lookup("nowhere"); ok {
+		t.Fatal("unknown area must miss")
+	}
+	areas := r.Areas()
+	if len(areas) != 2 || areas[0] != "8FPHF8VV+X2" || areas[1] != "8FPHF9WW+Y3" {
+		t.Fatalf("Areas() = %v, want registration order", areas)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", r.Len())
+	}
+}
+
+func TestAreaRegistryShardOf(t *testing.T) {
+	r := NewAreaRegistry(4)
+	// Stable across calls and independent of registration.
+	for _, area := range []string{"A", "B", "C", "8FPHF8VV+X2"} {
+		s := r.ShardOf(area)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardOf(%q) = %d out of range", area, s)
+		}
+		for i := 0; i < 5; i++ {
+			if r.ShardOf(area) != s {
+				t.Fatalf("ShardOf(%q) not stable", area)
+			}
+		}
+	}
+	// A clamped registry routes everything to shard 0.
+	one := NewAreaRegistry(0)
+	if one.Shards() != 1 || one.ShardOf("anything") != 0 {
+		t.Fatal("shards must clamp to 1")
+	}
+}
+
+func TestAreaRegistryConflictKey(t *testing.T) {
+	r := NewAreaRegistry(2)
+	evmAddr := chain.AddressFromBytes([]byte("contract"))
+	if err := r.Register("evm-area", &Handle{Connector: "evm", EVMAddr: evmAddr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("algo-area", &Handle{Connector: "algorand", AppID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := r.ConflictKey("evm-area"); !ok || k != chain.ContractKey(evmAddr) {
+		t.Fatalf("evm key = %+v", k)
+	}
+	if k, ok := r.ConflictKey("algo-area"); !ok || k != chain.AppKey(9) {
+		t.Fatalf("algorand key = %+v", k)
+	}
+	if _, ok := r.ConflictKey("nowhere"); ok {
+		t.Fatal("unknown area must not yield a key")
+	}
+}
+
+func TestCheckinContractBothChains(t *testing.T) {
+	compiled, err := CompileCheckin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Report.Failures != 0 {
+		t.Fatalf("checkin verification failures:\n%s", compiled.Report)
+	}
+	conns := []Connector{
+		NewEVMConnector(eth.NewChain(eth.Goerli(), 51)),
+		NewAlgorandConnector(algorand.NewChain(algorand.Testnet(), 51)),
+	}
+	for _, conn := range conns {
+		conn := conn
+		t.Run(conn.Name(), func(t *testing.T) {
+			reg := NewAreaRegistry(4)
+			creator, err := conn.NewAccount(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			user, err := conn.NewAccount(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			area := "8FPHF8VV+X2"
+			h, _, err := conn.Deploy(creator, compiled, []lang.Value{
+				lang.BytesValue([]byte(area)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reg.Register(area, h); err != nil {
+				t.Fatal(err)
+			}
+
+			v, _, err := conn.Invoke(user, h, "checkin",
+				CallOpts{EscrowFund: true},
+				lang.Uint64Value(42), lang.Uint64Value(3))
+			if err != nil {
+				t.Fatalf("checkin: %v", err)
+			}
+			if v.Uint != 1 {
+				t.Fatalf("first checkin returned %d, want 1", v.Uint)
+			}
+			v, _, err = conn.Invoke(user, h, "checkin", CallOpts{},
+				lang.Uint64Value(42), lang.Uint64Value(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Uint != 2 {
+				t.Fatalf("second checkin returned %d, want 2", v.Uint)
+			}
+
+			if got, err := conn.View(h, "getCheckins"); err != nil || got.Uint != 2 {
+				t.Fatalf("getCheckins = %+v (%v), want 2", got, err)
+			}
+			if got, _, err := conn.ReadMap(h, "last_seen", 42); err != nil || got.Uint != 4 {
+				t.Fatalf("last_seen[42] = %+v (%v), want 4", got, err)
+			}
+
+			// The registry resolves the handle back and derives the same
+			// conflict key the chains' partitioners would use.
+			if k, ok := reg.ConflictKey(area); !ok {
+				t.Fatal("registered area must yield a conflict key")
+			} else if h.AppID != 0 && k != chain.AppKey(h.AppID) {
+				t.Fatalf("key = %+v, want app key", k)
+			} else if h.AppID == 0 && k != chain.ContractKey(h.EVMAddr) {
+				t.Fatalf("key = %+v, want contract key", k)
+			}
+		})
+	}
+}

@@ -138,6 +138,11 @@ type Chain struct {
 	burned *big.Int
 	tipped *big.Int
 
+	// shards is the execution fan-out Step may use; <=1 means serial.
+	// shardStats tallies per-shard work once SetShards configures it.
+	shards     int
+	shardStats *chain.ShardStats
+
 	// obs holds the chain's instrumentation; nil when uninstrumented.
 	obs *chainObs
 }
@@ -237,6 +242,15 @@ func (c *Chain) Submit(tx *Tx) (chain.Hash32, error) {
 	if err := tx.Verify(); err != nil {
 		return chain.Hash32{}, err
 	}
+	return c.submitVerified(tx)
+}
+
+// submitVerified runs the admission checks past signature verification and
+// queues the transaction. SubmitBatch calls it after verifying signatures
+// concurrently; the checks and fault draws here must stay serial, in
+// submission order, so batched and one-by-one submission build the same
+// mempool and consume the same fault streams.
+func (c *Chain) submitVerified(tx *Tx) (chain.Hash32, error) {
 	if tx.GasLimit > c.cfg.BlockGasLimit {
 		return chain.Hash32{}, ErrGasAboveBlockCap
 	}
@@ -317,7 +331,6 @@ func (c *Chain) Step() *Block {
 		BaseFee:    new(big.Int).Set(c.baseFee),
 	}
 
-	userGas := uint64(0)
 	// Highest tips first; FIFO within equal tips; nonces must be in order
 	// per sender.
 	sort.SliceStable(c.mempool, func(i, j int) bool {
@@ -328,7 +341,23 @@ func (c *Chain) Step() *Block {
 		}
 		return c.mempool[i].submitted < c.mempool[j].submitted
 	})
-	var remaining []*pendingTx
+	// Selection pass: decide the block's transaction set before executing
+	// anything. Capacity is reserved by gas limit, not actual usage, so
+	// selection never depends on execution results and the set is the same
+	// whether execution later runs serially or sharded. selNonces tracks
+	// nonces consumed by earlier selections in this block.
+	var (
+		sel       []*pendingTx
+		remaining []*pendingTx
+		reserved  uint64
+		selNonces map[chain.Address]uint64
+	)
+	nextNonce := func(a chain.Address) uint64 {
+		if n, ok := selNonces[a]; ok {
+			return n
+		}
+		return c.st.nonces[a]
+	}
 	for _, p := range c.mempool {
 		tx := p.tx
 		switch {
@@ -336,24 +365,18 @@ func (c *Chain) Step() *Block {
 			// Not yet propagated when the block was built.
 		case tx.MaxFee.Cmp(c.baseFee) < 0:
 			// Base fee above the cap: wait for it to drop.
-		case tx.Nonce != c.st.nonces[tx.From]:
+		case tx.Nonce != nextNonce(tx.From):
 			// Nonce gap: wait for the earlier transaction.
 		default:
 			tip := effectiveTip(tx, c.baseFee)
 			outbid := demand * math.Exp(-bigToFloat(tip)/bigToFloat(c.cfg.TipScale))
-			if uint64(outbid)+userGas+tx.GasLimit <= c.cfg.BlockGasLimit {
-				rcpt := c.execute(tx, blk)
-				rcpt.Submitted = p.submitted
-				c.receipts[tx.Hash()] = rcpt
-				blk.TxHashes = append(blk.TxHashes, tx.Hash())
-				userGas += rcpt.GasUsed
-				if p.delayed {
-					c.flt.Recover(faults.ClassTxDelay)
+			if uint64(outbid)+reserved+tx.GasLimit <= c.cfg.BlockGasLimit {
+				if selNonces == nil {
+					selNonces = make(map[chain.Address]uint64)
 				}
-				if c.obs != nil {
-					c.obs.txsIncluded.Inc()
-					c.obs.inclusionLatency.Observe((blk.Time - p.submitted).Seconds())
-				}
+				selNonces[tx.From] = tx.Nonce + 1
+				reserved += tx.GasLimit
+				sel = append(sel, p)
 				continue
 			}
 		}
@@ -364,6 +387,34 @@ func (c *Chain) Step() *Block {
 		remaining = append(remaining, p)
 	}
 	c.mempool = remaining
+
+	// Execution (serial or sharded — applyBatch decides), then the
+	// serialized merge in canonical order: receipts, proposer tip, burn
+	// tally and explorer rows are applied exactly as the serial path would.
+	receipts, effects := c.applyBatch(sel, blk)
+	userGas := uint64(0)
+	for i, p := range sel {
+		tx := p.tx
+		rcpt := receipts[i]
+		rcpt.Submitted = p.submitted
+		c.receipts[tx.Hash()] = rcpt
+		blk.TxHashes = append(blk.TxHashes, tx.Hash())
+		userGas += rcpt.GasUsed
+		eff := effects[i]
+		c.st.AddBalance(blk.Proposer, eff.tip)
+		c.burned.Add(c.burned, eff.burn)
+		c.tipped.Add(c.tipped, eff.tip)
+		if eff.record {
+			c.recordTx(tx, rcpt, eff.target, eff.isCreate)
+		}
+		if p.delayed {
+			c.flt.Recover(faults.ClassTxDelay)
+		}
+		if c.obs != nil {
+			c.obs.txsIncluded.Inc()
+			c.obs.inclusionLatency.Observe((blk.Time - p.submitted).Seconds())
+		}
+	}
 
 	bg := uint64(demand)
 	if bg+userGas > c.cfg.BlockGasLimit {
@@ -590,10 +641,26 @@ func (c *Chain) updateFinality() {
 	c.justified = head
 }
 
-// execute runs a transaction against the world state and builds its
+// txEffects carries a transaction's serialized side effects out of
+// executeOn: shard workers must not touch the proposer balance, the chain's
+// burn/tip tallies or the explorer log, so those are returned and applied
+// by Step in canonical order after every shard finishes.
+type txEffects struct {
+	burn     *big.Int
+	tip      *big.Int
+	target   chain.Address
+	isCreate bool
+	// record is false for executions the explorer does not log (deploys
+	// that die on the code deposit before reaching the EVM).
+	record bool
+}
+
+// executeOn runs a transaction against st — the canonical state on the
+// serial path, a shard overlay on the parallel one — and builds its
 // receipt. State changes of reverted executions are undone inside the EVM;
-// fees are charged regardless, as on the real network.
-func (c *Chain) execute(tx *Tx, blk *Block) *chain.Receipt {
+// fees are charged regardless, as on the real network. The sender is
+// debited on st; the burn/tip split is returned for the caller to apply.
+func (c *Chain) executeOn(st execState, tx *Tx, blk *Block) (*chain.Receipt, txEffects) {
 	tip := effectiveTip(tx, blk.BaseFee)
 	price := new(big.Int).Add(blk.BaseFee, tip)
 
@@ -611,10 +678,11 @@ func (c *Chain) execute(tx *Tx, blk *Block) *chain.Receipt {
 	} else {
 		target = *tx.To
 	}
-	c.st.nonces[tx.From] = tx.Nonce + 1
+	eff := txEffects{target: target, isCreate: isCreate}
+	st.SetNonce(tx.From, tx.Nonce+1)
 
 	depositGas := uint64(0)
-	code := c.st.code[target]
+	code, _ := st.Code(target)
 	callData := tx.Data
 	if isCreate {
 		// Our compiler produces runtime code directly; deployment stores
@@ -632,21 +700,21 @@ func (c *Chain) execute(tx *Tx, blk *Block) *chain.Receipt {
 		rcpt.GasUsed = tx.GasLimit
 		rcpt.Reverted = true
 		rcpt.RevertMsg = "out of gas: code deposit"
-		c.chargeFee(tx, rcpt.GasUsed, price, blk)
+		eff.burn, eff.tip = chargeFeeOn(st, tx, rcpt.GasUsed, price, blk.BaseFee)
 		rcpt.Fee = chain.NewAmount(new(big.Int).Mul(price, new(big.Int).SetUint64(rcpt.GasUsed)), c.cfg.Unit)
-		return rcpt
+		return rcpt, eff
 	}
 	gasBudget -= depositGas
 
 	// Credit the call value before execution; undo if it fails.
 	valueMoved := false
 	if tx.Value.Sign() > 0 {
-		c.st.SubBalance(tx.From, tx.Value)
-		c.st.AddBalance(target, tx.Value)
+		st.SubBalance(tx.From, tx.Value)
+		st.AddBalance(target, tx.Value)
 		valueMoved = true
 	}
 	if isCreate {
-		c.st.code[target] = code
+		st.SetCode(target, code)
 	}
 
 	var prof obs.Profiler
@@ -654,7 +722,7 @@ func (c *Chain) execute(tx *Tx, blk *Block) *chain.Receipt {
 		prof = c.obs.prof
 	}
 	res := evm.Execute(evm.Context{
-		State:       c.st,
+		State:       st,
 		Caller:      tx.From,
 		Address:     target,
 		Value:       tx.Value,
@@ -675,11 +743,11 @@ func (c *Chain) execute(tx *Tx, blk *Block) *chain.Receipt {
 		gasUsed -= refund
 	} else {
 		if valueMoved {
-			c.st.AddBalance(tx.From, tx.Value)
-			c.st.SubBalance(target, tx.Value)
+			st.AddBalance(tx.From, tx.Value)
+			st.SubBalance(target, tx.Value)
 		}
 		if isCreate {
-			delete(c.st.code, target)
+			st.DeleteCode(target)
 		}
 	}
 
@@ -694,23 +762,23 @@ func (c *Chain) execute(tx *Tx, blk *Block) *chain.Receipt {
 	for _, l := range res.Logs {
 		rcpt.Logs = append(rcpt.Logs, string(l.Data))
 	}
-	c.chargeFee(tx, gasUsed, price, blk)
+	eff.burn, eff.tip = chargeFeeOn(st, tx, gasUsed, price, blk.BaseFee)
 	rcpt.Fee = chain.NewAmount(new(big.Int).Mul(price, new(big.Int).SetUint64(gasUsed)), c.cfg.Unit)
-	c.recordTx(tx, rcpt, target, isCreate)
-	return rcpt
+	eff.record = true
+	return rcpt, eff
 }
 
-// chargeFee debits the sender, burns the base-fee share and credits the
-// proposer with the tip.
-func (c *Chain) chargeFee(tx *Tx, gasUsed uint64, price *big.Int, blk *Block) {
+// chargeFeeOn debits the sender's full fee on st and returns the
+// burn/tip split. The proposer credit and the chain-wide tallies are the
+// caller's to apply: they are shared across shards, so they must happen in
+// canonical order during the merge, not inside a shard worker.
+func chargeFeeOn(st execState, tx *Tx, gasUsed uint64, price, baseFee *big.Int) (burn, tipAmt *big.Int) {
 	gas := new(big.Int).SetUint64(gasUsed)
 	fee := new(big.Int).Mul(price, gas)
-	c.st.SubBalance(tx.From, fee)
-	burn := new(big.Int).Mul(blk.BaseFee, gas)
-	c.burned.Add(c.burned, burn)
-	tipAmt := new(big.Int).Sub(fee, burn)
-	c.st.AddBalance(blk.Proposer, tipAmt)
-	c.tipped.Add(c.tipped, tipAmt)
+	st.SubBalance(tx.From, fee)
+	burn = new(big.Int).Mul(baseFee, gas)
+	tipAmt = new(big.Int).Sub(fee, burn)
+	return burn, tipAmt
 }
 
 // deployPrefix frames code||ctorData in deployment calldata.

@@ -1,0 +1,448 @@
+package eth
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/big"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"agnopol/internal/chain"
+	"agnopol/internal/evm"
+	"agnopol/internal/polcrypto"
+)
+
+// Sharded block application. Selected transactions are partitioned into
+// conflict components (chain.Partition over each transaction's
+// ConflictKeys), components are packed onto shards, and each shard executes
+// its components serially against a copy-on-write overlay of the world
+// state while shards run concurrently. Overlays touch disjoint state by
+// construction, so committing them and then applying the serialized
+// effects (proposer tip, burn tally, explorer rows) in canonical order
+// yields a block bit-identical to the serial path at any shard count —
+// TestShardedBlockBitIdentity is the gate.
+
+// ConflictKeys names the state a transaction may touch: its sender's
+// account (nonce + balance), the target's account (value credit) and the
+// target contract's code and storage. For deployments the target is the
+// deterministic contract address. Beneficiaries named only in calldata
+// (e.g. a wallet argument the contract pays out to) are not derivable
+// without executing, so they carry no key; in the PoL workloads such
+// payouts always come from the area contract already in the component, and
+// the bit-identity tests verify the assumption.
+func (tx *Tx) ConflictKeys() []chain.ConflictKey {
+	var target chain.Address
+	if tx.To == nil {
+		target = chain.ContractAddress(tx.From, tx.Nonce)
+	} else {
+		target = *tx.To
+	}
+	return []chain.ConflictKey{
+		chain.AccountKey(tx.From),
+		chain.AccountKey(target),
+		chain.ContractKey(target),
+	}
+}
+
+// execState is the world-state surface transaction execution needs: the
+// EVM's StateDB plus nonce and code management. Both the canonical state
+// and the per-shard overlays implement it.
+type execState interface {
+	evm.StateDB
+	Nonce(chain.Address) uint64
+	SetNonce(chain.Address, uint64)
+	Code(chain.Address) ([]byte, bool)
+	SetCode(chain.Address, []byte)
+	DeleteCode(chain.Address)
+}
+
+var (
+	_ execState = (*state)(nil)
+	_ execState = (*shardState)(nil)
+)
+
+// storageSlot keys one contract storage word in a shard overlay.
+type storageSlot struct {
+	addr chain.Address
+	key  chain.Hash32
+}
+
+// shardState is a copy-on-write overlay over the canonical state: reads
+// fall through to the base, writes stay local until commit. A zero storage
+// write is recorded (not elided) so commit can apply the base's
+// delete-on-zero rule.
+type shardState struct {
+	base     *state
+	balances map[chain.Address]*big.Int
+	nonces   map[chain.Address]uint64
+	storage  map[storageSlot]chain.Hash32
+	code     map[chain.Address][]byte
+	codeDel  map[chain.Address]bool
+}
+
+func newShardState(base *state) *shardState {
+	return &shardState{
+		base:     base,
+		balances: make(map[chain.Address]*big.Int),
+		nonces:   make(map[chain.Address]uint64),
+		storage:  make(map[storageSlot]chain.Hash32),
+		code:     make(map[chain.Address][]byte),
+		codeDel:  make(map[chain.Address]bool),
+	}
+}
+
+func (s *shardState) balanceForWrite(a chain.Address) *big.Int {
+	if b, ok := s.balances[a]; ok {
+		return b
+	}
+	b := new(big.Int)
+	if base, ok := s.base.balances[a]; ok {
+		b.Set(base)
+	}
+	s.balances[a] = b
+	return b
+}
+
+func (s *shardState) GetBalance(a chain.Address) *big.Int {
+	if b, ok := s.balances[a]; ok {
+		return new(big.Int).Set(b)
+	}
+	return s.base.GetBalance(a)
+}
+
+func (s *shardState) AddBalance(a chain.Address, v *big.Int) {
+	b := s.balanceForWrite(a)
+	b.Add(b, v)
+}
+
+func (s *shardState) SubBalance(a chain.Address, v *big.Int) {
+	b := s.balanceForWrite(a)
+	b.Sub(b, v)
+}
+
+func (s *shardState) GetStorage(addr chain.Address, key chain.Hash32) chain.Hash32 {
+	if v, ok := s.storage[storageSlot{addr, key}]; ok {
+		return v
+	}
+	return s.base.GetStorage(addr, key)
+}
+
+func (s *shardState) SetStorage(addr chain.Address, key, value chain.Hash32) {
+	s.storage[storageSlot{addr, key}] = value
+}
+
+func (s *shardState) AccountExists(a chain.Address) bool {
+	if _, ok := s.balances[a]; ok {
+		return true
+	}
+	if _, ok := s.code[a]; ok {
+		return true
+	}
+	if s.codeDel[a] {
+		_, ok := s.base.balances[a]
+		return ok
+	}
+	return s.base.AccountExists(a)
+}
+
+func (s *shardState) Nonce(a chain.Address) uint64 {
+	if n, ok := s.nonces[a]; ok {
+		return n
+	}
+	return s.base.nonces[a]
+}
+
+func (s *shardState) SetNonce(a chain.Address, n uint64) { s.nonces[a] = n }
+
+func (s *shardState) Code(a chain.Address) ([]byte, bool) {
+	if c, ok := s.code[a]; ok {
+		return c, true
+	}
+	if s.codeDel[a] {
+		return nil, false
+	}
+	return s.base.Code(a)
+}
+
+func (s *shardState) SetCode(a chain.Address, code []byte) {
+	s.code[a] = code
+	delete(s.codeDel, a)
+}
+
+func (s *shardState) DeleteCode(a chain.Address) {
+	delete(s.code, a)
+	s.codeDel[a] = true
+}
+
+// commit folds the overlay into the base state. Overlays from different
+// shards hold disjoint key sets, so commit order across shards does not
+// matter; within an overlay every key holds its final value, so map
+// iteration order does not matter either.
+func (s *shardState) commit() {
+	for a, b := range s.balances {
+		s.base.balances[a] = b
+	}
+	for a, n := range s.nonces {
+		s.base.nonces[a] = n
+	}
+	for slot, v := range s.storage {
+		s.base.SetStorage(slot.addr, slot.key, v)
+	}
+	for a := range s.codeDel {
+		delete(s.base.code, a)
+	}
+	for a, c := range s.code {
+		s.base.code[a] = c
+	}
+}
+
+// SetShards configures how many execution shards Step may fan out to; n <= 1
+// keeps the serial path. The setting changes scheduling only — block
+// contents are identical at every value.
+func (c *Chain) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.shards = n
+	c.shardStats = chain.NewShardStats(n)
+}
+
+// Shards returns the configured shard count.
+func (c *Chain) Shards() int {
+	if c.shards < 1 {
+		return 1
+	}
+	return c.shards
+}
+
+// ShardStats returns a copy of the per-shard execution tallies accumulated
+// since SetShards, or nil when sharding was never configured.
+func (c *Chain) ShardStats() *chain.ShardStats {
+	if c.shardStats == nil {
+		return nil
+	}
+	cp := chain.NewShardStats(len(c.shardStats.Txs))
+	copy(cp.Txs, c.shardStats.Txs)
+	copy(cp.Gas, c.shardStats.Gas)
+	cp.ParallelBatches = c.shardStats.ParallelBatches
+	return cp
+}
+
+// applyBatch executes one block's selected transactions and returns their
+// receipts plus the serialized effects (fee burn, proposer tip, explorer
+// row) the caller applies in canonical order. With more than one shard
+// configured and more than one conflict component present, components run
+// concurrently on copy-on-write overlays; otherwise everything runs
+// serially against the canonical state.
+func (c *Chain) applyBatch(sel []*pendingTx, blk *Block) ([]*chain.Receipt, []txEffects) {
+	receipts := make([]*chain.Receipt, len(sel))
+	effects := make([]txEffects, len(sel))
+	if len(sel) == 0 {
+		return receipts, effects
+	}
+	serial := func() {
+		var gas uint64
+		for i, p := range sel {
+			receipts[i], effects[i] = c.executeOn(c.st, p.tx, blk)
+			gas += receipts[i].GasUsed
+		}
+		c.shardStats.Record(0, uint64(len(sel)), gas)
+	}
+	if c.shards <= 1 || len(sel) < 2 {
+		serial()
+		return receipts, effects
+	}
+	comps := chain.Partition(len(sel), func(i int) []chain.ConflictKey {
+		return sel[i].tx.ConflictKeys()
+	})
+	if len(comps) < 2 {
+		serial()
+		return receipts, effects
+	}
+	nshards := c.shards
+	if nshards > len(comps) {
+		nshards = len(comps)
+	}
+	bins := chain.Assign(comps, nshards, func(i int) uint64 { return sel[i].tx.GasLimit })
+	overlays := make([]*shardState, nshards)
+	shardTxs := make([]uint64, nshards)
+	shardGas := make([]uint64, nshards)
+	var wg sync.WaitGroup
+	for si := 0; si < nshards; si++ {
+		overlays[si] = newShardState(c.st)
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			ss := overlays[si]
+			for _, comp := range bins[si] {
+				for _, i := range comp {
+					receipts[i], effects[i] = c.executeOn(ss, sel[i].tx, blk)
+					shardTxs[si]++
+					shardGas[si] += receipts[i].GasUsed
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	for si, ss := range overlays {
+		ss.commit()
+		c.shardStats.Record(si, shardTxs[si], shardGas[si])
+	}
+	if c.shardStats != nil {
+		c.shardStats.ParallelBatches++
+	}
+	return receipts, effects
+}
+
+// SubmitBatch validates and queues a batch of signed transactions in one
+// call. Signature verification — the dominant per-transaction cost — runs
+// concurrently when sharding is configured; admission (fee, nonce and
+// balance checks, fault draws, mempool append) stays serial in slice order,
+// so the mempool and fault streams are identical to len(txs) Submit calls.
+// Result slot i is the hash or error for txs[i].
+func (c *Chain) SubmitBatch(txs []*Tx) ([]chain.Hash32, []error) {
+	hashes := make([]chain.Hash32, len(txs))
+	errs := make([]error, len(txs))
+	verr := make([]error, len(txs))
+	workers := c.Shards()
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(txs) {
+						return
+					}
+					verr[i] = txs[i].Verify()
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, tx := range txs {
+			verr[i] = tx.Verify()
+		}
+	}
+	for i, tx := range txs {
+		if verr[i] != nil {
+			errs[i] = verr[i]
+			continue
+		}
+		hashes[i], errs[i] = c.submitVerified(tx)
+	}
+	return hashes, errs
+}
+
+// PendingCount reports the mempool depth.
+func (c *Chain) PendingCount() int { return len(c.mempool) }
+
+// Digest hashes the chain's externally observable end state — head block,
+// fee accounting, full world state and every receipt — into one value. The
+// determinism gates compare digests across shard counts and GOMAXPROCS
+// settings: equal digests mean bit-identical blocks and state.
+func (c *Chain) Digest() chain.Hash32 {
+	var buf []byte
+	put := func(b []byte) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, b...)
+	}
+	putU64 := func(v uint64) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], v)
+		buf = append(buf, n[:]...)
+	}
+	head := c.Head()
+	put(head.Hash[:])
+	putU64(head.Number)
+	put(c.baseFee.Bytes())
+	put(c.burned.Bytes())
+	put(c.tipped.Bytes())
+
+	addrs := make([]chain.Address, 0, len(c.st.balances)+len(c.st.nonces)+len(c.st.code)+len(c.st.storage))
+	seen := make(map[chain.Address]bool)
+	add := func(a chain.Address) {
+		if !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	for a := range c.st.balances {
+		add(a)
+	}
+	for a := range c.st.nonces {
+		add(a)
+	}
+	for a := range c.st.code {
+		add(a)
+	}
+	for a := range c.st.storage {
+		add(a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return bytes.Compare(addrs[i][:], addrs[j][:]) < 0
+	})
+	for _, a := range addrs {
+		put(a[:])
+		if b, ok := c.st.balances[a]; ok {
+			put(b.Bytes())
+		}
+		putU64(c.st.nonces[a])
+		if code, ok := c.st.code[a]; ok {
+			put(code)
+		}
+		slots := c.st.storage[a]
+		keys := make([]chain.Hash32, 0, len(slots))
+		for k := range slots {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return bytes.Compare(keys[i][:], keys[j][:]) < 0
+		})
+		for _, k := range keys {
+			put(k[:])
+			v := slots[k]
+			put(v[:])
+		}
+	}
+
+	rhashes := make([]chain.Hash32, 0, len(c.receipts))
+	for h := range c.receipts {
+		rhashes = append(rhashes, h)
+	}
+	sort.Slice(rhashes, func(i, j int) bool {
+		return bytes.Compare(rhashes[i][:], rhashes[j][:]) < 0
+	})
+	for _, h := range rhashes {
+		r := c.receipts[h]
+		put(h[:])
+		putU64(r.BlockNumber)
+		putU64(r.GasUsed)
+		putU64(uint64(r.Submitted))
+		putU64(uint64(r.Included))
+		if r.Reverted {
+			putU64(1)
+		} else {
+			putU64(0)
+		}
+		put([]byte(r.RevertMsg))
+		put(r.ReturnValue)
+		if r.Fee.Base != nil {
+			put(r.Fee.Base.Bytes())
+		}
+	}
+	return chain.Hash32(polcrypto.Hash(buf))
+}

@@ -94,3 +94,21 @@ func (s *state) AccountExists(a chain.Address) bool {
 	_, ok := s.code[a]
 	return ok
 }
+
+// Nonce implements execState.
+func (s *state) Nonce(a chain.Address) uint64 { return s.nonces[a] }
+
+// SetNonce implements execState.
+func (s *state) SetNonce(a chain.Address, n uint64) { s.nonces[a] = n }
+
+// Code implements execState.
+func (s *state) Code(a chain.Address) ([]byte, bool) {
+	c, ok := s.code[a]
+	return c, ok
+}
+
+// SetCode implements execState.
+func (s *state) SetCode(a chain.Address, code []byte) { s.code[a] = code }
+
+// DeleteCode implements execState.
+func (s *state) DeleteCode(a chain.Address) { delete(s.code, a) }

@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"agnopol/internal/algorand"
+	"agnopol/internal/chain"
+	"agnopol/internal/core"
+	"agnopol/internal/eth"
+	"agnopol/internal/lang"
+	"agnopol/internal/obs"
+)
+
+// SoakSpec describes a sustained-load run: M areas × K users × T rounds of
+// simulated time, executed on a chain partitioned into Shards. Every user
+// checks in to their home area every round, so the workload is dominated by
+// disjoint per-area contract traffic — the case the sharded block builder
+// is designed to parallelize.
+type SoakSpec struct {
+	// Chain selects the network preset (see AllChains).
+	Chain ChainName
+	// Areas (M) is the number of per-area check-in contracts deployed.
+	Areas int
+	// Users (K) is the number of accounts issuing check-ins.
+	Users int
+	// Rounds (T) is how many blocks of sustained load to drive; the drain
+	// phase afterwards runs until the mempool is empty.
+	Rounds int
+	// Shards partitions block execution; 1 is the serial baseline.
+	Shards int
+	// Seed drives every random stream of the run.
+	Seed uint64
+	// Obs optionally attaches an observability bundle.
+	Obs *obs.Obs
+}
+
+// SoakResult aggregates one soak run.
+type SoakResult struct {
+	Chain  ChainName
+	Areas  int
+	Users  int
+	Rounds int
+	Shards int
+
+	// Submitted and Included count user transactions (congestion traffic
+	// excluded); after a full drain they are equal.
+	Submitted uint64
+	Included  uint64
+	// Blocks is how many blocks the run produced, drain included.
+	Blocks uint64
+
+	// Wall is the host wall-clock time of the load phase; Simulated is the
+	// chain-clock time it covered.
+	Wall      time.Duration
+	Simulated time.Duration
+
+	// Utilization is each shard's share of executed transactions;
+	// ParallelBatches counts blocks that actually fanned out.
+	Utilization     []float64
+	ShardTxs        []uint64
+	ParallelBatches uint64
+
+	// Digest fingerprints the chain's end state: two runs of the same spec
+	// must produce the same digest regardless of Shards or GOMAXPROCS.
+	Digest chain.Hash32
+}
+
+// TxsPerSecWall is the headline throughput number: included transactions
+// per host wall-clock second.
+func (r *SoakResult) TxsPerSecWall() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Included) / r.Wall.Seconds()
+}
+
+// TxsPerSecSimulated is the included transactions per simulated
+// chain-clock second — a property of the workload, not the host.
+func (r *SoakResult) TxsPerSecSimulated() float64 {
+	if r.Simulated <= 0 {
+		return 0
+	}
+	return float64(r.Included) / r.Simulated.Seconds()
+}
+
+// soakAreaCode synthesizes the i-th area's Open Location Code-style
+// identifier. Distinct codes are all the contract requires.
+func soakAreaCode(i int) string { return fmt.Sprintf("7H36SOAK+%03X", i) }
+
+// newSoakConnector builds the chain under soak. EVM presets get their
+// ambient congestion traffic trimmed so the measured workload — not the
+// synthetic background — fills the blocks; the congestion stream stays on,
+// seeded, and deterministic.
+func newSoakConnector(name ChainName, seed uint64) (core.Connector, error) {
+	trim := func(cfg eth.Config) eth.Config {
+		cfg.CongestionMeanGas = 1_000_000
+		cfg.SpikeProb = 0
+		return cfg
+	}
+	switch name {
+	case ChainRopsten:
+		return core.NewEVMConnector(eth.NewChain(trim(eth.Ropsten()), seed)), nil
+	case ChainGoerli:
+		return core.NewEVMConnector(eth.NewChain(trim(eth.Goerli()), seed)), nil
+	case ChainPolygon:
+		return core.NewEVMConnector(eth.NewChain(trim(eth.PolygonMumbai()), seed)), nil
+	case ChainAlgorand:
+		return core.NewAlgorandConnector(algorand.NewChain(algorand.Testnet(), seed)), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown chain %q", name)
+	}
+}
+
+// RunSoak drives the sustained-load harness: deploy one check-in contract
+// per area through the Connector, register the handles in an AreaRegistry,
+// then have every user check in to their home area every round through the
+// chain's batched submission path. The load phase is wall-clock timed; the
+// returned digest lets callers assert that shard count and scheduling never
+// change the chain's final state.
+func RunSoak(spec SoakSpec) (*SoakResult, error) {
+	if spec.Areas < 1 || spec.Users < 1 || spec.Rounds < 1 {
+		return nil, fmt.Errorf("sim: soak needs areas, users and rounds >= 1 (got %d/%d/%d)",
+			spec.Areas, spec.Users, spec.Rounds)
+	}
+	if spec.Shards < 1 {
+		spec.Shards = 1
+	}
+	conn, err := newSoakConnector(spec.Chain, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	InstrumentConnector(conn, spec.Obs)
+
+	var sc *obs.Scope
+	if spec.Obs != nil {
+		sc = spec.Obs.Tracer.NewScope(nil)
+	}
+	sp := sc.Start("sim.soak",
+		obs.L("chain", string(spec.Chain)),
+		obs.L("areas", fmt.Sprint(spec.Areas)),
+		obs.L("users", fmt.Sprint(spec.Users)),
+		obs.L("shards", fmt.Sprint(spec.Shards)))
+	defer sp.End()
+
+	compiled, err := core.CompileCheckin()
+	if err != nil {
+		return nil, err
+	}
+
+	// Deployment phase: one contract per area, registered for routing.
+	// This happens before the clock starts — the soak measures sustained
+	// load, not setup.
+	reg := core.NewAreaRegistry(spec.Shards)
+	deployer, err := conn.NewAccount(100)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < spec.Areas; i++ {
+		area := soakAreaCode(i)
+		h, _, err := conn.Deploy(deployer, compiled, []lang.Value{
+			lang.BytesValue([]byte(area)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: deploy area %s: %w", area, err)
+		}
+		if err := reg.Register(area, h); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &SoakResult{
+		Chain: spec.Chain, Areas: spec.Areas, Users: spec.Users,
+		Rounds: spec.Rounds, Shards: spec.Shards,
+	}
+	switch c := conn.(type) {
+	case *core.EVMConnector:
+		err = soakEVM(spec, c, reg, compiled, res)
+	case *core.AlgorandConnector:
+		err = soakAlgorand(spec, c, reg, res)
+	default:
+		err = fmt.Errorf("sim: soak does not support connector %T", conn)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// checkinGasLimit mirrors the connector's gas sizing for an API call: the
+// conservative static analysis plus 25% headroom.
+func checkinGasLimit(compiled *lang.Compiled) uint64 {
+	for i := range compiled.Analysis.Methods {
+		if compiled.Analysis.Methods[i].Name == "checkin" {
+			g := compiled.Analysis.Methods[i].TotalEVMGas()
+			return g + g/4
+		}
+	}
+	return eth.DefaultGasLimit
+}
+
+// soakEVM runs the load phase against an Ethereum-family chain.
+func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, compiled *lang.Compiled, res *SoakResult) error {
+	c := conn.Chain()
+	c.SetShards(spec.Shards)
+	api := compiled.Program.FindAPI("checkin")
+	if api == nil {
+		return fmt.Errorf("sim: checkin API missing from compiled contract")
+	}
+	gasLimit := checkinGasLimit(compiled)
+
+	users := make([]*eth.Account, spec.Users)
+	nonces := make([]uint64, spec.Users)
+	targets := make([]chain.Address, spec.Users)
+	areas := reg.Areas()
+	for ui := range users {
+		acct, err := conn.NewAccount(1)
+		if err != nil {
+			return err
+		}
+		users[ui] = acct.EVM()
+		h, ok := reg.Lookup(areas[ui%len(areas)])
+		if !ok {
+			return fmt.Errorf("sim: area %s not registered", areas[ui%len(areas)])
+		}
+		targets[ui] = h.EVMAddr
+	}
+
+	tip := big.NewInt(2_000_000_000)
+	blocksBefore := c.Head().Number
+	simStart := c.Now()
+	start := time.Now()
+	for round := 0; round < spec.Rounds; round++ {
+		maxFee := new(big.Int).Add(new(big.Int).Mul(c.BaseFee(), big.NewInt(2)), tip)
+		txs := make([]*eth.Tx, 0, spec.Users)
+		for ui, u := range users {
+			data, err := lang.EncodeArgsEVM("checkin", api.Params, []lang.Value{
+				lang.Uint64Value(uint64(ui)), lang.Uint64Value(uint64(round) + 1),
+			})
+			if err != nil {
+				return err
+			}
+			to := targets[ui]
+			tx := &eth.Tx{
+				From: u.Address, Nonce: nonces[ui], To: &to,
+				Value: big.NewInt(0), Data: data, GasLimit: gasLimit,
+				MaxFee: maxFee, MaxTip: tip,
+			}
+			tx.Sign(u)
+			nonces[ui]++
+			txs = append(txs, tx)
+		}
+		_, errs := c.SubmitBatch(txs)
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("sim: soak round %d tx %d: %w", round, i, err)
+			}
+		}
+		res.Submitted += uint64(len(txs))
+		c.Step()
+	}
+	for i := 0; i < spec.Rounds*10+50 && c.PendingCount() > 0; i++ {
+		c.Step()
+	}
+	if n := c.PendingCount(); n != 0 {
+		return fmt.Errorf("sim: soak drain incomplete: %d transactions pending", n)
+	}
+	res.Wall = time.Since(start)
+	res.Simulated = c.Now() - simStart
+	res.Included = res.Submitted
+	res.Blocks = c.Head().Number - blocksBefore
+	if st := c.ShardStats(); st != nil {
+		res.Utilization = st.Utilization()
+		res.ShardTxs = append([]uint64(nil), st.Txs...)
+		res.ParallelBatches = st.ParallelBatches
+	}
+	res.Digest = c.Digest()
+	return nil
+}
+
+// soakAlgorand runs the load phase against the Algorand chain.
+func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaRegistry, res *SoakResult) error {
+	c := conn.Chain()
+	c.SetShards(spec.Shards)
+
+	users := make([]*algorand.Account, spec.Users)
+	targets := make([]uint64, spec.Users)
+	areas := reg.Areas()
+	var api *lang.API
+	for ui := range users {
+		acct, err := conn.NewAccount(10)
+		if err != nil {
+			return err
+		}
+		users[ui] = acct.Algorand()
+		h, ok := reg.Lookup(areas[ui%len(areas)])
+		if !ok {
+			return fmt.Errorf("sim: area %s not registered", areas[ui%len(areas)])
+		}
+		targets[ui] = h.AppID
+		if api == nil {
+			api = h.Compiled.Program.FindAPI("checkin")
+		}
+	}
+	if api == nil {
+		return fmt.Errorf("sim: checkin API missing from compiled contract")
+	}
+
+	blocksBefore := c.Head().Round
+	simStart := c.Now()
+	start := time.Now()
+	for round := 0; round < spec.Rounds; round++ {
+		groups := make([]algorand.Group, 0, spec.Users)
+		for ui, u := range users {
+			appArgs, err := lang.EncodeArgsTEAL("checkin", api.Params, []lang.Value{
+				lang.Uint64Value(uint64(ui)), lang.Uint64Value(uint64(round) + 1),
+			})
+			if err != nil {
+				return err
+			}
+			call := &algorand.Tx{
+				Type: algorand.TxAppCall, Sender: u.Address,
+				Fee: algorand.MinFee, AppID: targets[ui], Args: appArgs,
+			}
+			call.Sign(u)
+			groups = append(groups, algorand.Group{call})
+		}
+		_, errs := c.SubmitBatch(groups)
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("sim: soak round %d group %d: %w", round, i, err)
+			}
+		}
+		res.Submitted += uint64(len(groups))
+		c.Step()
+	}
+	for i := 0; i < spec.Rounds*10+50 && c.PendingCount() > 0; i++ {
+		c.Step()
+	}
+	if n := c.PendingCount(); n != 0 {
+		return fmt.Errorf("sim: soak drain incomplete: %d groups pending", n)
+	}
+	res.Wall = time.Since(start)
+	res.Simulated = c.Now() - simStart
+	res.Included = res.Submitted
+	res.Blocks = c.Head().Round - blocksBefore
+	if st := c.ShardStats(); st != nil {
+		res.Utilization = st.Utilization()
+		res.ShardTxs = append([]uint64(nil), st.Txs...)
+		res.ParallelBatches = st.ParallelBatches
+	}
+	res.Digest = c.Digest()
+	return nil
+}

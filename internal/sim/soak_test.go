@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"agnopol/internal/obs"
+)
+
+func TestRunSoakValidatesSpec(t *testing.T) {
+	if _, err := RunSoak(SoakSpec{Chain: ChainGoerli, Areas: 0, Users: 4, Rounds: 1}); err == nil {
+		t.Fatal("zero areas must be rejected")
+	}
+	if _, err := RunSoak(SoakSpec{Chain: "nope", Areas: 1, Users: 1, Rounds: 1}); err == nil {
+		t.Fatal("unknown chain must be rejected")
+	}
+}
+
+func TestRunSoakBothChains(t *testing.T) {
+	for _, c := range []ChainName{ChainGoerli, ChainAlgorand} {
+		c := c
+		t.Run(string(c), func(t *testing.T) {
+			o := obs.New()
+			r, err := RunSoak(SoakSpec{
+				Chain: c, Areas: 4, Users: 8, Rounds: 3, Shards: 4, Seed: 11, Obs: o,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Submitted != 8*3 || r.Included != r.Submitted {
+				t.Fatalf("submitted/included = %d/%d, want 24/24", r.Submitted, r.Included)
+			}
+			if r.Blocks == 0 || r.Simulated <= 0 {
+				t.Fatalf("blocks=%d simulated=%v", r.Blocks, r.Simulated)
+			}
+			if r.TxsPerSecSimulated() <= 0 {
+				t.Fatal("simulated throughput must be positive")
+			}
+			if len(r.Utilization) != 4 {
+				t.Fatalf("utilization has %d entries, want 4", len(r.Utilization))
+			}
+			if r.ParallelBatches == 0 {
+				t.Fatal("disjoint-area soak must fan out at least once")
+			}
+		})
+	}
+}
+
+// TestSoakDeterministicAcrossShards is the soak-level bit-identity gate:
+// the same spec at any shard count must land on the same chain digest.
+func TestSoakDeterministicAcrossShards(t *testing.T) {
+	for _, c := range []ChainName{ChainGoerli, ChainAlgorand} {
+		c := c
+		t.Run(string(c), func(t *testing.T) {
+			base, err := RunSoak(SoakSpec{Chain: c, Areas: 4, Users: 8, Rounds: 3, Shards: 1, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 4} {
+				r, err := RunSoak(SoakSpec{Chain: c, Areas: 4, Users: 8, Rounds: 3, Shards: shards, Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Digest != base.Digest {
+					t.Fatalf("shards=%d digest diverges from the serial baseline", shards)
+				}
+				if r.Blocks != base.Blocks {
+					t.Fatalf("shards=%d produced %d blocks, serial %d", shards, r.Blocks, base.Blocks)
+				}
+			}
+		})
+	}
+}
+
+// TestSoakDeterministicAcrossGOMAXPROCS pins the sharded soak's digest
+// across scheduler widths: GOMAXPROCS=1 and GOMAXPROCS=N must agree
+// bit-for-bit, so CI's multi-core runners and a single-core laptop produce
+// the same chain.
+func TestSoakDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	spec := SoakSpec{Chain: ChainGoerli, Areas: 4, Users: 8, Rounds: 3, Shards: 4, Seed: 7}
+	wide, err := RunSoak(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	narrow, err := RunSoak(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Digest != wide.Digest {
+		t.Fatal("digest depends on GOMAXPROCS")
+	}
+	if narrow.Blocks != wide.Blocks || narrow.Included != wide.Included {
+		t.Fatalf("block/tx counts depend on GOMAXPROCS: %d/%d vs %d/%d",
+			narrow.Blocks, narrow.Included, wide.Blocks, wide.Included)
+	}
+}

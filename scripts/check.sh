@@ -7,6 +7,14 @@ cd "$(dirname "$0")/.."
 echo "== build =="
 go build ./...
 
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== vet =="
 go vet ./...
 
@@ -36,11 +44,18 @@ echo "== fault sweep =="
 # leaves FAULTS_report.json for CI to upload as an artifact.
 go run ./cmd/polbench -faults default -faultrate 0.2 -reps 2 -parallel 4 -faultsout FAULTS_report.json > /dev/null
 
+echo "== sharded soak =="
+# Throughput smoke: serial baseline + 4-shard run over the same workload
+# (bit-identity checked inside); leaves BENCH_throughput.json for CI to
+# gate against the committed baseline and upload as an artifact.
+go run ./cmd/polbench -soak -areas 8 -soakusers 32 -soakrounds 15 -shards 4 -benchout BENCH_throughput.json > /dev/null
+
 echo "== vm microbenchmarks =="
-# One iteration per engine: sanity-checks the u256 fast path against the
-# big.Int reference on the deploy+attach workload and leaves BENCH_vm.json
-# for CI to upload as an artifact.
-go run ./cmd/polbench -vmbench -vmbenchtime 1x -benchout BENCH_vm.json > /dev/null
+# Sanity-checks the u256 fast path against the big.Int reference on the
+# deploy+attach workload and leaves BENCH_vm.json for CI to upload as an
+# artifact. 1s per engine so the ns/op numbers are comparable to the
+# committed ci/baseline/BENCH_vm.json (a 1x run is measurement noise).
+go run ./cmd/polbench -vmbench -vmbenchtime 1s -benchout BENCH_vm.json > /dev/null
 
 echo "== benchmarks (1 iteration) =="
 go test -bench=. -benchmem -benchtime=1x ./... > /dev/null
