@@ -4,13 +4,16 @@
 //
 //	benchgate -kind vm -fresh BENCH_vm.json -baseline ci/baseline/BENCH_vm.json
 //	benchgate -kind throughput -fresh BENCH_throughput.json -baseline ci/baseline/BENCH_throughput.json
+//	benchgate -kind health -fresh HEALTH_report.json
 //
 // For -kind vm every workload's u256 ns/op may regress at most -tolerance
 // (default 25%) against the baseline. For -kind throughput the record must
 // be deterministic, and — when the measurement is valid (GOMAXPROCS >= 2)
 // on both sides — the sharded run's txs/sec may not regress beyond the
 // tolerance; a valid fresh record at >= -minshards shards must additionally
-// reach -minspeedup over its own serial baseline.
+// reach -minspeedup over its own serial baseline. For -kind health the
+// flight-recorder report must come from a monitored run (samples > 0,
+// rules attached) with a healthy verdict; -baseline is not used.
 package main
 
 import (
@@ -30,8 +33,8 @@ func main() {
 		minShards  = flag.Int("minshards", 4, "shard count from which -minspeedup is enforced")
 	)
 	flag.Parse()
-	if *kind == "" || *fresh == "" || *baseline == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -kind, -fresh and -baseline are required")
+	if *kind == "" || *fresh == "" || (*baseline == "" && *kind != "health") {
+		fmt.Fprintln(os.Stderr, "benchgate: -kind and -fresh are required (-baseline too, except for -kind health)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -49,8 +52,10 @@ func main() {
 		problems, err = gateVM(*fresh, *baseline, *tolerance)
 	case "throughput":
 		problems, err = gateThroughput(*fresh, *baseline, *tolerance, *minSpeedup, *minShards)
+	case "health":
+		problems, err = gateHealth(*fresh)
 	default:
-		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want vm or throughput)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want vm, throughput or health)\n", *kind)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -63,7 +68,11 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %s gate passed (%s vs %s)\n", *kind, *fresh, *baseline)
+	if *baseline == "" {
+		fmt.Printf("benchgate: %s gate passed (%s)\n", *kind, *fresh)
+	} else {
+		fmt.Printf("benchgate: %s gate passed (%s vs %s)\n", *kind, *fresh, *baseline)
+	}
 }
 
 // vmSeries mirrors the per-engine block of BENCH_vm.json.
@@ -148,6 +157,73 @@ func gateVM(freshPath, basePath string, tol float64) ([]string, error) {
 				bw.Name, 100*(fw.U256.NsPerOp/bw.U256.NsPerOp-1),
 				fw.U256.NsPerOp, bw.U256.NsPerOp, 100*tol))
 		}
+	}
+	return problems, nil
+}
+
+// healthRuleName mirrors the nested rule object of HEALTH_report.json.
+type healthRuleName struct {
+	Name string `json:"name"`
+}
+
+// healthEval mirrors one rules[] entry of HEALTH_report.json.
+type healthEval struct {
+	Rule     healthRuleName `json:"rule"`
+	Breached bool           `json:"breached"`
+}
+
+// healthAnomaly mirrors one anomalies[] entry of HEALTH_report.json.
+type healthAnomaly struct {
+	Rule healthRuleName `json:"rule"`
+}
+
+// healthReport mirrors the fields of HEALTH_report.json the gate reads.
+type healthReport struct {
+	Healthy       bool            `json:"healthy"`
+	Samples       uint64          `json:"samples"`
+	TotalBreaches uint64          `json:"total_breaches"`
+	Rules         []healthEval    `json:"rules"`
+	Anomalies     []healthAnomaly `json:"anomalies"`
+}
+
+// gateHealth checks the soak's flight-recorder verdict. A report from a
+// run the monitor never actually watched (no samples, or no rules
+// attached) must not pass: that is the gate silently disarming itself,
+// not a healthy run.
+func gateHealth(freshPath string) ([]string, error) {
+	var rep healthReport
+	if err := readJSON(freshPath, &rep); err != nil {
+		return nil, err
+	}
+	var problems []string
+	if rep.Samples == 0 {
+		problems = append(problems, "report has zero samples: the monitor never ticked, so the verdict is vacuous")
+	}
+	if len(rep.Rules) == 0 {
+		problems = append(problems, "report has no SLO rules attached: nothing was being checked")
+	}
+	if !rep.Healthy {
+		// The verdict is sticky, so the breaching rule may no longer show
+		// breached in its latest evaluation — collect names from both the
+		// anomaly bundles and the final evaluations.
+		names := map[string]bool{}
+		var order []string
+		add := func(n string) {
+			if n != "" && !names[n] {
+				names[n] = true
+				order = append(order, n)
+			}
+		}
+		for _, a := range rep.Anomalies {
+			add(a.Rule.Name)
+		}
+		for _, e := range rep.Rules {
+			if e.Breached {
+				add(e.Rule.Name)
+			}
+		}
+		problems = append(problems, fmt.Sprintf(
+			"run is unhealthy: %d SLO breach(es) across rules %v", rep.TotalBreaches, order))
 	}
 	return problems, nil
 }

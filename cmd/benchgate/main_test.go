@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"agnopol/internal/obs"
 )
 
 func writeJSON(t *testing.T, dir, name string, v any) string {
@@ -148,6 +150,93 @@ func TestGateThroughput(t *testing.T) {
 				t.Fatalf("problem %q does not mention %q", problems[0], tc.match)
 			}
 		})
+	}
+}
+
+func healthRec(healthy bool, samples, breaches uint64, ruleNames, breachedNames []string) healthReport {
+	rep := healthReport{
+		Healthy: healthy, Samples: samples, TotalBreaches: breaches,
+	}
+	for _, n := range ruleNames {
+		rep.Rules = append(rep.Rules, healthEval{Rule: healthRuleName{Name: n}})
+	}
+	for _, n := range breachedNames {
+		rep.Anomalies = append(rep.Anomalies, healthAnomaly{Rule: healthRuleName{Name: n}})
+	}
+	return rep
+}
+
+func TestGateHealth(t *testing.T) {
+	dir := t.TempDir()
+	rules := []string{"eth_throughput_floor", "rejection_ceiling"}
+	cases := []struct {
+		name  string
+		rep   healthReport
+		want  int
+		match string
+	}{
+		{
+			name: "healthy monitored run passes",
+			rep:  healthRec(true, 40, 0, rules, nil),
+			want: 0,
+		},
+		{
+			name:  "unhealthy run fails naming the breaching rule",
+			rep:   healthRec(false, 40, 3, rules, []string{"rejection_ceiling"}),
+			want:  1,
+			match: "rejection_ceiling",
+		},
+		{
+			name:  "zero samples is a vacuous verdict",
+			rep:   healthRec(true, 0, 0, rules, nil),
+			want:  1,
+			match: "zero samples",
+		},
+		{
+			name:  "no rules means nothing was checked",
+			rep:   healthRec(true, 40, 0, nil, nil),
+			want:  1,
+			match: "no SLO rules",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := writeJSON(t, dir, "health.json", tc.rep)
+			problems, err := gateHealth(fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(problems) != tc.want {
+				t.Fatalf("problems = %v, want %d", problems, tc.want)
+			}
+			if tc.match != "" && !strings.Contains(problems[0], tc.match) {
+				t.Fatalf("problem %q does not mention %q", problems[0], tc.match)
+			}
+		})
+	}
+}
+
+// TestGateHealthRoundTrip feeds the gate a report produced by the real
+// flight recorder, not a hand-built mirror, so the two JSON shapes
+// cannot drift apart silently.
+func TestGateHealthRoundTrip(t *testing.T) {
+	o := obs.New()
+	tel := obs.NewTelemetry(o, 0, []obs.Rule{{
+		Name: "floor", Kind: obs.RuleRateMin, Series: "work_total", Threshold: 1,
+	}})
+	o.Registry.Counter("work_total").Add(5)
+	tel.Tick()
+	tel.Tick() // flatline: second sample has zero delta, breaching the floor
+	path := filepath.Join(t.TempDir(), "HEALTH_report.json")
+	if err := tel.Health.WriteReportFile(path); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := gateHealth(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "floor") {
+		t.Fatalf("problems = %v, want one naming the breached floor rule", problems)
 	}
 }
 

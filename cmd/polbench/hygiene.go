@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// hygieneFlags carries the parsed flag values the coherence checks need.
+// The set map (which flags were explicitly passed) travels separately,
+// because several rules care about "was set at all", not the value.
+type hygieneFlags struct {
+	Tables, Figures, Analysis bool
+	Fig                       string
+	Matrix                    bool
+	FaultsProfile             string
+	VMBench, Soak             bool
+	FaultRate                 float64
+	SampleInterval            time.Duration
+	Serve, HealthOut          string
+}
+
+// runMode reports whether any run-producing mode is selected. -serve and
+// -healthout attach to a run; with nothing to run they would sample an
+// empty registry forever.
+func (f hygieneFlags) runMode() bool {
+	return f.Tables || f.Figures || f.Analysis || f.Fig != "" ||
+		f.Matrix || f.FaultsProfile != "" || f.VMBench || f.Soak
+}
+
+// hygieneProblem returns the first incoherent-flag-combination message, or
+// "" when the combination is coherent. Split out of main so the rules are
+// table-testable without exec'ing the binary.
+func hygieneProblem(set map[string]bool, f hygieneFlags) string {
+	if (set["reps"] || set["parallel"]) && !f.Matrix && f.FaultsProfile == "" {
+		return "-reps and -parallel only apply to -matrix or -faults runs"
+	}
+	if (set["faultrate"] || set["faultsout"]) && f.FaultsProfile == "" {
+		return "-faultrate and -faultsout require -faults <profile>"
+	}
+	if set["vmbenchtime"] && !f.VMBench {
+		return "-vmbenchtime requires -vmbench"
+	}
+	for _, name := range []string{"soakchain", "areas", "soakusers", "soakrounds", "shards"} {
+		if set[name] && !f.Soak {
+			return fmt.Sprintf("-%s requires -soak", name)
+		}
+	}
+	if set["benchout"] && !f.Matrix && !f.VMBench && !f.Soak {
+		return "-benchout only applies to -matrix, -vmbench or -soak runs"
+	}
+	if set["benchout"] && boolCount(f.Matrix, f.VMBench, f.Soak) > 1 {
+		return "-benchout is ambiguous when more than one of -matrix, -vmbench and -soak run; invoke them separately"
+	}
+	if f.FaultRate < 0 || f.FaultRate > 1 {
+		return fmt.Sprintf("-faultrate %v is outside [0,1]", f.FaultRate)
+	}
+	if f.Serve != "" && !f.runMode() {
+		return "-serve requires a run mode (-tables, -figures, -fig, -matrix, -faults, -vmbench or -soak)"
+	}
+	if set["sampleinterval"] && f.Serve == "" {
+		return "-sampleinterval requires -serve"
+	}
+	if set["sampleinterval"] && f.SampleInterval <= 0 {
+		return fmt.Sprintf("-sampleinterval %v must be positive", f.SampleInterval)
+	}
+	if set["servehold"] && f.Serve == "" {
+		return "-servehold requires -serve"
+	}
+	if f.HealthOut != "" && f.Serve == "" && !f.Soak {
+		return "-healthout requires -serve or -soak"
+	}
+	return ""
+}

@@ -59,6 +59,10 @@ func main() {
 		soakUsers = flag.Int("soakusers", 32, "soak users (K) issuing check-ins every round")
 		soakRound = flag.Int("soakrounds", 20, "soak rounds (T) of sustained load")
 		shards    = flag.Int("shards", 4, "execution shard count for the sharded soak run (vs the serial baseline)")
+		serveAddr = flag.String("serve", "", "serve live telemetry (/metrics, /timeseries, /trace, /health, /debug/pprof) on this address during the run")
+		sampleInt = flag.Duration("sampleinterval", 250*time.Millisecond, "wall-clock background sampling interval for -serve")
+		serveHold = flag.Duration("servehold", 0, "keep the -serve endpoint up this long after the runs (POST /quitquitquit releases it early)")
+		healthOut = flag.String("healthout", "", "write the health monitor's flight-recorder report (JSON) to this file; requires -serve or -soak")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -72,28 +76,13 @@ func main() {
 	if flag.NArg() > 0 {
 		usageErr(fmt.Sprintf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
 	}
-	if (setFlags["reps"] || setFlags["parallel"]) && !*matrix && *faultsPro == "" {
-		usageErr("-reps and -parallel only apply to -matrix or -faults runs")
-	}
-	if (setFlags["faultrate"] || setFlags["faultsout"]) && *faultsPro == "" {
-		usageErr("-faultrate and -faultsout require -faults <profile>")
-	}
-	if setFlags["vmbenchtime"] && !*vmbenchF {
-		usageErr("-vmbenchtime requires -vmbench")
-	}
-	for _, name := range []string{"soakchain", "areas", "soakusers", "soakrounds", "shards"} {
-		if setFlags[name] && !*soak {
-			usageErr(fmt.Sprintf("-%s requires -soak", name))
-		}
-	}
-	if setFlags["benchout"] && !*matrix && !*vmbenchF && !*soak {
-		usageErr("-benchout only applies to -matrix, -vmbench or -soak runs")
-	}
-	if setFlags["benchout"] && boolCount(*matrix, *vmbenchF, *soak) > 1 {
-		usageErr("-benchout is ambiguous when more than one of -matrix, -vmbench and -soak run; invoke them separately")
-	}
-	if *faultRate < 0 || *faultRate > 1 {
-		usageErr(fmt.Sprintf("-faultrate %v is outside [0,1]", *faultRate))
+	if msg := hygieneProblem(setFlags, hygieneFlags{
+		Tables: *tables, Figures: *figures, Analysis: *analysis, Fig: *fig,
+		Matrix: *matrix, FaultsProfile: *faultsPro, VMBench: *vmbenchF, Soak: *soak,
+		FaultRate: *faultRate, SampleInterval: *sampleInt,
+		Serve: *serveAddr, HealthOut: *healthOut,
+	}); msg != "" {
+		usageErr(msg)
 	}
 	var faultPlan *faults.Plan
 	if *faultsPro != "" {
@@ -140,8 +129,21 @@ func main() {
 	}
 
 	var o *obs.Obs
-	if *metrics || *tracePath != "" {
+	if *metrics || *tracePath != "" || *serveAddr != "" || *healthOut != "" {
 		o = obs.New()
+	}
+	var tel *obs.Telemetry
+	if *serveAddr != "" || *healthOut != "" {
+		tel = obs.NewTelemetry(o, 0, sim.DefaultSLORules())
+	}
+	var server *obs.Server
+	if *serveAddr != "" {
+		var err error
+		if server, err = obs.Serve(*serveAddr, tel); err != nil {
+			fatal(err)
+		}
+		tel.Sampler.Start(*sampleInt)
+		fmt.Fprintf(os.Stderr, "polbench: telemetry on http://%s (/metrics /timeseries /trace /health /debug/pprof)\n", server.Addr())
 	}
 	var experiments []experimentJSON
 
@@ -182,7 +184,7 @@ func main() {
 		if out == "" {
 			out = "BENCH_parallel.json"
 		}
-		if err := runMatrixMode(*seed, *reps, *parallel, out, o, *jsonOut); err != nil {
+		if err := runMatrixMode(*seed, *reps, *parallel, out, o, tel, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -202,7 +204,7 @@ func main() {
 		if out == "" {
 			out = "BENCH_throughput.json"
 		}
-		if err := runSoakMode(*soakChain, *areas, *soakUsers, *soakRound, *shards, *seed, out, o, *jsonOut); err != nil {
+		if err := runSoakMode(*soakChain, *areas, *soakUsers, *soakRound, *shards, *seed, out, o, tel, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -243,6 +245,18 @@ func main() {
 	if o != nil {
 		o.ExportProfiles()
 	}
+	if tel != nil {
+		// Stop the wall-clock ticker, then take one final deterministic
+		// sample + rule evaluation so even sub-interval runs record state.
+		tel.Sampler.Stop()
+		tel.Tick()
+	}
+	if *healthOut != "" {
+		if err := tel.Health.WriteReportFile(*healthOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "polbench: health report written to %s\n", *healthOut)
+	}
 	if *metrics {
 		fmt.Print(o.Registry.Text())
 	}
@@ -259,6 +273,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "polbench: trace written to %s\n", *tracePath)
+	}
+	if server != nil {
+		if *serveHold > 0 {
+			// Scripted smokes scrape the endpoints after the (possibly
+			// sub-second) runs finish, then release the hold explicitly.
+			fmt.Fprintf(os.Stderr, "polbench: holding telemetry endpoint for %v (POST /quitquitquit to release)\n", *serveHold)
+			select {
+			case <-server.QuitRequested():
+			case <-time.After(*serveHold):
+			}
+		}
+		server.Close()
 	}
 }
 
@@ -356,8 +382,8 @@ type benchParallelJSON struct {
 // first sequentially (the baseline), then with the requested worker
 // count, checks the two produce identical cross-seed summaries, prints
 // the aggregate table and writes the speedup record.
-func runMatrixMode(seed uint64, reps, parallel int, benchOut string, o *obs.Obs, jsonOut bool) error {
-	spec := sim.MatrixSpec{Reps: reps, Seed: seed, Parallel: 1}
+func runMatrixMode(seed uint64, reps, parallel int, benchOut string, o *obs.Obs, tel *obs.Telemetry, jsonOut bool) error {
+	spec := sim.MatrixSpec{Reps: reps, Seed: seed, Parallel: 1, Telemetry: tel}
 	seq, err := sim.RunMatrix(spec, o)
 	if err != nil {
 		return err
@@ -506,10 +532,10 @@ func soakRunJSONOf(r *sim.SoakResult) soakRunJSON {
 // runSoakMode runs the soak harness twice — the serial baseline, then the
 // requested shard count — checks the two chains are bit-identical, prints
 // the throughput comparison and writes the BENCH_throughput.json record.
-func runSoakMode(chainName string, areas, users, rounds, shards int, seed uint64, out string, o *obs.Obs, jsonOut bool) error {
+func runSoakMode(chainName string, areas, users, rounds, shards int, seed uint64, out string, o *obs.Obs, tel *obs.Telemetry, jsonOut bool) error {
 	spec := sim.SoakSpec{
 		Chain: sim.ChainName(chainName), Areas: areas, Users: users,
-		Rounds: rounds, Shards: 1, Seed: seed, Obs: o,
+		Rounds: rounds, Shards: 1, Seed: seed, Obs: o, Telemetry: tel,
 	}
 	base, err := sim.RunSoak(spec)
 	if err != nil {

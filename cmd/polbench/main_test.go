@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHygieneProblem(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		set  map[string]bool
+		f    hygieneFlags
+		want string // substring of the problem message, "" = coherent
+	}{
+		{"bare run is coherent", set(), hygieneFlags{FaultRate: 0.1}, ""},
+		{"soak with soak flags", set("soak", "areas", "shards"), hygieneFlags{Soak: true, FaultRate: 0.1}, ""},
+		{"reps without matrix or faults", set("reps"), hygieneFlags{FaultRate: 0.1}, "-reps and -parallel"},
+		{"faultrate without faults", set("faultrate"), hygieneFlags{FaultRate: 0.5}, "require -faults"},
+		{"vmbenchtime without vmbench", set("vmbenchtime"), hygieneFlags{FaultRate: 0.1}, "requires -vmbench"},
+		{"areas without soak", set("areas"), hygieneFlags{FaultRate: 0.1}, "-areas requires -soak"},
+		{"benchout without a bench mode", set("benchout"), hygieneFlags{FaultRate: 0.1}, "-benchout only applies"},
+		{"benchout ambiguous", set("benchout"), hygieneFlags{Matrix: true, Soak: true, FaultRate: 0.1}, "ambiguous"},
+		{"faultrate out of range", set("faults", "faultrate"), hygieneFlags{FaultsProfile: "default", FaultRate: 1.5}, "outside [0,1]"},
+
+		{"serve without a run mode", set("serve"), hygieneFlags{Serve: ":0", FaultRate: 0.1}, "-serve requires a run mode"},
+		{"serve with soak", set("serve", "soak"), hygieneFlags{Serve: ":0", Soak: true, FaultRate: 0.1}, ""},
+		{"serve with tables", set("serve", "tables"), hygieneFlags{Serve: ":0", Tables: true, FaultRate: 0.1}, ""},
+		{"serve with fig", set("serve", "fig"), hygieneFlags{Serve: ":0", Fig: "5.2", FaultRate: 0.1}, ""},
+		{"sampleinterval without serve", set("sampleinterval", "soak"),
+			hygieneFlags{Soak: true, SampleInterval: time.Second, FaultRate: 0.1}, "-sampleinterval requires -serve"},
+		{"sampleinterval zero", set("serve", "soak", "sampleinterval"),
+			hygieneFlags{Serve: ":0", Soak: true, SampleInterval: 0, FaultRate: 0.1}, "must be positive"},
+		{"sampleinterval negative", set("serve", "soak", "sampleinterval"),
+			hygieneFlags{Serve: ":0", Soak: true, SampleInterval: -time.Second, FaultRate: 0.1}, "must be positive"},
+		{"sampleinterval valid", set("serve", "soak", "sampleinterval"),
+			hygieneFlags{Serve: ":0", Soak: true, SampleInterval: time.Second, FaultRate: 0.1}, ""},
+		{"servehold without serve", set("servehold", "soak"), hygieneFlags{Soak: true, FaultRate: 0.1}, "-servehold requires -serve"},
+		{"servehold with serve", set("servehold", "serve", "soak"),
+			hygieneFlags{Serve: ":0", Soak: true, FaultRate: 0.1}, ""},
+		{"healthout alone", set("healthout"), hygieneFlags{HealthOut: "h.json", FaultRate: 0.1}, "-healthout requires -serve or -soak"},
+		{"healthout with tables only", set("healthout", "tables"),
+			hygieneFlags{HealthOut: "h.json", Tables: true, FaultRate: 0.1}, "-healthout requires -serve or -soak"},
+		{"healthout with soak", set("healthout", "soak"), hygieneFlags{HealthOut: "h.json", Soak: true, FaultRate: 0.1}, ""},
+		{"healthout with serve+matrix", set("healthout", "serve", "matrix"),
+			hygieneFlags{HealthOut: "h.json", Serve: ":0", Matrix: true, FaultRate: 0.1}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := hygieneProblem(c.set, c.f)
+			if c.want == "" && got != "" {
+				t.Fatalf("hygieneProblem = %q, want coherent", got)
+			}
+			if c.want != "" && !strings.Contains(got, c.want) {
+				t.Fatalf("hygieneProblem = %q, want a message containing %q", got, c.want)
+			}
+		})
+	}
+}

@@ -270,8 +270,12 @@ func (c *Chain) submitVerified(g Group) (chain.Hash32, error) {
 	if hit, mag := c.flt.Draw(faults.ClassTxDelay, "algorand.pending"); hit {
 		// Propagation stalls for up to three rounds; inclusion is the
 		// recovery.
-		p.submitted += time.Duration(mag * float64(3*c.cfg.RoundDuration))
+		stall := time.Duration(mag * float64(3*c.cfg.RoundDuration))
+		p.submitted += stall
 		p.delayed = true
+		if c.obs != nil {
+			c.obs.faultDelay.ObserveDuration(stall)
+		}
 	}
 	c.pending = append(c.pending, p)
 	if c.obs != nil {
@@ -358,6 +362,7 @@ func (c *Chain) Step() *Block {
 		if c.obs != nil {
 			c.obs.groupsIncluded.Inc()
 			c.obs.inclusionLatency.Observe((blk.Time - p.submitted).Seconds())
+			c.obs.inclusionSketch.Observe((blk.Time - p.submitted).Seconds())
 			if rcpt.Reverted {
 				c.obs.groupsRejected.Inc()
 				c.obs.log.Warn("group rejected", "chain", c.cfg.Name,

@@ -20,8 +20,12 @@ type chainObs struct {
 	fees             *obs.Counter
 	pendingDepth     *obs.Gauge
 	inclusionLatency *obs.Histogram
-	prof             obs.Profiler
-	log              *obs.Logger
+	// inclusionSketch answers tail-latency questions the fixed buckets
+	// can't: a mergeable quantile sketch over the same observations.
+	inclusionSketch *obs.QuantileSketch
+	faultDelay      *obs.QuantileSketch
+	prof            obs.Profiler
+	log             *obs.Logger
 }
 
 // Instrument attaches metric instruments, an AVM opcode profiler and a
@@ -42,6 +46,8 @@ func (c *Chain) Instrument(reg *obs.Registry, prof obs.Profiler, log *obs.Logger
 		fees:             reg.Counter("algorand_fees_microalgo_total", name),
 		pendingDepth:     reg.Gauge("algorand_pending_depth", name),
 		inclusionLatency: reg.Histogram("algorand_inclusion_latency_seconds", InclusionLatencyBuckets, name),
+		inclusionSketch:  reg.Sketch("algorand_inclusion_latency", name),
+		faultDelay:       reg.Sketch("faults_injected_delay_seconds", name),
 		prof:             prof,
 		log:              log,
 	}
@@ -53,4 +59,6 @@ func (c *Chain) Instrument(reg *obs.Registry, prof obs.Profiler, log *obs.Logger
 	reg.Help("algorand_fees_microalgo_total", "Fees charged, in microAlgos.")
 	reg.Help("algorand_pending_depth", "Transaction groups currently awaiting a round.")
 	reg.Help("algorand_inclusion_latency_seconds", "Simulated submit-to-certification latency.")
+	reg.Help("algorand_inclusion_latency", "Quantile sketch of simulated submit-to-certification latency.")
+	reg.Help("faults_injected_delay_seconds", "Quantile sketch of injected tx_delay propagation stalls.")
 }

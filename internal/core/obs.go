@@ -43,8 +43,12 @@ type sysObs struct {
 	// implicit stack keeps each run's span tree correctly nested.
 	scope *obs.Scope
 
-	phases            map[string]*obs.Histogram
-	chainOps          map[string]*obs.Histogram
+	phases   map[string]*obs.Histogram
+	chainOps map[string]*obs.Histogram
+	// chainOpSketches mirror chainOps as mergeable quantile sketches, so
+	// tail latency (p99/p999) stays answerable at soak scale where the
+	// fixed buckets saturate.
+	chainOpSketches   map[string]*obs.QuantileSketch
 	hops              *obs.Histogram
 	proofsIssued      *obs.Counter
 	contractsDeployed *obs.Counter
@@ -65,16 +69,18 @@ func (s *System) Instrument(o *obs.Obs) {
 	}
 	reg := o.Registry
 	so := &sysObs{
-		o:        o,
-		scope:    o.Tracer.NewScope(nil),
-		phases:   make(map[string]*obs.Histogram),
-		chainOps: make(map[string]*obs.Histogram),
+		o:               o,
+		scope:           o.Tracer.NewScope(nil),
+		phases:          make(map[string]*obs.Histogram),
+		chainOps:        make(map[string]*obs.Histogram),
+		chainOpSketches: make(map[string]*obs.QuantileSketch),
 	}
 	for _, phase := range []string{PhaseDiscover, PhaseChallenge, PhaseSign, PhaseSubmit, PhaseVerify, PhasePublish} {
 		so.phases[phase] = reg.Histogram("core_phase_duration_seconds", phaseBuckets, obs.L("phase", phase))
 	}
 	for _, op := range []string{"deploy", "attach", "verify"} {
 		so.chainOps[op] = reg.Histogram("core_chain_op_latency_seconds", chainOpBuckets, obs.L("op", op))
+		so.chainOpSketches[op] = reg.Sketch("core_chain_op_latency", obs.L("op", op))
 	}
 	so.hops = reg.Histogram("core_hypercube_hops", hopBuckets)
 	so.proofsIssued = reg.Counter("core_proofs_issued_total")
@@ -86,6 +92,7 @@ func (s *System) Instrument(o *obs.Obs) {
 	so.sigCacheMisses = reg.Counter("core_sigcache_total", obs.L("result", "miss"))
 	reg.Help("core_phase_duration_seconds", "Wall-clock duration of each proof-pipeline phase.")
 	reg.Help("core_chain_op_latency_seconds", "Simulated latency of on-chain PoL operations.")
+	reg.Help("core_chain_op_latency", "Quantile sketch of simulated on-chain PoL operation latency.")
 	reg.Help("core_hypercube_hops", "DHT routing hops per contract lookup.")
 	reg.Help("core_proofs_issued_total", "Location proofs signed by witnesses.")
 	reg.Help("core_proofs_rejected_total", "Witness-side proof request rejections by reason.")
@@ -137,6 +144,7 @@ func (s *System) endPhase(sp *obs.Span, phase string) {
 func (s *System) observeChainOp(op string, latency time.Duration) {
 	if s.obs != nil {
 		s.obs.chainOps[op].Observe(latency.Seconds())
+		s.obs.chainOpSketches[op].Observe(latency.Seconds())
 	}
 }
 

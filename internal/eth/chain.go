@@ -278,8 +278,12 @@ func (c *Chain) submitVerified(tx *Tx) (chain.Hash32, error) {
 	if hit, mag := c.flt.Draw(faults.ClassTxDelay, "eth.mempool"); hit {
 		// Propagation stalls for up to three slots before the transaction
 		// becomes includable; inclusion is the recovery.
-		p.submitted += time.Duration(mag * float64(3*c.cfg.SlotDuration))
+		stall := time.Duration(mag * float64(3*c.cfg.SlotDuration))
+		p.submitted += stall
 		p.delayed = true
+		if c.obs != nil {
+			c.obs.faultDelay.ObserveDuration(stall)
+		}
 	}
 	c.mempool = append(c.mempool, p)
 	if c.obs != nil {
@@ -413,6 +417,7 @@ func (c *Chain) Step() *Block {
 		if c.obs != nil {
 			c.obs.txsIncluded.Inc()
 			c.obs.inclusionLatency.Observe((blk.Time - p.submitted).Seconds())
+			c.obs.inclusionSketch.Observe((blk.Time - p.submitted).Seconds())
 		}
 	}
 

@@ -23,8 +23,12 @@ type chainObs struct {
 	baseFee          *obs.Gauge
 	mempoolDepth     *obs.Gauge
 	inclusionLatency *obs.Histogram
-	prof             obs.Profiler
-	log              *obs.Logger
+	// inclusionSketch answers tail-latency questions the fixed buckets
+	// can't: a mergeable quantile sketch over the same observations.
+	inclusionSketch *obs.QuantileSketch
+	faultDelay      *obs.QuantileSketch
+	prof            obs.Profiler
+	log             *obs.Logger
 }
 
 // Instrument attaches metric instruments, an opcode profiler and a logger
@@ -46,6 +50,8 @@ func (c *Chain) Instrument(reg *obs.Registry, prof obs.Profiler, log *obs.Logger
 		baseFee:          reg.Gauge("eth_base_fee_wei", name),
 		mempoolDepth:     reg.Gauge("eth_mempool_depth", name),
 		inclusionLatency: reg.Histogram("eth_inclusion_latency_seconds", InclusionLatencyBuckets, name),
+		inclusionSketch:  reg.Sketch("eth_inclusion_latency", name),
+		faultDelay:       reg.Sketch("faults_injected_delay_seconds", name),
 		prof:             prof,
 		log:              log,
 	}
@@ -58,4 +64,6 @@ func (c *Chain) Instrument(reg *obs.Registry, prof obs.Profiler, log *obs.Logger
 	reg.Help("eth_base_fee_wei", "Current EIP-1559 base fee in wei.")
 	reg.Help("eth_mempool_depth", "Transactions currently queued in the mempool.")
 	reg.Help("eth_inclusion_latency_seconds", "Simulated submit-to-inclusion latency.")
+	reg.Help("eth_inclusion_latency", "Quantile sketch of simulated submit-to-inclusion latency.")
+	reg.Help("faults_injected_delay_seconds", "Quantile sketch of injected tx_delay propagation stalls.")
 }

@@ -34,6 +34,11 @@ type SoakSpec struct {
 	Seed uint64
 	// Obs optionally attaches an observability bundle.
 	Obs *obs.Obs
+	// Telemetry optionally attaches a live-telemetry session: the sampler
+	// is ticked — one registry sample plus an SLO evaluation — after every
+	// load round and once after the drain, so /metrics, /timeseries and
+	// /health evolve while the soak is still running.
+	Telemetry *obs.Telemetry
 }
 
 // SoakResult aggregates one soak run.
@@ -259,10 +264,12 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 		}
 		res.Submitted += uint64(len(txs))
 		c.Step()
+		spec.Telemetry.Tick()
 	}
 	for i := 0; i < spec.Rounds*10+50 && c.PendingCount() > 0; i++ {
 		c.Step()
 	}
+	spec.Telemetry.Tick()
 	if n := c.PendingCount(); n != 0 {
 		return fmt.Errorf("sim: soak drain incomplete: %d transactions pending", n)
 	}
@@ -334,10 +341,12 @@ func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaReg
 		}
 		res.Submitted += uint64(len(groups))
 		c.Step()
+		spec.Telemetry.Tick()
 	}
 	for i := 0; i < spec.Rounds*10+50 && c.PendingCount() > 0; i++ {
 		c.Step()
 	}
+	spec.Telemetry.Tick()
 	if n := c.PendingCount(); n != 0 {
 		return fmt.Errorf("sim: soak drain incomplete: %d groups pending", n)
 	}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"agnopol/internal/faults"
+	"agnopol/internal/obs"
+)
+
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+var includedRe = regexp.MustCompile(`(?m)^eth_txs_included_total\{[^}]*\} (\d+)$`)
+
+// TestSoakServeLiveEndpoints runs a soak with the telemetry server
+// attached and scrapes it from an in-test HTTP client while the soak is
+// still executing: /metrics must show the inclusion counter climbing
+// across scrapes (not just a final value), /timeseries must accumulate
+// points, and /health must answer 200 on a healthy run.
+func TestSoakServeLiveEndpoints(t *testing.T) {
+	o := obs.New()
+	tel := obs.NewTelemetry(o, 0, DefaultSLORules())
+	srv, err := obs.Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunSoak(SoakSpec{
+			Chain: ChainGoerli, Areas: 8, Users: 32, Rounds: 600,
+			Shards: 2, Seed: 7, Obs: o, Telemetry: tel,
+		})
+		done <- err
+	}()
+
+	// Scrape continuously until the soak exits, collecting the distinct
+	// values the inclusion counter exposed.
+	seen := map[uint64]bool{}
+	running := true
+	for running {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			running = false
+		default:
+			_, body := scrape(t, base+"/metrics")
+			if m := includedRe.FindStringSubmatch(body); m != nil {
+				v, _ := strconv.ParseUint(m[1], 10, 64)
+				seen[v] = true
+			}
+		}
+	}
+	_, body := scrape(t, base+"/metrics")
+	if m := includedRe.FindStringSubmatch(body); m != nil {
+		v, _ := strconv.ParseUint(m[1], 10, 64)
+		seen[v] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("mid-run /metrics scrapes saw only %d distinct inclusion counts %v — endpoint is not live", len(seen), seen)
+	}
+
+	code, body := scrape(t, base+"/timeseries")
+	if code != 200 {
+		t.Fatalf("/timeseries: %d", code)
+	}
+	var ts struct {
+		Samples uint64 `json:"samples"`
+		Series  []struct {
+			ID     string            `json:"id"`
+			Points []json.RawMessage `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &ts); err != nil {
+		t.Fatalf("/timeseries JSON: %v", err)
+	}
+	if ts.Samples < 2 {
+		t.Fatalf("/timeseries samples = %d, want one per round", ts.Samples)
+	}
+	multi := false
+	for _, s := range ts.Series {
+		if len(s.Points) >= 2 {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		t.Fatal("/timeseries has no series with two or more points")
+	}
+
+	code, body = scrape(t, base+"/health")
+	if code != 200 {
+		t.Fatalf("/health on a healthy soak: %d\n%s", code, body)
+	}
+	code, _ = scrape(t, base+"/trace")
+	if code != 200 {
+		t.Fatalf("/trace: %d", code)
+	}
+}
+
+// TestFaultStormTripsSLO is the flight-recorder acceptance path: a matrix
+// run under a heavy fault plan must trip an SLO rule, flip the health
+// verdict, and produce a HEALTH_report.json bundle carrying the breaching
+// series' recent deltas and the tracer's recent spans.
+func TestFaultStormTripsSLO(t *testing.T) {
+	// 0.3 keeps every class firing constantly while staying inside what
+	// the 8-attempt submission pipeline can absorb (0.3^8 ≈ 7e-5 residual
+	// failure per submission).
+	plan, err := faults.Profile("default", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	// A recovery floor above 1 cannot be met once any fault fires, so the
+	// storm deterministically breaches on the first evaluated sample.
+	tel := obs.NewTelemetry(o, 0, []obs.Rule{{
+		Name: "fault_recovery_floor", Kind: obs.RuleRatioMin,
+		Series: "faults_recovered_total", Denominator: "faults_injected_total",
+		Threshold: 1.1, Grace: 0,
+	}})
+	_, err = RunMatrix(MatrixSpec{
+		Cells: []Cell{{Chain: ChainGoerli, Users: 8}},
+		Reps:  3, Seed: 7, Parallel: 1,
+		Faults: plan, Verify: true, Telemetry: tel,
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Health.Healthy() {
+		t.Fatal("fault storm did not trip the SLO rule")
+	}
+
+	path := filepath.Join(t.TempDir(), "HEALTH_report.json")
+	if err := tel.Health.WriteReportFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.HealthReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("HEALTH_report.json: %v", err)
+	}
+	if rep.Healthy || rep.TotalBreaches == 0 || len(rep.Anomalies) == 0 {
+		t.Fatalf("report = healthy=%v breaches=%d anomalies=%d, want a breach record",
+			rep.Healthy, rep.TotalBreaches, len(rep.Anomalies))
+	}
+	withDeltas, withSpans := false, false
+	for _, a := range rep.Anomalies {
+		if a.Rule.Name != "fault_recovery_floor" {
+			t.Fatalf("unexpected breaching rule %q", a.Rule.Name)
+		}
+		for id, ds := range a.Deltas {
+			if strings.HasPrefix(id, "faults_injected_total") && len(ds) > 0 {
+				withDeltas = true
+			}
+		}
+		if len(a.Spans) > 0 {
+			withSpans = true
+		}
+	}
+	if !withDeltas {
+		t.Error("no anomaly bundle carries the breaching series' recent deltas")
+	}
+	if !withSpans {
+		t.Error("no anomaly bundle carries recent spans")
+	}
+}
+
+func timeSoak(tb testing.TB, withTelemetry bool) float64 {
+	tb.Helper()
+	o := obs.New()
+	var tel *obs.Telemetry
+	if withTelemetry {
+		tel = obs.NewTelemetry(o, 0, DefaultSLORules())
+	}
+	res, err := RunSoak(SoakSpec{
+		Chain: ChainGoerli, Areas: 4, Users: 16, Rounds: 40,
+		Shards: 2, Seed: 7, Obs: o, Telemetry: tel,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res.TxsPerSecWall()
+}
+
+// TestTelemetryOverheadOnSoak bounds the per-round sampling cost: soak
+// throughput with the sampler + health monitor ticking every round must
+// stay within 5% of the telemetry-free run. Max-of-N on throughput (the
+// analogue of min-of-N on wall time) damps scheduler noise, and the two
+// configurations alternate order within each repetition so a monotonic
+// drift of the host (thermal throttling, cache warm-up) cannot bias the
+// comparison against whichever ran second.
+func TestTelemetryOverheadOnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping timing comparison in -short mode")
+	}
+	const reps = 6
+	baseTPS, telTPS := 0.0, 0.0
+	for i := 0; i < reps; i++ {
+		order := []bool{false, true}
+		if i%2 == 1 {
+			order = []bool{true, false}
+		}
+		for _, withTel := range order {
+			tps := timeSoak(t, withTel)
+			if withTel && tps > telTPS {
+				telTPS = tps
+			}
+			if !withTel && tps > baseTPS {
+				baseTPS = tps
+			}
+		}
+	}
+	t.Logf("soak throughput: bare %.0f txs/s, telemetry %.0f txs/s (%.1f%%)",
+		baseTPS, telTPS, 100*telTPS/baseTPS)
+	if telTPS < 0.95*baseTPS {
+		t.Errorf("telemetry run reached %.0f txs/s, more than 5%% below the bare %.0f txs/s", telTPS, baseTPS)
+	}
+}
+
+func BenchmarkSoakWithTelemetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := obs.New()
+		tel := obs.NewTelemetry(o, 0, DefaultSLORules())
+		if _, err := RunSoak(SoakSpec{
+			Chain: ChainGoerli, Areas: 4, Users: 16, Rounds: 20,
+			Shards: 2, Seed: 7, Obs: o, Telemetry: tel,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -50,6 +50,48 @@ echo "== sharded soak =="
 # gate against the committed baseline and upload as an artifact.
 go run ./cmd/polbench -soak -areas 8 -soakusers 32 -soakrounds 15 -shards 4 -benchout BENCH_throughput.json > /dev/null
 
+echo "== serve smoke =="
+# Live-telemetry smoke: a soak with the HTTP exposition server attached,
+# scraped from outside the process while it is up, then shut down via
+# POST /quitquitquit. Leaves HEALTH_report.json for the health gate and
+# for CI to upload as an artifact. The throughput record goes to a
+# scratch path so this small run cannot clobber the gated
+# BENCH_throughput.json written by the sharded-soak section above.
+serve_addr="127.0.0.1:19464"
+smoke_bench="$(mktemp)"
+go run ./cmd/polbench -soak -areas 4 -soakusers 16 -soakrounds 10 \
+    -serve "$serve_addr" -servehold 60s -healthout HEALTH_report.json \
+    -benchout "$smoke_bench" > /dev/null &
+serve_pid=$!
+metrics=""
+tries=0
+while [ $tries -lt 150 ]; do
+    if metrics="$(curl -fsS "http://$serve_addr/metrics" 2>/dev/null)" && [ -n "$metrics" ]; then
+        break
+    fi
+    tries=$((tries + 1))
+    sleep 0.2
+done
+if [ -z "$metrics" ]; then
+    echo "serve smoke: /metrics never answered" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+health="$(curl -fsS "http://$serve_addr/health")"
+if [ -z "$health" ]; then
+    echo "serve smoke: /health answered empty" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -fsS -X POST "http://$serve_addr/quitquitquit" > /dev/null
+wait "$serve_pid"
+rm -f "$smoke_bench"
+if [ ! -s HEALTH_report.json ]; then
+    echo "serve smoke: HEALTH_report.json was not written" >&2
+    exit 1
+fi
+go run ./cmd/benchgate -kind health -fresh HEALTH_report.json
+
 echo "== vm microbenchmarks =="
 # Sanity-checks the u256 fast path against the big.Int reference on the
 # deploy+attach workload and leaves BENCH_vm.json for CI to upload as an
