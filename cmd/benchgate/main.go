@@ -5,6 +5,7 @@
 //	benchgate -kind vm -fresh BENCH_vm.json -baseline ci/baseline/BENCH_vm.json
 //	benchgate -kind throughput -fresh BENCH_throughput.json -baseline ci/baseline/BENCH_throughput.json
 //	benchgate -kind health -fresh HEALTH_report.json
+//	benchgate -kind state -fresh BENCH_throughput.json
 //
 // For -kind vm every workload's u256 ns/op may regress at most -tolerance
 // (default 25%) against the baseline. For -kind throughput the record must
@@ -13,7 +14,10 @@
 // tolerance; a valid fresh record at >= -minshards shards must additionally
 // reach -minspeedup over its own serial baseline. For -kind health the
 // flight-recorder report must come from a monitored run (samples > 0,
-// rules attached) with a healthy verdict; -baseline is not used.
+// rules attached) with a healthy verdict; -baseline is not used. For
+// -kind state the record's runs must agree on the world-state Merkle root
+// and stay within -maxbytesperuser of live heap per simulated user;
+// -baseline is not used.
 package main
 
 import (
@@ -31,10 +35,11 @@ func main() {
 		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional regression against the baseline")
 		minSpeedup = flag.Float64("minspeedup", 1.8, "required sharded-vs-serial speedup when the measurement is valid")
 		minShards  = flag.Int("minshards", 4, "shard count from which -minspeedup is enforced")
+		maxBPU     = flag.Float64("maxbytesperuser", 8192, "allowed live-heap bytes per user for -kind state")
 	)
 	flag.Parse()
-	if *kind == "" || *fresh == "" || (*baseline == "" && *kind != "health") {
-		fmt.Fprintln(os.Stderr, "benchgate: -kind and -fresh are required (-baseline too, except for -kind health)")
+	if *kind == "" || *fresh == "" || (*baseline == "" && *kind != "health" && *kind != "state") {
+		fmt.Fprintln(os.Stderr, "benchgate: -kind and -fresh are required (-baseline too, except for -kind health and -kind state)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -54,8 +59,10 @@ func main() {
 		problems, err = gateThroughput(*fresh, *baseline, *tolerance, *minSpeedup, *minShards)
 	case "health":
 		problems, err = gateHealth(*fresh)
+	case "state":
+		problems, err = gateState(*fresh, *maxBPU)
 	default:
-		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want vm, throughput or health)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want vm, throughput, health or state)\n", *kind)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -97,14 +104,19 @@ type vmRecord struct {
 type throughputRun struct {
 	Shards        int     `json:"shards"`
 	TxsPerSecWall float64 `json:"txs_per_sec_wall"`
+	StateRoot     string  `json:"state_root"`
+	HeapBytes     uint64  `json:"heap_bytes"`
+	BytesPerUser  float64 `json:"bytes_per_user"`
 }
 
 // throughputRecord mirrors the fields of BENCH_throughput.json the gate
 // reads.
 type throughputRecord struct {
+	Users         int             `json:"users"`
 	Speedup       float64         `json:"speedup"`
 	SpeedupValid  bool            `json:"speedup_valid"`
 	Deterministic bool            `json:"deterministic"`
+	RootsMatch    bool            `json:"roots_match"`
 	Runs          []throughputRun `json:"runs"`
 }
 
@@ -275,6 +287,52 @@ func gateThroughput(freshPath, basePath string, tol, minSpeedup float64, minShar
 				"sharded throughput regressed %.1f%% (fresh %.0f txs/sec vs baseline %.0f, tolerance %.0f%%)",
 				100*(baseRun.TxsPerSecWall/freshRun.TxsPerSecWall-1),
 				freshRun.TxsPerSecWall, baseRun.TxsPerSecWall, 100*tol))
+		}
+	}
+	return problems, nil
+}
+
+// gateState checks the state layer's soak record: every run must report a
+// world-state Merkle root, all runs must agree on it (root determinism
+// across shard counts), and live heap must stay within maxBPU bytes per
+// simulated user — the bounded-memory claim. A record without memory
+// measurements (old format) must not pass: that is the gate silently
+// disarming itself.
+func gateState(freshPath string, maxBPU float64) ([]string, error) {
+	var rec throughputRecord
+	if err := readJSON(freshPath, &rec); err != nil {
+		return nil, err
+	}
+	var problems []string
+	if len(rec.Runs) == 0 {
+		return append(problems, "record has no runs"), nil
+	}
+	if !rec.Deterministic {
+		problems = append(problems, "record is not deterministic: sharded digest diverged from the serial baseline")
+	}
+	if !rec.RootsMatch {
+		problems = append(problems, "roots_match is false: the record predates the state layer or the roots diverged")
+	}
+	root := ""
+	for i, run := range rec.Runs {
+		if run.StateRoot == "" {
+			problems = append(problems, fmt.Sprintf("run %d (shards=%d) reports no state root", i, run.Shards))
+			continue
+		}
+		if root == "" {
+			root = run.StateRoot
+		} else if run.StateRoot != root {
+			problems = append(problems, fmt.Sprintf(
+				"run %d (shards=%d) state root %.16s... diverges from %.16s...",
+				i, run.Shards, run.StateRoot, root))
+		}
+		if run.HeapBytes == 0 {
+			problems = append(problems, fmt.Sprintf(
+				"run %d (shards=%d) has no heap measurement: the memory bound was never checked", i, run.Shards))
+		} else if run.BytesPerUser > maxBPU {
+			problems = append(problems, fmt.Sprintf(
+				"run %d (shards=%d) uses %.0f live-heap bytes per user, above the %.0f bound",
+				i, run.Shards, run.BytesPerUser, maxBPU))
 		}
 	}
 	return problems, nil

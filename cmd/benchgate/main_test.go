@@ -216,6 +216,95 @@ func TestGateHealth(t *testing.T) {
 	}
 }
 
+func stateRec(deterministic, rootsMatch bool, roots []string, bytesPerUser []float64) throughputRecord {
+	rec := throughputRecord{
+		Users: 1000, Deterministic: deterministic, RootsMatch: rootsMatch,
+	}
+	for i, root := range roots {
+		run := throughputRun{Shards: 1 << i, StateRoot: root}
+		if bytesPerUser[i] > 0 {
+			run.BytesPerUser = bytesPerUser[i]
+			run.HeapBytes = uint64(bytesPerUser[i] * 1000)
+		}
+		rec.Runs = append(rec.Runs, run)
+	}
+	return rec
+}
+
+func TestGateState(t *testing.T) {
+	dir := t.TempDir()
+	root := "abc123"
+	cases := []struct {
+		name  string
+		rec   throughputRecord
+		want  int
+		match string
+	}{
+		{
+			name: "bounded deterministic record passes",
+			rec:  stateRec(true, true, []string{root, root}, []float64{900, 950}),
+			want: 0,
+		},
+		{
+			name:  "non-deterministic fails",
+			rec:   stateRec(false, true, []string{root, root}, []float64{900, 950}),
+			want:  1,
+			match: "not deterministic",
+		},
+		{
+			name:  "roots_match false fails",
+			rec:   stateRec(true, false, []string{root, root}, []float64{900, 950}),
+			want:  1,
+			match: "roots_match",
+		},
+		{
+			name:  "diverging roots fail",
+			rec:   stateRec(true, true, []string{root, "def456"}, []float64{900, 950}),
+			want:  1,
+			match: "diverges",
+		},
+		{
+			name:  "missing root fails",
+			rec:   stateRec(true, true, []string{root, ""}, []float64{900, 950}),
+			want:  1,
+			match: "no state root",
+		},
+		{
+			name:  "memory over the bound fails",
+			rec:   stateRec(true, true, []string{root, root}, []float64{900, 9000}),
+			want:  1,
+			match: "bytes per user",
+		},
+		{
+			name:  "missing heap measurement fails",
+			rec:   stateRec(true, true, []string{root, root}, []float64{900, 0}),
+			want:  1,
+			match: "no heap measurement",
+		},
+		{
+			name:  "empty record fails",
+			rec:   throughputRecord{Deterministic: true, RootsMatch: true},
+			want:  1,
+			match: "no runs",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := writeJSON(t, dir, "state.json", tc.rec)
+			problems, err := gateState(fresh, 8192)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(problems) != tc.want {
+				t.Fatalf("problems = %v, want %d", problems, tc.want)
+			}
+			if tc.match != "" && !strings.Contains(problems[0], tc.match) {
+				t.Fatalf("problem %q does not mention %q", problems[0], tc.match)
+			}
+		})
+	}
+}
+
 // TestGateHealthRoundTrip feeds the gate a report produced by the real
 // flight recorder, not a hand-built mirror, so the two JSON shapes
 // cannot drift apart silently.

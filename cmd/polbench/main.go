@@ -493,6 +493,9 @@ type soakRunJSON struct {
 	ShardTxs        []uint64  `json:"per_shard_txs"`
 	ParallelBatches uint64    `json:"parallel_batches"`
 	Digest          string    `json:"digest"`
+	StateRoot       string    `json:"state_root"`
+	HeapBytes       uint64    `json:"heap_bytes"`
+	BytesPerUser    float64   `json:"bytes_per_user"`
 }
 
 // benchThroughputJSON is the machine-readable BENCH_throughput.json record:
@@ -513,8 +516,12 @@ type benchThroughputJSON struct {
 	// overhead, not parallelism.
 	SpeedupValid bool `json:"speedup_valid"`
 	// Deterministic records that every run landed on the same chain digest.
-	Deterministic bool          `json:"deterministic"`
-	Runs          []soakRunJSON `json:"runs"`
+	Deterministic bool `json:"deterministic"`
+	// RootsMatch records that every run landed on the same world-state
+	// Merkle root (implied by Deterministic; recorded separately so the
+	// state gate does not depend on digest internals).
+	RootsMatch bool          `json:"roots_match"`
+	Runs       []soakRunJSON `json:"runs"`
 }
 
 func soakRunJSONOf(r *sim.SoakResult) soakRunJSON {
@@ -526,6 +533,9 @@ func soakRunJSONOf(r *sim.SoakResult) soakRunJSON {
 		Utilization: r.Utilization, ShardTxs: r.ShardTxs,
 		ParallelBatches: r.ParallelBatches,
 		Digest:          fmt.Sprintf("%x", r.Digest[:]),
+		StateRoot:       fmt.Sprintf("%x", r.StateRoot[:]),
+		HeapBytes:       r.HeapBytes,
+		BytesPerUser:    r.BytesPerUser,
 	}
 }
 
@@ -550,6 +560,10 @@ func runSoakMode(chainName string, areas, users, rounds, shards int, seed uint64
 	if !deterministic {
 		return fmt.Errorf("soak is not deterministic: shards=%d digest diverges from the serial baseline", shards)
 	}
+	rootsMatch := base.StateRoot == sharded.StateRoot
+	if !rootsMatch {
+		return fmt.Errorf("soak is not deterministic: shards=%d state root diverges from the serial baseline", shards)
+	}
 	speedupValid := runtime.GOMAXPROCS(0) >= 2 && shards >= 2
 	if !speedupValid {
 		fmt.Fprintf(os.Stderr, "polbench: warning: GOMAXPROCS=%d, shards=%d — the serial-vs-sharded speedup is not a parallelism measurement; recording speedup_valid=false\n",
@@ -566,14 +580,17 @@ func runSoakMode(chainName string, areas, users, rounds, shards int, seed uint64
 		fmt.Printf("  %d shards:  %7.0f txs/sec wall (%d txs in %v) — %.2fx, utilization %v\n",
 			shards, sharded.TxsPerSecWall(), sharded.Included,
 			sharded.Wall.Round(time.Millisecond), speedup, sharded.Utilization)
-		fmt.Printf("  deterministic: %v (digest %x)\n\n", deterministic, sharded.Digest[:8])
+		fmt.Printf("  deterministic: %v (digest %x, state root %x)\n", deterministic, sharded.Digest[:8], sharded.StateRoot[:8])
+		fmt.Printf("  memory: %.1f MiB heap, %.0f bytes/user\n\n",
+			float64(sharded.HeapBytes)/(1<<20), sharded.BytesPerUser)
 	}
 
 	rec := benchThroughputJSON{
 		Chain: chainName, Areas: areas, Users: users, Rounds: rounds, Seed: seed,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 		Speedup: speedup, SpeedupValid: speedupValid, Deterministic: deterministic,
-		Runs: []soakRunJSON{soakRunJSONOf(base), soakRunJSONOf(sharded)},
+		RootsMatch: rootsMatch,
+		Runs:       []soakRunJSON{soakRunJSONOf(base), soakRunJSONOf(sharded)},
 	}
 	f, err := os.Create(out)
 	if err != nil {

@@ -13,6 +13,10 @@ import (
 // Standard Assets (ASAs), instead of using the native cryptocurrency."
 // The crowdsensing application can mint its own reward token (e.g. GREEN)
 // and pay provers in it.
+//
+// Asset descriptions and holdings live in the state trie (see ledger.go:
+// assetMetaKey / holdKey); the ledger keeps a description cache so hot
+// reads do not re-decode.
 
 // Asset is an ASA's immutable configuration.
 type Asset struct {
@@ -33,99 +37,22 @@ var (
 	ErrAlreadyOptedIn = errors.New("algorand: already opted in")
 )
 
-// assetState is the ledger-side ASA bookkeeping.
-type assetState struct {
-	assets   map[uint64]*Asset
-	holdings map[chain.Address]map[uint64]uint64
-	assetSeq uint64
-}
-
-func newAssetState() *assetState {
-	return &assetState{
-		assets:   make(map[uint64]*Asset),
-		holdings: make(map[chain.Address]map[uint64]uint64),
-	}
-}
-
-func (s *assetState) clone() *assetState {
-	cp := newAssetState()
-	cp.assetSeq = s.assetSeq
-	for id, a := range s.assets {
-		aa := *a
-		cp.assets[id] = &aa
-	}
-	for addr, m := range s.holdings {
-		mm := make(map[uint64]uint64, len(m))
-		for id, v := range m {
-			mm[id] = v
-		}
-		cp.holdings[addr] = mm
-	}
-	return cp
-}
-
-// create mints a new asset; the creator holds the entire supply and is
-// implicitly opted in.
-func (s *assetState) create(creator chain.Address, name, unit string, total uint64, decimals uint32, round uint64) *Asset {
-	s.assetSeq++
-	a := &Asset{
-		ID: s.assetSeq, Creator: creator, Name: name, UnitName: unit,
-		Total: total, Decimals: decimals, CreateAt: round,
-	}
-	s.assets[a.ID] = a
-	s.optIn(creator, a.ID)
-	s.holdings[creator][a.ID] = total
-	return a
-}
-
-func (s *assetState) optedIn(addr chain.Address, assetID uint64) bool {
-	_, ok := s.holdings[addr][assetID]
-	return ok
-}
-
-func (s *assetState) optIn(addr chain.Address, assetID uint64) {
-	m, ok := s.holdings[addr]
-	if !ok {
-		m = make(map[uint64]uint64)
-		s.holdings[addr] = m
-	}
-	if _, ok := m[assetID]; !ok {
-		m[assetID] = 0
-	}
-}
-
-func (s *assetState) transfer(assetID uint64, from, to chain.Address, amount uint64) error {
-	if _, ok := s.assets[assetID]; !ok {
-		return fmt.Errorf("%w: %d", ErrAssetNotFound, assetID)
-	}
-	if !s.optedIn(to, assetID) {
-		return fmt.Errorf("%w: %s / asset %d", ErrNotOptedIn, to, assetID)
-	}
-	if s.holdings[from][assetID] < amount {
-		return fmt.Errorf("%w: %s holds %d of asset %d, needs %d",
-			ErrAssetShort, from, s.holdings[from][assetID], assetID, amount)
-	}
-	s.holdings[from][assetID] -= amount
-	s.holdings[to][assetID] += amount
-	return nil
-}
-
 // Asset returns an asset's configuration.
 func (c *Chain) Asset(id uint64) (*Asset, bool) {
-	a, ok := c.led.asa.assets[id]
-	return a, ok
+	a := c.led.asset(id)
+	return a, a != nil
 }
 
 // AssetBalance returns an account's holding of an asset (0 when not opted
 // in; use OptedInAsset to distinguish).
 func (c *Chain) AssetBalance(addr chain.Address, assetID uint64) uint64 {
-	return c.led.asa.holdings[addr][assetID]
+	return c.led.holding(addr, assetID)
 }
 
 // OptedInAsset reports whether an account holds (possibly zero of) the
 // asset.
 func (c *Chain) OptedInAsset(addr chain.Address, assetID uint64) bool {
-	return c.led.asa.optedIn(addr, assetID)
+	return c.led.assetOptedIn(addr, assetID)
 }
 
 // CreateAsset submits an asset-creation transaction and returns the new

@@ -119,7 +119,11 @@ type Block struct {
 	Proposer Credential
 	Cert     *Certificate
 	Groups   []chain.Hash32
-	Hash     chain.Hash32
+	// StateRoot is the ledger's Merkle root after this round executed —
+	// part of the block hash, so a single state divergence anywhere in
+	// the world makes every subsequent block hash differ.
+	StateRoot chain.Hash32
+	Hash      chain.Hash32
 }
 
 type pendingGroup struct {
@@ -145,6 +149,14 @@ type Chain struct {
 	pending  []*pendingGroup
 	receipts map[chain.Hash32]*chain.Receipt
 	feeSink  chain.Address
+
+	// rcptAcc / rcptCount accumulate every included receipt in round
+	// order; Digest folds them in so pruned receipts still count.
+	rcptAcc   chain.Hash32
+	rcptCount uint64
+	// retention bounds how many certified rounds (and their receipts)
+	// stay resident; <=0 keeps everything.
+	retention int
 
 	// obs holds the chain's instrumentation; nil when uninstrumented.
 	obs *chainObs
@@ -207,18 +219,28 @@ func (c *Chain) Now() time.Duration { return c.clock.Now() }
 // Head returns the latest certified block.
 func (c *Chain) Head() *Block { return c.blocks[len(c.blocks)-1] }
 
-// NewAccount creates and funds an account.
+// NewAccount creates and funds an account. Funding zero is a no-op —
+// it must not create a phantom zero-balance ledger entry.
 func (c *Chain) NewAccount(microAlgos uint64) *Account {
 	kp := polcrypto.MustGenerateKeyPair(c.rng.Fork("account"))
 	addr := chain.AddressFromPublicKey(kp.Public)
-	c.led.balances[addr] += microAlgos
+	c.led.credit(addr, microAlgos)
 	return &Account{Key: kp, Address: addr}
 }
 
 // Balance returns an account balance as an Amount.
 func (c *Chain) Balance(addr chain.Address) chain.Amount {
-	return chain.NewAmount(microToBig(c.led.balances[addr]), c.cfg.Unit)
+	return chain.NewAmount(microToBig(c.led.Balance(addr)), c.cfg.Unit)
 }
+
+// StateRoot returns the current Merkle root of the ledger.
+func (c *Chain) StateRoot() chain.Hash32 { return c.led.root() }
+
+// SetRetention bounds how many certified rounds (blocks plus their
+// receipts) stay resident; n <= 0 keeps everything. Digest is unaffected:
+// receipts fold into a rolling accumulator at inclusion time and the
+// world state enters through the Merkle root.
+func (c *Chain) SetRetention(n int) { c.retention = n }
 
 // AppAddress returns the escrow address of an application.
 func (c *Chain) AppAddress(appID uint64) chain.Address { return c.led.AppAddress(appID) }
@@ -296,7 +318,7 @@ func (c *Chain) Receipt(h chain.Hash32) (*chain.Receipt, bool) {
 // (capacity is never the bottleneck at our scale), the committee certifies,
 // and the block is final immediately.
 func (c *Chain) Step() *Block {
-	roundNum := uint64(len(c.blocks))
+	roundNum := c.Head().Round + 1
 	roundTime := time.Duration(roundNum) * c.cfg.RoundDuration
 	c.clock.AdvanceTo(roundTime)
 	prev := c.Head()
@@ -347,12 +369,11 @@ func (c *Chain) Step() *Block {
 		rcpt := receipts[i]
 		rcpt.Submitted = p.submitted
 		c.receipts[p.group.Hash()] = rcpt
+		c.foldReceipt(p.group.Hash(), rcpt)
 		blk.Groups = append(blk.Groups, p.group.Hash())
 		// Deferred globals from the sharded executor; zero on the serial
 		// path, which applies them inline.
-		if effects[i].feeSink > 0 {
-			c.led.balances[c.feeSink] += effects[i].feeSink
-		}
+		c.led.credit(c.feeSink, effects[i].feeSink)
 		if c.obs != nil && effects[i].fees > 0 {
 			c.obs.fees.Add(effects[i].fees)
 		}
@@ -371,7 +392,8 @@ func (c *Chain) Step() *Block {
 		}
 	}
 
-	blk.Hash = chain.Hash32(polcrypto.Hash(blk.Seed[:], hashGroups(blk.Groups)))
+	blk.StateRoot = c.led.root()
+	blk.Hash = chain.Hash32(polcrypto.Hash(blk.Seed[:], hashGroups(blk.Groups), blk.StateRoot[:]))
 
 	// Committee certification: BA voting steps run until the accumulated
 	// sortition weight reaches the certification threshold.
@@ -395,6 +417,7 @@ func (c *Chain) Step() *Block {
 	}
 	blk.Cert = cert
 	c.blocks = append(c.blocks, blk)
+	c.pruneRetention()
 	if c.obs != nil {
 		c.obs.roundsCertified.Inc()
 		c.obs.certVotes.Add(uint64(len(cert.Votes)))
@@ -405,6 +428,25 @@ func (c *Chain) Step() *Block {
 		}
 	}
 	return blk
+}
+
+// pruneRetention drops certified rounds (and their receipts) beyond the
+// retention window. The ledger itself is untouched — live state is in the
+// trie — so memory is bounded by live accounts and app state, not by how
+// long the chain has run.
+func (c *Chain) pruneRetention() {
+	if c.retention <= 0 || len(c.blocks) <= c.retention {
+		return
+	}
+	drop := len(c.blocks) - c.retention
+	for _, blk := range c.blocks[:drop] {
+		for _, h := range blk.Groups {
+			delete(c.receipts, h)
+		}
+	}
+	kept := make([]*Block, c.retention)
+	copy(kept, c.blocks[drop:])
+	c.blocks = kept
 }
 
 func hashGroups(hs []chain.Hash32) []byte {
@@ -433,15 +475,16 @@ func (c *Chain) executeGroup(g Group, blk *Block) *chain.Receipt {
 
 	// Fees first; insufficient fee balance fails the group outright.
 	for _, tx := range g {
-		if c.led.balances[tx.Sender] < tx.Fee {
+		bal := c.led.Balance(tx.Sender)
+		if bal < tx.Fee {
 			c.led.restore(snap)
 			rcpt.Reverted = true
 			rcpt.RevertMsg = "insufficient balance for fee"
 			rcpt.Fee = chain.NewAmount(microToBig(0), c.cfg.Unit)
 			return rcpt
 		}
-		c.led.balances[tx.Sender] -= tx.Fee
-		c.led.balances[c.feeSink] += tx.Fee
+		c.led.setBalance(tx.Sender, bal-tx.Fee)
+		c.led.credit(c.feeSink, tx.Fee)
 	}
 
 	if c.obs != nil {
@@ -469,12 +512,7 @@ func (c *Chain) executeGroup(g Group, blk *Block) *chain.Receipt {
 				if err != nil {
 					return fmt.Errorf("algorand: approval program: %w", err)
 				}
-				c.led.appSeq++
-				id := c.led.appSeq
-				c.led.apps[id] = &App{
-					ID: id, Creator: tx.Sender, Program: prog, Source: tx.Source,
-					Globals: make(map[string]avm.Value), CreateAt: blk.Round,
-				}
+				id := c.led.createApp(tx.Sender, tx.Source, prog, blk.Round)
 				res := avm.Execute(prog, c.led, avm.TxContext{
 					Sender: tx.Sender, AppID: id, CreateMode: true,
 					Args: tx.Args, PayAmount: payAmount, Fee: tx.Fee,
@@ -487,18 +525,18 @@ func (c *Chain) executeGroup(g Group, blk *Block) *chain.Receipt {
 				}
 				rcpt.ReturnValue = appIDBytes(id)
 			case TxAssetCreate:
-				a := c.led.asa.create(tx.Sender, tx.AssetName, tx.AssetUnit, tx.Amount, tx.AssetDecimals, blk.Round)
+				a := c.led.assetCreate(tx.Sender, tx.AssetName, tx.AssetUnit, tx.Amount, tx.AssetDecimals, blk.Round)
 				rcpt.ReturnValue = avm.Itob(a.ID)
 			case TxAssetOptIn:
-				if _, ok := c.led.asa.assets[tx.AssetID]; !ok {
+				if !c.led.assetExists(tx.AssetID) {
 					return fmt.Errorf("%w: %d", ErrAssetNotFound, tx.AssetID)
 				}
-				if c.led.asa.optedIn(tx.Sender, tx.AssetID) {
+				if c.led.assetOptedIn(tx.Sender, tx.AssetID) {
 					return fmt.Errorf("%w: %s / asset %d", ErrAlreadyOptedIn, tx.Sender, tx.AssetID)
 				}
-				c.led.asa.optIn(tx.Sender, tx.AssetID)
+				c.led.assetOptIn(tx.Sender, tx.AssetID)
 			case TxAssetTransfer:
-				if err := c.led.asa.transfer(tx.AssetID, tx.Sender, tx.Receiver, tx.Amount); err != nil {
+				if err := c.led.assetTransfer(tx.AssetID, tx.Sender, tx.Receiver, tx.Amount); err != nil {
 					return err
 				}
 			case TxAppCall:
@@ -533,9 +571,9 @@ func (c *Chain) executeGroup(g Group, blk *Block) *chain.Receipt {
 		}
 		c.led.restore(snap)
 		for addr, fee := range fees {
-			if c.led.balances[addr] >= fee {
-				c.led.balances[addr] -= fee
-				c.led.balances[c.feeSink] += fee
+			if bal := c.led.Balance(addr); bal >= fee {
+				c.led.setBalance(addr, bal-fee)
+				c.led.credit(c.feeSink, fee)
 			}
 		}
 		rcpt.Reverted = true

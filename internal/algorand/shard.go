@@ -1,16 +1,15 @@
 package algorand
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"agnopol/internal/avm"
 	"agnopol/internal/chain"
+	"agnopol/internal/mstate"
 	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
 )
@@ -19,7 +18,7 @@ import (
 // conflict keys over senders, payment receivers and called applications —
 // execute concurrently on copy-on-write ledger overlays; the per-group
 // atomic rollback the serial path gets from whole-ledger snapshots is
-// provided by stacking a second overlay per group, which is also far
+// provided by forking a second overlay per group, which is also far
 // cheaper than snapshotting the world. Rounds containing application or
 // asset creation (which advance chain-global sequence counters) fall back
 // to the serial path wholesale, so creation order is always canonical.
@@ -66,14 +65,16 @@ func (g Group) shardable() bool {
 }
 
 // ledgerView is the surface group execution needs from its backing state:
-// the AVM's Ledger plus app lookup and the raw writes commit uses. Both the
-// canonical ledger and overlays implement it, so overlays stack — a shard
-// overlay over the ledger, a per-group rollback overlay over the shard's.
+// the AVM's Ledger plus app lookup, raw balance writes, and overlay
+// forking. Both the canonical ledger and overlays implement it, so
+// overlays stack — a shard overlay over the ledger, a per-group rollback
+// overlay over the shard's.
 type ledgerView interface {
 	avm.Ledger
 	app(id uint64) *App
 	setBalance(addr chain.Address, v uint64)
-	putApp(a *App)
+	fork() *ledgerOverlay
+	adopt(*ledgerOverlay)
 }
 
 var (
@@ -81,185 +82,36 @@ var (
 	_ ledgerView = (*ledgerOverlay)(nil)
 )
 
-// ledgerOverlay is a copy-on-write view over a ledgerView: reads fall
-// through, balance writes stay local, and application mutations clone the
-// app (deep-copying its key/value state) on first write.
+// ledgerOverlay is a copy-on-write view over the ledger or another
+// overlay: an mstate.Overlay absorbs reads and writes against a private
+// trie fork, and every ledger semantic — value encodings, opt-in
+// markers, pay errors — comes from the shared ledgerKV accessor layer,
+// so the overlay cannot drift from the serial path.
 type ledgerOverlay struct {
-	base     ledgerView
-	balances map[chain.Address]uint64
-	apps     map[uint64]*App
+	ledgerKV
+	ov *mstate.Overlay
 }
 
-func newLedgerOverlay(base ledgerView) *ledgerOverlay {
-	return &ledgerOverlay{
-		base:     base,
-		balances: make(map[chain.Address]uint64),
-		apps:     make(map[uint64]*App),
-	}
+// fork opens a copy-on-write overlay over the canonical ledger.
+func (l *ledger) fork() *ledgerOverlay {
+	ov := mstate.NewOverlay(l.t)
+	return &ledgerOverlay{ledgerKV{kv: ov, led: l}, ov}
 }
 
-func (o *ledgerOverlay) app(id uint64) *App {
-	if a, ok := o.apps[id]; ok {
-		if a.Deleted {
-			return nil
-		}
-		return a
-	}
-	return o.base.app(id)
+// adopt replays an overlay's journal onto the canonical trie. Overlays
+// from different shards hold disjoint key sets, so commit order across
+// shards does not matter; within an overlay every key holds its final
+// value, so replay order does not matter either.
+func (l *ledger) adopt(child *ledgerOverlay) { child.ov.CommitTo(l.t) }
+
+// fork opens a nested overlay (per-group atomic rollback inside a shard).
+func (o *ledgerOverlay) fork() *ledgerOverlay {
+	ov := o.ov.Fork()
+	return &ledgerOverlay{ledgerKV{kv: ov, led: o.led}, ov}
 }
 
-// appForWrite returns the overlay's clone of an app, cloning it from the
-// base on first write.
-func (o *ledgerOverlay) appForWrite(id uint64) *App {
-	if a, ok := o.apps[id]; ok {
-		if a.Deleted {
-			return nil
-		}
-		return a
-	}
-	a := o.base.app(id)
-	if a == nil {
-		return nil
-	}
-	cp := cloneApp(a)
-	o.apps[id] = cp
-	return cp
-}
-
-func cloneApp(a *App) *App {
-	cp := &App{
-		ID: a.ID, Creator: a.Creator, Program: a.Program, Source: a.Source,
-		Deleted: a.Deleted, CreateAt: a.CreateAt,
-		Globals: make(map[string]avm.Value, len(a.Globals)),
-	}
-	for k, v := range a.Globals {
-		cp.Globals[k] = v
-	}
-	if a.Locals != nil {
-		cp.Locals = make(map[chain.Address]map[string]avm.Value, len(a.Locals))
-		for addr, m := range a.Locals {
-			mm := make(map[string]avm.Value, len(m))
-			for k, v := range m {
-				mm[k] = v
-			}
-			cp.Locals[addr] = mm
-		}
-	}
-	return cp
-}
-
-// GlobalGet implements avm.Ledger.
-func (o *ledgerOverlay) GlobalGet(appID uint64, key string) (avm.Value, bool) {
-	a := o.app(appID)
-	if a == nil {
-		return avm.Value{}, false
-	}
-	v, ok := a.Globals[key]
-	return v, ok
-}
-
-// GlobalPut implements avm.Ledger.
-func (o *ledgerOverlay) GlobalPut(appID uint64, key string, v avm.Value) {
-	if a := o.appForWrite(appID); a != nil {
-		a.Globals[key] = v
-	}
-}
-
-// GlobalDel implements avm.Ledger.
-func (o *ledgerOverlay) GlobalDel(appID uint64, key string) {
-	if a := o.appForWrite(appID); a != nil {
-		delete(a.Globals, key)
-	}
-}
-
-// LocalGet implements avm.Ledger.
-func (o *ledgerOverlay) LocalGet(appID uint64, addr chain.Address, key string) (avm.Value, bool) {
-	a := o.app(appID)
-	if a == nil {
-		return avm.Value{}, false
-	}
-	v, ok := a.Locals[addr][key]
-	return v, ok
-}
-
-// LocalPut implements avm.Ledger.
-func (o *ledgerOverlay) LocalPut(appID uint64, addr chain.Address, key string, v avm.Value) {
-	a := o.appForWrite(appID)
-	if a == nil {
-		return
-	}
-	if a.Locals == nil {
-		a.Locals = make(map[chain.Address]map[string]avm.Value)
-	}
-	m, ok := a.Locals[addr]
-	if !ok {
-		m = make(map[string]avm.Value)
-		a.Locals[addr] = m
-	}
-	m[key] = v
-}
-
-// LocalDel implements avm.Ledger.
-func (o *ledgerOverlay) LocalDel(appID uint64, addr chain.Address, key string) {
-	if a := o.appForWrite(appID); a != nil {
-		delete(a.Locals[addr], key)
-	}
-}
-
-// OptedIn implements avm.Ledger.
-func (o *ledgerOverlay) OptedIn(appID uint64, addr chain.Address) bool {
-	a := o.app(appID)
-	if a == nil {
-		return false
-	}
-	_, ok := a.Locals[addr]
-	return ok
-}
-
-// Balance implements avm.Ledger.
-func (o *ledgerOverlay) Balance(addr chain.Address) uint64 {
-	if v, ok := o.balances[addr]; ok {
-		return v
-	}
-	return o.base.Balance(addr)
-}
-
-// Pay implements avm.Ledger. The error text matches ledger.Pay so revert
-// messages are identical across the serial and sharded paths.
-func (o *ledgerOverlay) Pay(from, to chain.Address, amount uint64) error {
-	if o.Balance(from) < amount {
-		return fmt.Errorf("%w: %s has %d µALGO, needs %d",
-			avm.ErrInsufficientBalance, from, o.Balance(from), amount)
-	}
-	o.setBalance(from, o.Balance(from)-amount)
-	o.setBalance(to, o.Balance(to)+amount)
-	return nil
-}
-
-// AppAddress implements avm.Ledger.
-func (o *ledgerOverlay) AppAddress(appID uint64) chain.Address { return appEscrowAddress(appID) }
-
-// Round implements avm.Ledger.
-func (o *ledgerOverlay) Round() uint64 { return o.base.Round() }
-
-// LatestTimestamp implements avm.Ledger.
-func (o *ledgerOverlay) LatestTimestamp() uint64 { return o.base.LatestTimestamp() }
-
-func (o *ledgerOverlay) setBalance(addr chain.Address, v uint64) { o.balances[addr] = v }
-
-func (o *ledgerOverlay) putApp(a *App) { o.apps[a.ID] = a }
-
-// commit folds the overlay into its base. Overlays from different shards
-// write disjoint keys, so commit order does not matter; within an overlay
-// every key holds its final value, so map iteration order does not either.
-func (o *ledgerOverlay) commit() {
-	for addr, v := range o.balances {
-		o.base.setBalance(addr, v)
-	}
-	for _, a := range o.apps {
-		o.base.putApp(a)
-	}
-}
+// adopt folds a nested overlay's writes into this one.
+func (o *ledgerOverlay) adopt(child *ledgerOverlay) { o.ov.Adopt(child.ov) }
 
 // groupEffects carries a group's deferred globals out of the sharded
 // executor: the fee-sink credit and the fee-counter increment touch state
@@ -276,8 +128,8 @@ type groupEffects struct {
 
 // executeGroupSharded applies one atomic group on top of parent — a shard's
 // overlay — mirroring executeGroup exactly for the shardable transaction
-// types. Atomic rollback is a nested overlay that is simply discarded on
-// failure; fees are then re-charged from a fresh overlay, as the serial
+// types. Atomic rollback is a forked overlay that is simply discarded on
+// failure; fees are then re-charged from a fresh fork, as the serial
 // path does after restoring its snapshot.
 func (c *Chain) executeGroupSharded(parent ledgerView, g Group, blk *Block) (*chain.Receipt, groupEffects) {
 	rcpt := &chain.Receipt{
@@ -292,7 +144,7 @@ func (c *Chain) executeGroupSharded(parent ledgerView, g Group, blk *Block) (*ch
 		totalFee += tx.Fee
 	}
 
-	o := newLedgerOverlay(parent)
+	o := parent.fork()
 
 	// Fees first; insufficient fee balance fails the group outright.
 	for _, tx := range g {
@@ -357,7 +209,7 @@ func (c *Chain) executeGroupSharded(parent ledgerView, g Group, blk *Block) (*ch
 		for _, tx := range g {
 			fees[tx.Sender] += tx.Fee
 		}
-		o = newLedgerOverlay(parent)
+		o = parent.fork()
 		for addr, fee := range fees {
 			if bal := o.Balance(addr); bal >= fee {
 				o.setBalance(addr, bal-fee)
@@ -369,7 +221,7 @@ func (c *Chain) executeGroupSharded(parent ledgerView, g Group, blk *Block) (*ch
 	} else {
 		eff.feeSink = totalFee
 	}
-	o.commit()
+	parent.adopt(o)
 	rcpt.Fee = chain.NewAmount(microToBig(totalFee), c.cfg.Unit)
 	return rcpt, eff
 }
@@ -454,7 +306,7 @@ func (c *Chain) applyRound(sel []*pendingGroup, blk *Block) ([]*chain.Receipt, [
 	shardGas := make([]uint64, nshards)
 	var wg sync.WaitGroup
 	for si := 0; si < nshards; si++ {
-		overlays[si] = newLedgerOverlay(c.led)
+		overlays[si] = c.led.fork()
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
@@ -469,7 +321,7 @@ func (c *Chain) applyRound(sel []*pendingGroup, blk *Block) ([]*chain.Receipt, [
 	}
 	wg.Wait()
 	for si, o := range overlays {
-		o.commit()
+		c.led.adopt(o)
 		c.shardStats.Record(si, shardTxs[si], shardGas[si])
 	}
 	if c.shardStats != nil {
@@ -538,9 +390,16 @@ func (c *Chain) SubmitBatch(gs []Group) ([]chain.Hash32, []error) {
 func (c *Chain) PendingCount() int { return len(c.pending) }
 
 // Digest hashes the chain's externally observable end state — head block,
-// full ledger (balances, applications, assets) and every receipt — into one
-// value. The determinism gates compare digests across shard counts and
-// GOMAXPROCS settings: equal digests mean bit-identical rounds and state.
+// sequence counters, the ledger's Merkle root and the rolling receipt
+// accumulator — into one value. The determinism gates compare digests
+// across shard counts and GOMAXPROCS settings: equal digests mean
+// bit-identical rounds and state. The whole ledger (balances, app
+// key/value state, assets, holdings) enters through the state root, and
+// receipts fold into the accumulator at inclusion time in canonical round
+// order, so Digest is O(1) instead of a full-world sort-and-hash — which
+// also makes it independent of how much pruned history (SetRetention) is
+// still held. Algorand amounts are uint64, so no sign encoding is needed
+// here (contrast eth's encodeBalance).
 func (c *Chain) Digest() chain.Hash32 {
 	var buf []byte
 	put := func(b []byte) {
@@ -554,143 +413,52 @@ func (c *Chain) Digest() chain.Hash32 {
 		binary.BigEndian.PutUint64(n[:], v)
 		buf = append(buf, n[:]...)
 	}
-	putValue := func(v avm.Value) {
-		if v.IsBytes {
-			putU64(1)
-			put(v.Bytes)
-		} else {
-			putU64(0)
-			putU64(v.Uint)
-		}
-	}
 	head := c.Head()
 	put(head.Hash[:])
 	putU64(head.Round)
 	putU64(c.led.appSeq)
-	putU64(c.led.asa.assetSeq)
-
-	addrs := sortedAddrs(c.led.balances)
-	for _, a := range addrs {
-		put(a[:])
-		putU64(c.led.balances[a])
-	}
-
-	appIDs := make([]uint64, 0, len(c.led.apps))
-	for id := range c.led.apps {
-		appIDs = append(appIDs, id)
-	}
-	sort.Slice(appIDs, func(i, j int) bool { return appIDs[i] < appIDs[j] })
-	for _, id := range appIDs {
-		a := c.led.apps[id]
-		putU64(a.ID)
-		put(a.Creator[:])
-		put([]byte(a.Source))
-		putU64(a.CreateAt)
-		if a.Deleted {
-			putU64(1)
-		} else {
-			putU64(0)
-		}
-		keys := make([]string, 0, len(a.Globals))
-		for k := range a.Globals {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			put([]byte(k))
-			putValue(a.Globals[k])
-		}
-		laddrs := make([]chain.Address, 0, len(a.Locals))
-		for addr := range a.Locals {
-			laddrs = append(laddrs, addr)
-		}
-		sort.Slice(laddrs, func(i, j int) bool {
-			return bytes.Compare(laddrs[i][:], laddrs[j][:]) < 0
-		})
-		for _, addr := range laddrs {
-			put(addr[:])
-			lkeys := make([]string, 0, len(a.Locals[addr]))
-			for k := range a.Locals[addr] {
-				lkeys = append(lkeys, k)
-			}
-			sort.Strings(lkeys)
-			for _, k := range lkeys {
-				put([]byte(k))
-				putValue(a.Locals[addr][k])
-			}
-		}
-	}
-
-	assetIDs := make([]uint64, 0, len(c.led.asa.assets))
-	for id := range c.led.asa.assets {
-		assetIDs = append(assetIDs, id)
-	}
-	sort.Slice(assetIDs, func(i, j int) bool { return assetIDs[i] < assetIDs[j] })
-	for _, id := range assetIDs {
-		a := c.led.asa.assets[id]
-		putU64(a.ID)
-		put(a.Creator[:])
-		put([]byte(a.Name))
-		put([]byte(a.UnitName))
-		putU64(a.Total)
-		putU64(uint64(a.Decimals))
-		putU64(a.CreateAt)
-	}
-	holders := make([]chain.Address, 0, len(c.led.asa.holdings))
-	for addr := range c.led.asa.holdings {
-		holders = append(holders, addr)
-	}
-	sort.Slice(holders, func(i, j int) bool {
-		return bytes.Compare(holders[i][:], holders[j][:]) < 0
-	})
-	for _, addr := range holders {
-		put(addr[:])
-		ids := make([]uint64, 0, len(c.led.asa.holdings[addr]))
-		for id := range c.led.asa.holdings[addr] {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			putU64(id)
-			putU64(c.led.asa.holdings[addr][id])
-		}
-	}
-
-	rhashes := make([]chain.Hash32, 0, len(c.receipts))
-	for h := range c.receipts {
-		rhashes = append(rhashes, h)
-	}
-	sort.Slice(rhashes, func(i, j int) bool {
-		return bytes.Compare(rhashes[i][:], rhashes[j][:]) < 0
-	})
-	for _, h := range rhashes {
-		r := c.receipts[h]
-		put(h[:])
-		putU64(r.BlockNumber)
-		putU64(r.GasUsed)
-		putU64(uint64(r.Submitted))
-		putU64(uint64(r.Included))
-		if r.Reverted {
-			putU64(1)
-		} else {
-			putU64(0)
-		}
-		put([]byte(r.RevertMsg))
-		put(r.ReturnValue)
-		if r.Fee.Base != nil {
-			put(r.Fee.Base.Bytes())
-		}
-	}
+	putU64(c.led.assetSeq)
+	root := c.led.root()
+	put(root[:])
+	put(c.rcptAcc[:])
+	putU64(c.rcptCount)
 	return chain.Hash32(polcrypto.Hash(buf))
 }
 
-func sortedAddrs(m map[chain.Address]uint64) []chain.Address {
-	out := make([]chain.Address, 0, len(m))
-	for a := range m {
-		out = append(out, a)
+// foldReceipt absorbs one included receipt into the rolling digest
+// accumulator. Called from Step's canonical merge loop, so the fold order
+// is round order — identical at every shard count. Fees are µAlgo uint64
+// amounts and cannot be negative, so the raw magnitude encoding is
+// unambiguous.
+func (c *Chain) foldReceipt(h chain.Hash32, r *chain.Receipt) {
+	var buf []byte
+	put := func(b []byte) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, b...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return bytes.Compare(out[i][:], out[j][:]) < 0
-	})
-	return out
+	putU64 := func(v uint64) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], v)
+		buf = append(buf, n[:]...)
+	}
+	put(c.rcptAcc[:])
+	put(h[:])
+	putU64(r.BlockNumber)
+	putU64(r.GasUsed)
+	putU64(uint64(r.Submitted))
+	putU64(uint64(r.Included))
+	if r.Reverted {
+		putU64(1)
+	} else {
+		putU64(0)
+	}
+	put([]byte(r.RevertMsg))
+	put(r.ReturnValue)
+	if r.Fee.Base != nil {
+		put(r.Fee.Base.Bytes())
+	}
+	c.rcptAcc = chain.Hash32(polcrypto.Hash(buf))
+	c.rcptCount++
 }

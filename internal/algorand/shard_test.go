@@ -98,22 +98,22 @@ func TestGroupShardable(t *testing.T) {
 func TestLedgerOverlayCopyOnWrite(t *testing.T) {
 	led := newLedger()
 	alice := chain.AddressFromBytes([]byte("alice"))
-	led.balances[alice] = 100
-	led.appSeq = 1
-	led.apps[1] = &App{ID: 1, Globals: map[string]avm.Value{"k": avm.Uint64Value(5)}}
+	led.setBalance(alice, 100)
+	led.createApp(chain.Address{}, "int 1", nil, 0)
+	led.GlobalPut(1, "k", avm.Uint64Value(5))
 
-	ov := newLedgerOverlay(led)
+	ov := led.fork()
 	if ov.Balance(alice) != 100 {
 		t.Fatal("overlay must read through")
 	}
 	ov.setBalance(alice, 60)
 	ov.GlobalPut(1, "k", avm.Uint64Value(9))
 	ov.LocalPut(1, alice, "seen", avm.Uint64Value(1))
-	if led.balances[alice] != 100 {
+	if led.Balance(alice) != 100 {
 		t.Fatal("base balance changed before commit")
 	}
-	if led.apps[1].Globals["k"].Uint != 5 {
-		t.Fatal("base app mutated before commit: clone-on-write broken")
+	if v, _ := led.GlobalGet(1, "k"); v.Uint != 5 {
+		t.Fatal("base app mutated before commit: copy-on-write broken")
 	}
 	if v, _ := ov.GlobalGet(1, "k"); v.Uint != 9 {
 		t.Fatal("overlay must serve its own global write")
@@ -126,18 +126,18 @@ func TestLedgerOverlayCopyOnWrite(t *testing.T) {
 	}
 
 	// Nested overlay: rollback by discarding.
-	sub := newLedgerOverlay(ov)
+	sub := ov.fork()
 	sub.GlobalPut(1, "k", avm.Uint64Value(77))
 	sub.setBalance(alice, 1)
 	if v, _ := ov.GlobalGet(1, "k"); v.Uint != 9 {
 		t.Fatal("discarded nested overlay must not leak")
 	}
 
-	ov.commit()
-	if led.balances[alice] != 60 {
+	led.adopt(ov)
+	if led.Balance(alice) != 60 {
 		t.Fatal("commit must fold balances")
 	}
-	if led.apps[1].Globals["k"].Uint != 9 {
+	if v, _ := led.GlobalGet(1, "k"); v.Uint != 9 {
 		t.Fatal("commit must fold app state")
 	}
 	if !led.OptedIn(1, alice) {

@@ -80,13 +80,16 @@ type Attestation struct {
 
 // Block is a produced block.
 type Block struct {
-	Number       uint64
-	Time         time.Duration
-	ParentHash   chain.Hash32
-	Hash         chain.Hash32
-	Proposer     chain.Address
-	BaseFee      *big.Int
-	GasUsed      uint64
+	Number     uint64
+	Time       time.Duration
+	ParentHash chain.Hash32
+	Hash       chain.Hash32
+	Proposer   chain.Address
+	BaseFee    *big.Int
+	GasUsed    uint64
+	// StateRoot is the Merkle root of the world state after executing
+	// this block; it is part of the block hash.
+	StateRoot    chain.Hash32
 	TxHashes     []chain.Hash32
 	Attestations []Attestation
 }
@@ -137,6 +140,17 @@ type Chain struct {
 
 	burned *big.Int
 	tipped *big.Int
+
+	// rcptAcc is the rolling hash of every receipt ever included, folded
+	// in canonical block order (foldReceipt); rcptCount is how many.
+	// Together with the state root they let Digest stay O(1) and let
+	// retention pruning drop old receipts without changing the digest.
+	rcptAcc   chain.Hash32
+	rcptCount uint64
+
+	// retention caps how many recent blocks keep their receipts and
+	// explorer rows; <= 0 retains everything.
+	retention int
 
 	// shards is the execution fan-out Step may use; <=1 means serial.
 	// shardStats tallies per-shard work once SetShards configures it.
@@ -223,9 +237,18 @@ func (c *Chain) StorageAt(addr chain.Address, key chain.Hash32) chain.Hash32 {
 
 // ContractCode returns the deployed code at an address, if any.
 func (c *Chain) ContractCode(addr chain.Address) ([]byte, bool) {
-	code, ok := c.st.code[addr]
-	return code, ok
+	return c.st.Code(addr)
 }
+
+// StateRoot returns the Merkle root of the current world state.
+func (c *Chain) StateRoot() chain.Hash32 { return c.st.Root() }
+
+// SetRetention keeps receipts, explorer history and block bodies only for
+// the most recent n blocks; n <= 0 (the default) retains everything.
+// Long soaks set a small window so memory is bounded by live state, not
+// by rounds: the digest is unaffected because receipts fold into the
+// rolling accumulator at inclusion time.
+func (c *Chain) SetRetention(n int) { c.retention = n }
 
 // Submit errors.
 var (
@@ -261,8 +284,8 @@ func (c *Chain) submitVerified(tx *Tx) (chain.Hash32, error) {
 	if tx.MaxFee.Cmp(c.cfg.MinBaseFee) < 0 {
 		return chain.Hash32{}, ErrUnderpriced
 	}
-	if tx.Nonce < c.st.nonces[tx.From] {
-		return chain.Hash32{}, fmt.Errorf("%w: %d < %d", ErrNonceTooLow, tx.Nonce, c.st.nonces[tx.From])
+	if n := c.st.Nonce(tx.From); tx.Nonce < n {
+		return chain.Hash32{}, fmt.Errorf("%w: %d < %d", ErrNonceTooLow, tx.Nonce, n)
 	}
 	upfront := new(big.Int).Mul(tx.MaxFee, new(big.Int).SetUint64(tx.GasLimit))
 	upfront.Add(upfront, tx.Value)
@@ -296,7 +319,7 @@ func (c *Chain) submitVerified(tx *Tx) (chain.Hash32, error) {
 // PendingNonce is the next usable nonce for an account: the state nonce,
 // advanced past any transactions already queued in the mempool.
 func (c *Chain) PendingNonce(addr chain.Address) uint64 {
-	n := c.st.nonces[addr]
+	n := c.st.Nonce(addr)
 	for _, p := range c.mempool {
 		if p.tx.From == addr && p.tx.Nonce >= n {
 			n = p.tx.Nonce + 1
@@ -313,7 +336,7 @@ func (c *Chain) Receipt(h chain.Hash32) (*chain.Receipt, bool) {
 
 // nextSlotTime is the production time of the next block.
 func (c *Chain) nextSlotTime() time.Duration {
-	return time.Duration(len(c.blocks)) * c.cfg.SlotDuration
+	return time.Duration(c.Head().Number+1) * c.cfg.SlotDuration
 }
 
 // Step produces the next block: selects the proposer, fills the block with
@@ -324,11 +347,11 @@ func (c *Chain) Step() *Block {
 	c.clock.AdvanceTo(blockTime)
 	parent := c.Head()
 
-	proposer := c.pickProposer(parent.Hash, uint64(len(c.blocks)))
+	proposer := c.pickProposer(parent.Hash, parent.Number+1)
 	demand := c.backgroundDemand()
 
 	blk := &Block{
-		Number:     uint64(len(c.blocks)),
+		Number:     parent.Number + 1,
 		Time:       blockTime,
 		ParentHash: parent.Hash,
 		Proposer:   proposer.Address,
@@ -349,21 +372,35 @@ func (c *Chain) Step() *Block {
 	// anything. Capacity is reserved by gas limit, not actual usage, so
 	// selection never depends on execution results and the set is the same
 	// whether execution later runs serially or sharded. selNonces tracks
-	// nonces consumed by earlier selections in this block.
+	// nonces consumed by earlier selections in this block; selSpend tracks
+	// each sender's reserved upfront cost (maxFee·gasLimit + value) so a
+	// sender whose balance shrank since admission — or who queued more
+	// transactions than the balance covers — is deferred instead of being
+	// executed into an overdraft.
 	var (
 		sel       []*pendingTx
 		remaining []*pendingTx
 		reserved  uint64
 		selNonces map[chain.Address]uint64
+		selSpend  map[chain.Address]*big.Int
 	)
 	nextNonce := func(a chain.Address) uint64 {
 		if n, ok := selNonces[a]; ok {
 			return n
 		}
-		return c.st.nonces[a]
+		return c.st.Nonce(a)
+	}
+	covered := func(tx *Tx) (*big.Int, bool) {
+		upfront := new(big.Int).Mul(tx.MaxFee, new(big.Int).SetUint64(tx.GasLimit))
+		upfront.Add(upfront, tx.Value)
+		if prior, ok := selSpend[tx.From]; ok {
+			upfront.Add(upfront, prior)
+		}
+		return upfront, upfront.Cmp(c.st.GetBalance(tx.From)) <= 0
 	}
 	for _, p := range c.mempool {
 		tx := p.tx
+		spend, affordable := covered(tx)
 		switch {
 		case p.submitted >= blockTime:
 			// Not yet propagated when the block was built.
@@ -371,14 +408,19 @@ func (c *Chain) Step() *Block {
 			// Base fee above the cap: wait for it to drop.
 		case tx.Nonce != nextNonce(tx.From):
 			// Nonce gap: wait for the earlier transaction.
+		case !affordable:
+			// The sender's balance no longer covers every selected
+			// transaction's worst case; defer rather than overdraw.
 		default:
 			tip := effectiveTip(tx, c.baseFee)
 			outbid := demand * math.Exp(-bigToFloat(tip)/bigToFloat(c.cfg.TipScale))
 			if uint64(outbid)+reserved+tx.GasLimit <= c.cfg.BlockGasLimit {
 				if selNonces == nil {
 					selNonces = make(map[chain.Address]uint64)
+					selSpend = make(map[chain.Address]*big.Int)
 				}
 				selNonces[tx.From] = tx.Nonce + 1
+				selSpend[tx.From] = spend
 				reserved += tx.GasLimit
 				sel = append(sel, p)
 				continue
@@ -402,6 +444,7 @@ func (c *Chain) Step() *Block {
 		rcpt := receipts[i]
 		rcpt.Submitted = p.submitted
 		c.receipts[tx.Hash()] = rcpt
+		c.foldReceipt(tx.Hash(), rcpt)
 		blk.TxHashes = append(blk.TxHashes, tx.Hash())
 		userGas += rcpt.GasUsed
 		eff := effects[i]
@@ -427,11 +470,13 @@ func (c *Chain) Step() *Block {
 	}
 	blk.GasUsed = bg + userGas
 
+	blk.StateRoot = c.st.Root()
 	blk.Hash = blockHash(blk)
 	blk.Attestations = c.attest(blk)
 	c.blocks = append(c.blocks, blk)
 	c.updateBaseFee(blk)
 	c.updateFinality()
+	c.pruneRetention()
 	if c.obs != nil {
 		c.obs.blocksProduced.Inc()
 		c.obs.blockGasUsed.Add(blk.GasUsed)
@@ -605,10 +650,35 @@ func blockHash(b *Block) chain.Hash32 {
 	buf = append(buf, b.ParentHash[:]...)
 	buf = append(buf, b.Proposer[:]...)
 	buf = append(buf, b.BaseFee.Bytes()...)
+	buf = append(buf, b.StateRoot[:]...)
 	for _, h := range b.TxHashes {
 		buf = append(buf, h[:]...)
 	}
 	return chain.Hash32(polcrypto.Hash(buf))
+}
+
+// pruneRetention drops receipts, explorer rows and block bodies older
+// than the retention window. Everything digest-relevant already lives in
+// the rolling accumulators, so pruning never changes Digest.
+func (c *Chain) pruneRetention() {
+	if c.retention <= 0 || len(c.blocks) <= c.retention {
+		return
+	}
+	for _, old := range c.blocks[:len(c.blocks)-c.retention] {
+		for _, h := range old.TxHashes {
+			delete(c.receipts, h)
+		}
+	}
+	kept := make([]*Block, c.retention)
+	copy(kept, c.blocks[len(c.blocks)-c.retention:])
+	c.blocks = kept
+	cutoff := c.Head().Number + 1 - uint64(c.retention)
+	first := sort.Search(len(c.history), func(i int) bool {
+		return c.history[i].Block >= cutoff
+	})
+	if first > 0 {
+		c.history = append([]TxRecord(nil), c.history[first:]...)
+	}
 }
 
 // updateBaseFee applies the EIP-1559 adjustment: ±1/8 of the deviation from
@@ -637,7 +707,7 @@ func (c *Chain) updateBaseFee(blk *Block) {
 // boundaries (simplified Casper FFG: with an honest supermajority every
 // epoch justifies, and the previous justified checkpoint finalizes).
 func (c *Chain) updateFinality() {
-	head := uint64(len(c.blocks) - 1)
+	head := c.Head().Number
 	epoch := uint64(c.cfg.SlotsPerEpoch)
 	if epoch == 0 || head%epoch != 0 {
 		return

@@ -147,7 +147,7 @@ func (cl *Client) Call(acct *Account, contract chain.Address, data []byte, value
 // transaction, no time advance beyond the RPC hop (§4.1.2: views have no
 // cost).
 func (cl *Client) View(contract chain.Address, data []byte) ([]byte, error) {
-	code, ok := cl.chain.st.code[contract]
+	code, ok := cl.chain.st.Code(contract)
 	if !ok {
 		return nil, fmt.Errorf("eth: no contract at %s", contract)
 	}

@@ -1,16 +1,14 @@
 package eth
 
 import (
-	"bytes"
 	"encoding/binary"
-	"math/big"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"agnopol/internal/chain"
 	"agnopol/internal/evm"
+	"agnopol/internal/mstate"
 	"agnopol/internal/polcrypto"
 )
 
@@ -63,139 +61,29 @@ var (
 	_ execState = (*shardState)(nil)
 )
 
-// storageSlot keys one contract storage word in a shard overlay.
-type storageSlot struct {
-	addr chain.Address
-	key  chain.Hash32
-}
-
-// shardState is a copy-on-write overlay over the canonical state: reads
-// fall through to the base, writes stay local until commit. A zero storage
-// write is recorded (not elided) so commit can apply the base's
-// delete-on-zero rule.
+// shardState is a copy-on-write overlay over the canonical state: a
+// private trie fork absorbs reads and writes, and a journal of final key
+// values replays onto the canonical trie at commit. All state semantics
+// (delete-on-zero storage, phantom-account and negative-balance
+// invariants, code copying) come from the shared stateView, so the
+// overlay cannot drift from the serial path.
 type shardState struct {
-	base     *state
-	balances map[chain.Address]*big.Int
-	nonces   map[chain.Address]uint64
-	storage  map[storageSlot]chain.Hash32
-	code     map[chain.Address][]byte
-	codeDel  map[chain.Address]bool
+	stateView
+	ov   *mstate.Overlay
+	base *state
 }
 
 func newShardState(base *state) *shardState {
-	return &shardState{
-		base:     base,
-		balances: make(map[chain.Address]*big.Int),
-		nonces:   make(map[chain.Address]uint64),
-		storage:  make(map[storageSlot]chain.Hash32),
-		code:     make(map[chain.Address][]byte),
-		codeDel:  make(map[chain.Address]bool),
-	}
+	ov := mstate.NewOverlay(base.t)
+	return &shardState{stateView: stateView{kv: ov}, ov: ov, base: base}
 }
 
-func (s *shardState) balanceForWrite(a chain.Address) *big.Int {
-	if b, ok := s.balances[a]; ok {
-		return b
-	}
-	b := new(big.Int)
-	if base, ok := s.base.balances[a]; ok {
-		b.Set(base)
-	}
-	s.balances[a] = b
-	return b
-}
-
-func (s *shardState) GetBalance(a chain.Address) *big.Int {
-	if b, ok := s.balances[a]; ok {
-		return new(big.Int).Set(b)
-	}
-	return s.base.GetBalance(a)
-}
-
-func (s *shardState) AddBalance(a chain.Address, v *big.Int) {
-	b := s.balanceForWrite(a)
-	b.Add(b, v)
-}
-
-func (s *shardState) SubBalance(a chain.Address, v *big.Int) {
-	b := s.balanceForWrite(a)
-	b.Sub(b, v)
-}
-
-func (s *shardState) GetStorage(addr chain.Address, key chain.Hash32) chain.Hash32 {
-	if v, ok := s.storage[storageSlot{addr, key}]; ok {
-		return v
-	}
-	return s.base.GetStorage(addr, key)
-}
-
-func (s *shardState) SetStorage(addr chain.Address, key, value chain.Hash32) {
-	s.storage[storageSlot{addr, key}] = value
-}
-
-func (s *shardState) AccountExists(a chain.Address) bool {
-	if _, ok := s.balances[a]; ok {
-		return true
-	}
-	if _, ok := s.code[a]; ok {
-		return true
-	}
-	if s.codeDel[a] {
-		_, ok := s.base.balances[a]
-		return ok
-	}
-	return s.base.AccountExists(a)
-}
-
-func (s *shardState) Nonce(a chain.Address) uint64 {
-	if n, ok := s.nonces[a]; ok {
-		return n
-	}
-	return s.base.nonces[a]
-}
-
-func (s *shardState) SetNonce(a chain.Address, n uint64) { s.nonces[a] = n }
-
-func (s *shardState) Code(a chain.Address) ([]byte, bool) {
-	if c, ok := s.code[a]; ok {
-		return c, true
-	}
-	if s.codeDel[a] {
-		return nil, false
-	}
-	return s.base.Code(a)
-}
-
-func (s *shardState) SetCode(a chain.Address, code []byte) {
-	s.code[a] = code
-	delete(s.codeDel, a)
-}
-
-func (s *shardState) DeleteCode(a chain.Address) {
-	delete(s.code, a)
-	s.codeDel[a] = true
-}
-
-// commit folds the overlay into the base state. Overlays from different
-// shards hold disjoint key sets, so commit order across shards does not
-// matter; within an overlay every key holds its final value, so map
-// iteration order does not matter either.
+// commit replays the overlay's journal onto the base trie. Overlays from
+// different shards hold disjoint key sets, so commit order across shards
+// does not matter; within an overlay every key holds its final value, so
+// replay order does not matter either.
 func (s *shardState) commit() {
-	for a, b := range s.balances {
-		s.base.balances[a] = b
-	}
-	for a, n := range s.nonces {
-		s.base.nonces[a] = n
-	}
-	for slot, v := range s.storage {
-		s.base.SetStorage(slot.addr, slot.key, v)
-	}
-	for a := range s.codeDel {
-		delete(s.base.code, a)
-	}
-	for a, c := range s.code {
-		s.base.code[a] = c
-	}
+	s.ov.CommitTo(s.base.t)
 }
 
 // SetShards configures how many execution shards Step may fan out to; n <= 1
@@ -349,9 +237,14 @@ func (c *Chain) SubmitBatch(txs []*Tx) ([]chain.Hash32, []error) {
 func (c *Chain) PendingCount() int { return len(c.mempool) }
 
 // Digest hashes the chain's externally observable end state — head block,
-// fee accounting, full world state and every receipt — into one value. The
-// determinism gates compare digests across shard counts and GOMAXPROCS
-// settings: equal digests mean bit-identical blocks and state.
+// fee accounting, the world-state Merkle root and the rolling receipt
+// accumulator — into one value. The determinism gates compare digests
+// across shard counts and GOMAXPROCS settings: equal digests mean
+// bit-identical blocks and state. The world state enters through the
+// state root (every entry is a trie leaf) and receipts are folded into
+// the accumulator at inclusion time in canonical block order, so Digest
+// is O(1) instead of a full-world sort-and-hash — which also makes it
+// independent of how much pruned history (SetRetention) is still held.
 func (c *Chain) Digest() chain.Hash32 {
 	var buf []byte
 	put := func(b []byte) {
@@ -371,78 +264,47 @@ func (c *Chain) Digest() chain.Hash32 {
 	put(c.baseFee.Bytes())
 	put(c.burned.Bytes())
 	put(c.tipped.Bytes())
-
-	addrs := make([]chain.Address, 0, len(c.st.balances)+len(c.st.nonces)+len(c.st.code)+len(c.st.storage))
-	seen := make(map[chain.Address]bool)
-	add := func(a chain.Address) {
-		if !seen[a] {
-			seen[a] = true
-			addrs = append(addrs, a)
-		}
-	}
-	for a := range c.st.balances {
-		add(a)
-	}
-	for a := range c.st.nonces {
-		add(a)
-	}
-	for a := range c.st.code {
-		add(a)
-	}
-	for a := range c.st.storage {
-		add(a)
-	}
-	sort.Slice(addrs, func(i, j int) bool {
-		return bytes.Compare(addrs[i][:], addrs[j][:]) < 0
-	})
-	for _, a := range addrs {
-		put(a[:])
-		if b, ok := c.st.balances[a]; ok {
-			put(b.Bytes())
-		}
-		putU64(c.st.nonces[a])
-		if code, ok := c.st.code[a]; ok {
-			put(code)
-		}
-		slots := c.st.storage[a]
-		keys := make([]chain.Hash32, 0, len(slots))
-		for k := range slots {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			return bytes.Compare(keys[i][:], keys[j][:]) < 0
-		})
-		for _, k := range keys {
-			put(k[:])
-			v := slots[k]
-			put(v[:])
-		}
-	}
-
-	rhashes := make([]chain.Hash32, 0, len(c.receipts))
-	for h := range c.receipts {
-		rhashes = append(rhashes, h)
-	}
-	sort.Slice(rhashes, func(i, j int) bool {
-		return bytes.Compare(rhashes[i][:], rhashes[j][:]) < 0
-	})
-	for _, h := range rhashes {
-		r := c.receipts[h]
-		put(h[:])
-		putU64(r.BlockNumber)
-		putU64(r.GasUsed)
-		putU64(uint64(r.Submitted))
-		putU64(uint64(r.Included))
-		if r.Reverted {
-			putU64(1)
-		} else {
-			putU64(0)
-		}
-		put([]byte(r.RevertMsg))
-		put(r.ReturnValue)
-		if r.Fee.Base != nil {
-			put(r.Fee.Base.Bytes())
-		}
-	}
+	root := c.st.Root()
+	put(root[:])
+	put(c.rcptAcc[:])
+	putU64(c.rcptCount)
 	return chain.Hash32(polcrypto.Hash(buf))
+}
+
+// foldReceipt absorbs one included receipt into the rolling digest
+// accumulator. Called from Step's canonical merge loop, so the fold
+// order is block order — identical at every shard count. Fee components
+// are encoded with an explicit sign byte (encodeBalance) so a sign flip
+// can never digest identically.
+func (c *Chain) foldReceipt(h chain.Hash32, r *chain.Receipt) {
+	var buf []byte
+	put := func(b []byte) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, b...)
+	}
+	putU64 := func(v uint64) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], v)
+		buf = append(buf, n[:]...)
+	}
+	put(c.rcptAcc[:])
+	put(h[:])
+	putU64(r.BlockNumber)
+	putU64(r.GasUsed)
+	putU64(uint64(r.Submitted))
+	putU64(uint64(r.Included))
+	if r.Reverted {
+		putU64(1)
+	} else {
+		putU64(0)
+	}
+	put([]byte(r.RevertMsg))
+	put(r.ReturnValue)
+	if r.Fee.Base != nil {
+		put(encodeBalance(r.Fee.Base))
+	}
+	c.rcptAcc = chain.Hash32(polcrypto.Hash(buf))
+	c.rcptCount++
 }

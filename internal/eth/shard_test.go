@@ -113,7 +113,7 @@ func TestShardStateOverlay(t *testing.T) {
 	if base.GetBalance(alice).Int64() != 70 || base.Nonce(alice) != 6 {
 		t.Fatal("commit must fold balances and nonces into base")
 	}
-	if _, ok := base.storage[bob]; ok && len(base.storage[bob]) != 0 {
+	if base.kv.Has(storKey(bob, key)) {
 		t.Fatal("commit of a zero write must delete the base slot")
 	}
 	if base.GetStorage(alice, key) != (chain.Hash32{7}) {

@@ -7,10 +7,13 @@
 package eth
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math/big"
 
 	"agnopol/internal/chain"
 	"agnopol/internal/evm"
+	"agnopol/internal/mstate"
 	"agnopol/internal/polcrypto"
 )
 
@@ -22,93 +25,192 @@ type Account struct {
 	Address chain.Address
 }
 
-// state is the world state: balances, nonces, contract code and storage.
-// It implements evm.StateDB.
+// Trie key derivation. Every logical state entry — a balance, a nonce, a
+// code blob, one storage word — is one key in the Merkle trie, tagged by
+// column family so families cannot collide.
+func balKey(a chain.Address) mstate.Key   { return mstate.KeyOf("eth/bal", a[:]) }
+func nonceKey(a chain.Address) mstate.Key { return mstate.KeyOf("eth/nonce", a[:]) }
+func codeKey(a chain.Address) mstate.Key  { return mstate.KeyOf("eth/code", a[:]) }
+func storKey(a chain.Address, k chain.Hash32) mstate.Key {
+	return mstate.KeyOf("eth/stor", a[:], k[:])
+}
+
+// encodeBalance renders a balance with an explicit sign byte so that a
+// negative value can never hash identically to its positive counterpart
+// (the sign-blind big.Int.Bytes() bug). The invariant checks in
+// AddBalance/SubBalance should make negatives unreachable; the encoding
+// is sign-explicit anyway, as defense in depth for the digest.
+func encodeBalance(b *big.Int) []byte {
+	sign := byte(0)
+	switch b.Sign() {
+	case 1:
+		sign = 1
+	case -1:
+		sign = 2
+	}
+	return append([]byte{sign}, b.Bytes()...)
+}
+
+func decodeBalance(enc []byte) *big.Int {
+	if len(enc) == 0 {
+		return new(big.Int)
+	}
+	b := new(big.Int).SetBytes(enc[1:])
+	if enc[0] == 2 {
+		b.Neg(b)
+	}
+	return b
+}
+
+// stateKV is the key/value surface the accessor layer runs on — the
+// canonical trie and the shard overlay both implement it, so the state
+// semantics below exist exactly once.
+type stateKV interface {
+	Get(mstate.Key) ([]byte, bool)
+	Put(mstate.Key, []byte)
+	Delete(mstate.Key)
+	Has(mstate.Key) bool
+}
+
+var (
+	_ stateKV = (*mstate.Trie)(nil)
+	_ stateKV = (*mstate.Overlay)(nil)
+)
+
+// stateView implements the world-state accessors (evm.StateDB plus nonce
+// and code management) over any stateKV.
+type stateView struct {
+	kv stateKV
+}
+
+func (s *stateView) GetBalance(a chain.Address) *big.Int {
+	enc, _ := s.kv.Get(balKey(a))
+	return decodeBalance(enc)
+}
+
+// AddBalance credits a. A zero credit to an absent account is a no-op:
+// it must not conjure a phantom account entry (which would flip
+// AccountExists and enter the state root).
+func (s *stateView) AddBalance(a chain.Address, v *big.Int) {
+	k := balKey(a)
+	enc, ok := s.kv.Get(k)
+	if !ok && v.Sign() == 0 {
+		return
+	}
+	b := decodeBalance(enc)
+	b.Add(b, v)
+	if b.Sign() < 0 {
+		panic(fmt.Sprintf("eth: balance of %x driven negative (%s)", a[:4], b))
+	}
+	s.kv.Put(k, encodeBalance(b))
+}
+
+// SubBalance debits a. Debiting an absent account is an invariant
+// violation, not an implicit account creation with a negative balance —
+// every legitimate debit (fees, value transfers) is balance-checked
+// upstream, so reaching either panic means admission or execution let an
+// overdraft through.
+func (s *stateView) SubBalance(a chain.Address, v *big.Int) {
+	if v.Sign() == 0 {
+		return
+	}
+	k := balKey(a)
+	enc, ok := s.kv.Get(k)
+	if !ok {
+		panic(fmt.Sprintf("eth: debit of absent account %x", a[:4]))
+	}
+	b := decodeBalance(enc)
+	b.Sub(b, v)
+	if b.Sign() < 0 {
+		panic(fmt.Sprintf("eth: balance of %x driven negative (%s)", a[:4], b))
+	}
+	s.kv.Put(k, encodeBalance(b))
+}
+
+// setBalance force-writes a balance without invariant checks. Test hook:
+// the sign-digest regression test needs to plant a negative balance.
+func (s *stateView) setBalance(a chain.Address, b *big.Int) {
+	s.kv.Put(balKey(a), encodeBalance(b))
+}
+
+func (s *stateView) GetStorage(addr chain.Address, key chain.Hash32) chain.Hash32 {
+	enc, ok := s.kv.Get(storKey(addr, key))
+	var v chain.Hash32
+	if ok {
+		copy(v[:], enc)
+	}
+	return v
+}
+
+func (s *stateView) SetStorage(addr chain.Address, key, value chain.Hash32) {
+	k := storKey(addr, key)
+	if (value == chain.Hash32{}) {
+		s.kv.Delete(k)
+		return
+	}
+	s.kv.Put(k, value[:])
+}
+
+func (s *stateView) AccountExists(a chain.Address) bool {
+	return s.kv.Has(balKey(a)) || s.kv.Has(codeKey(a))
+}
+
+// Nonce implements execState.
+func (s *stateView) Nonce(a chain.Address) uint64 {
+	enc, ok := s.kv.Get(nonceKey(a))
+	if !ok {
+		return 0
+	}
+	return binary.BigEndian.Uint64(enc)
+}
+
+// SetNonce implements execState.
+func (s *stateView) SetNonce(a chain.Address, n uint64) {
+	var enc [8]byte
+	binary.BigEndian.PutUint64(enc[:], n)
+	s.kv.Put(nonceKey(a), enc[:])
+}
+
+// Code implements execState. The returned slice is state-owned; callers
+// must not mutate it.
+func (s *stateView) Code(a chain.Address) ([]byte, bool) {
+	return s.kv.Get(codeKey(a))
+}
+
+// SetCode implements execState. The trie copies on Put, so the state
+// never aliases the caller's slice — mutating `code` after SetCode must
+// not change stored contract code.
+func (s *stateView) SetCode(a chain.Address, code []byte) {
+	s.kv.Put(codeKey(a), code)
+}
+
+// DeleteCode implements execState.
+func (s *stateView) DeleteCode(a chain.Address) {
+	s.kv.Delete(codeKey(a))
+}
+
+// state is the canonical world state: a Merkle trie over balances,
+// nonces, contract code and storage. It implements evm.StateDB.
 type state struct {
-	balances map[chain.Address]*big.Int
-	nonces   map[chain.Address]uint64
-	code     map[chain.Address][]byte
-	storage  map[chain.Address]map[chain.Hash32]chain.Hash32
+	stateView
+	t *mstate.Trie
 }
 
 func newState() *state {
-	return &state{
-		balances: make(map[chain.Address]*big.Int),
-		nonces:   make(map[chain.Address]uint64),
-		code:     make(map[chain.Address][]byte),
-		storage:  make(map[chain.Address]map[chain.Hash32]chain.Hash32),
-	}
+	t := mstate.New()
+	return &state{stateView: stateView{kv: t}, t: t}
 }
 
 var _ evm.StateDB = (*state)(nil)
 
-func (s *state) GetBalance(a chain.Address) *big.Int {
-	if b, ok := s.balances[a]; ok {
-		return new(big.Int).Set(b)
-	}
-	return new(big.Int)
+// Root is the Merkle root of the world state; it goes into every block
+// header and anchors the chain digest.
+func (s *state) Root() chain.Hash32 {
+	return chain.Hash32(s.t.Root())
 }
 
-func (s *state) AddBalance(a chain.Address, v *big.Int) {
-	b, ok := s.balances[a]
-	if !ok {
-		b = new(big.Int)
-		s.balances[a] = b
-	}
-	b.Add(b, v)
+// snapshot forks the state in O(1); both sides may keep mutating.
+func (s *state) snapshot() *state {
+	t := s.t.Snapshot()
+	return &state{stateView: stateView{kv: t}, t: t}
 }
-
-func (s *state) SubBalance(a chain.Address, v *big.Int) {
-	b, ok := s.balances[a]
-	if !ok {
-		b = new(big.Int)
-		s.balances[a] = b
-	}
-	b.Sub(b, v)
-}
-
-func (s *state) GetStorage(addr chain.Address, key chain.Hash32) chain.Hash32 {
-	if m, ok := s.storage[addr]; ok {
-		return m[key]
-	}
-	return chain.Hash32{}
-}
-
-func (s *state) SetStorage(addr chain.Address, key, value chain.Hash32) {
-	m, ok := s.storage[addr]
-	if !ok {
-		m = make(map[chain.Hash32]chain.Hash32)
-		s.storage[addr] = m
-	}
-	if (value == chain.Hash32{}) {
-		delete(m, key)
-		return
-	}
-	m[key] = value
-}
-
-func (s *state) AccountExists(a chain.Address) bool {
-	if _, ok := s.balances[a]; ok {
-		return true
-	}
-	_, ok := s.code[a]
-	return ok
-}
-
-// Nonce implements execState.
-func (s *state) Nonce(a chain.Address) uint64 { return s.nonces[a] }
-
-// SetNonce implements execState.
-func (s *state) SetNonce(a chain.Address, n uint64) { s.nonces[a] = n }
-
-// Code implements execState.
-func (s *state) Code(a chain.Address) ([]byte, bool) {
-	c, ok := s.code[a]
-	return c, ok
-}
-
-// SetCode implements execState.
-func (s *state) SetCode(a chain.Address, code []byte) { s.code[a] = code }
-
-// DeleteCode implements execState.
-func (s *state) DeleteCode(a chain.Address) { delete(s.code, a) }

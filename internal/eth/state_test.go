@@ -1,0 +1,270 @@
+package eth
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"agnopol/internal/chain"
+)
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s must panic", what)
+		}
+	}()
+	fn()
+}
+
+// execStates returns each backend under test with a fresh world: the
+// canonical trie-backed state and a shard overlay over one. Every state
+// semantic must hold identically on both.
+func execStates() map[string]func() execState {
+	return map[string]func() execState{
+		"state":      func() execState { return newState() },
+		"shardState": func() execState { return newShardState(newState()) },
+	}
+}
+
+// Regression: SubBalance/AddBalance used to materialize entries for
+// accounts that did not exist — flipping AccountExists, entering the
+// digest, and allowing negative balances to accrue silently.
+func TestPhantomAccountInvariants(t *testing.T) {
+	ghost := chain.AddressFromBytes([]byte("ghost"))
+	funded := chain.AddressFromBytes([]byte("funded"))
+	for name, mk := range execStates() {
+		t.Run(name, func(t *testing.T) {
+			st := mk()
+			st.AddBalance(ghost, big.NewInt(0))
+			if st.AccountExists(ghost) {
+				t.Fatal("zero credit of an absent account must not create it")
+			}
+			mustPanic(t, "debit of absent account", func() {
+				st.SubBalance(ghost, big.NewInt(1))
+			})
+			if st.AccountExists(ghost) {
+				t.Fatal("failed debit must not create the account")
+			}
+			mustPanic(t, "negative credit of absent account", func() {
+				st.AddBalance(ghost, big.NewInt(-1))
+			})
+			st.AddBalance(funded, big.NewInt(10))
+			mustPanic(t, "overdraft", func() {
+				st.SubBalance(funded, big.NewInt(11))
+			})
+			st.SubBalance(funded, big.NewInt(0)) // zero debit of existing: fine
+			if st.GetBalance(funded).Int64() != 10 {
+				t.Fatal("balance disturbed by failed operations")
+			}
+		})
+	}
+	// Phantom entries must also stay out of the state root.
+	a, b := newState(), newState()
+	a.AddBalance(ghost, big.NewInt(0))
+	if a.Root() != b.Root() {
+		t.Fatal("no-op credit changed the state root")
+	}
+}
+
+// Regression: SetCode used to retain the caller's slice, so mutating the
+// buffer after deployment silently rewrote stored contract code.
+func TestSetCodeDefensiveCopy(t *testing.T) {
+	addr := chain.AddressFromBytes([]byte("contract"))
+	for name, mk := range execStates() {
+		t.Run(name, func(t *testing.T) {
+			st := mk()
+			code := []byte{0x60, 0x01, 0x60, 0x02}
+			st.SetCode(addr, code)
+			code[0] = 0xff
+			got, ok := st.Code(addr)
+			if !ok || !bytes.Equal(got, []byte{0x60, 0x01, 0x60, 0x02}) {
+				t.Fatalf("stored code aliased the caller's buffer: %x", got)
+			}
+		})
+	}
+	// The overlay's copy must survive commit un-aliased too.
+	base := newState()
+	ov := newShardState(base)
+	code := []byte{0xAA, 0xBB}
+	ov.SetCode(addr, code)
+	code[1] = 0x00
+	ov.commit()
+	got, _ := base.Code(addr)
+	if !bytes.Equal(got, []byte{0xAA, 0xBB}) {
+		t.Fatalf("committed code aliased the caller's buffer: %x", got)
+	}
+}
+
+// Regression: the digest used big.Int.Bytes(), which drops the sign — a
+// balance of -5 hashed identically to +5. Balances are now encoded with
+// an explicit sign byte, so sign flips reach the root and the digest.
+func TestDigestSignSensitivity(t *testing.T) {
+	addr := chain.AddressFromBytes([]byte("signy"))
+	pos, neg := newState(), newState()
+	pos.setBalance(addr, big.NewInt(5))
+	neg.setBalance(addr, big.NewInt(-5))
+	if pos.Root() == neg.Root() {
+		t.Fatal("sign-differing balances must produce different state roots")
+	}
+	if bytes.Equal(encodeBalance(big.NewInt(5)), encodeBalance(big.NewInt(-5))) {
+		t.Fatal("encodeBalance is sign-blind")
+	}
+
+	mk := func(v int64) chain.Hash32 {
+		c := newTestChain(t)
+		c.st.setBalance(addr, big.NewInt(v))
+		return c.Digest()
+	}
+	if mk(5) == mk(-5) {
+		t.Fatal("sign-differing states must digest differently")
+	}
+}
+
+// stateModel is the flat reference implementation the differential test
+// compares the trie backends against.
+type stateModel struct {
+	bal   map[chain.Address]*big.Int
+	nonce map[chain.Address]uint64
+	code  map[chain.Address][]byte
+	stor  map[chain.Address]map[chain.Hash32]chain.Hash32
+}
+
+func newStateModel() *stateModel {
+	return &stateModel{
+		bal:   make(map[chain.Address]*big.Int),
+		nonce: make(map[chain.Address]uint64),
+		code:  make(map[chain.Address][]byte),
+		stor:  make(map[chain.Address]map[chain.Hash32]chain.Hash32),
+	}
+}
+
+// TestDifferentialStateBackends drives one randomized op sequence through
+// the flat model, the canonical state, a periodically-committed shard
+// overlay, and a trie snapshot fork — and demands identical reads along
+// the way and identical state roots at the end.
+func TestDifferentialStateBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	addrs := make([]chain.Address, 8)
+	for i := range addrs {
+		addrs[i] = chain.AddressFromBytes([]byte{byte(i + 1)})
+	}
+	keys := []chain.Hash32{{1}, {2}, {3}}
+
+	model := newStateModel()
+	flat := newState()
+	ovBase := newState()
+	ov := newShardState(ovBase)
+	snapBase := newState()
+	snap := snapBase.snapshot() // fork immediately; mutate the fork only
+
+	targets := []execState{flat, ov, snap}
+
+	apply := func(fn func(execState)) {
+		for _, st := range targets {
+			fn(st)
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		a := addrs[rng.Intn(len(addrs))]
+		switch rng.Intn(7) {
+		case 0: // credit
+			v := big.NewInt(rng.Int63n(1000))
+			apply(func(st execState) { st.AddBalance(a, v) })
+			cur, ok := model.bal[a]
+			if !ok {
+				cur = new(big.Int)
+			}
+			next := new(big.Int).Add(cur, v)
+			if ok || v.Sign() != 0 {
+				model.bal[a] = next
+			}
+		case 1: // debit within balance, only when the account exists
+			cur, ok := model.bal[a]
+			if !ok || cur.Sign() == 0 {
+				continue
+			}
+			v := big.NewInt(rng.Int63n(cur.Int64() + 1))
+			apply(func(st execState) { st.SubBalance(a, v) })
+			if v.Sign() != 0 {
+				model.bal[a] = new(big.Int).Sub(cur, v)
+			}
+		case 2: // nonce
+			n := rng.Uint64() % 1000
+			apply(func(st execState) { st.SetNonce(a, n) })
+			model.nonce[a] = n
+		case 3: // code
+			code := make([]byte, 1+rng.Intn(16))
+			rng.Read(code)
+			apply(func(st execState) { st.SetCode(a, code) })
+			model.code[a] = append([]byte(nil), code...)
+		case 4: // delete code
+			apply(func(st execState) { st.DeleteCode(a) })
+			delete(model.code, a)
+		case 5: // storage write (zero value deletes)
+			k := keys[rng.Intn(len(keys))]
+			var v chain.Hash32
+			if rng.Intn(3) != 0 {
+				v[0] = byte(rng.Intn(255) + 1)
+			}
+			apply(func(st execState) { st.SetStorage(a, k, v) })
+			if v == (chain.Hash32{}) {
+				delete(model.stor[a], k)
+			} else {
+				if model.stor[a] == nil {
+					model.stor[a] = make(map[chain.Hash32]chain.Hash32)
+				}
+				model.stor[a][k] = v
+			}
+		case 6: // read checks against the model
+			wantBal, ok := model.bal[a]
+			if !ok {
+				wantBal = new(big.Int)
+			}
+			wantCode, wantHasCode := model.code[a]
+			for _, st := range targets {
+				if st.GetBalance(a).Cmp(wantBal) != 0 {
+					t.Fatalf("step %d: balance mismatch for %x", step, a[:2])
+				}
+				if st.Nonce(a) != model.nonce[a] {
+					t.Fatalf("step %d: nonce mismatch", step)
+				}
+				code, hasCode := st.Code(a)
+				if hasCode != wantHasCode || !bytes.Equal(code, wantCode) {
+					t.Fatalf("step %d: code mismatch", step)
+				}
+				for _, k := range keys {
+					if st.GetStorage(a, k) != model.stor[a][k] {
+						t.Fatalf("step %d: storage mismatch", step)
+					}
+				}
+				exists := wantHasCode || ok
+				if st.AccountExists(a) != exists {
+					t.Fatalf("step %d: existence mismatch (want %v)", step, exists)
+				}
+			}
+		}
+		// Periodically fold the overlay into its base and stack a new one,
+		// exercising commit mid-sequence rather than only at the end.
+		if step%500 == 499 {
+			ov.commit()
+			ov = newShardState(ovBase)
+			targets[1] = ov
+		}
+	}
+	ov.commit()
+
+	flatRoot := flat.Root()
+	if ovBase.Root() != flatRoot {
+		t.Fatal("overlay-committed state root diverges from flat state")
+	}
+	if snap.Root() != flatRoot {
+		t.Fatal("snapshot-fork state root diverges from flat state")
+	}
+	if snapBase.Root() != (newState()).Root() {
+		t.Fatal("mutating a snapshot fork leaked into its base")
+	}
+}

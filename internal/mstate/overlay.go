@@ -1,0 +1,79 @@
+package mstate
+
+// Overlay is a speculative write set over a base trie: a private fork
+// that absorbs reads and writes, plus a journal of the final value of
+// every touched key so the whole overlay can be replayed onto the base
+// (or an ancestor overlay) in one pass at commit time. Discarding an
+// overlay is dropping the pointer — the base never saw it.
+//
+// Overlays nest: Fork() opens a child whose writes fold into the parent
+// via Adopt(), which is how a per-group transaction rolls back inside a
+// per-shard overlay without disturbing the shard's other groups.
+type Overlay struct {
+	fork   *Trie
+	writes map[Key]write
+}
+
+// write is the journaled final state of one key: a value, or a delete.
+type write struct {
+	val []byte
+	del bool
+}
+
+// NewOverlay opens an overlay over base. The base must not be mutated
+// while the overlay is live (snapshot it first if needed).
+func NewOverlay(base *Trie) *Overlay {
+	return &Overlay{fork: base.Snapshot(), writes: make(map[Key]write)}
+}
+
+// Get reads through the overlay (own writes shadow the base).
+func (o *Overlay) Get(k Key) ([]byte, bool) { return o.fork.Get(k) }
+
+// Has reads through the overlay.
+func (o *Overlay) Has(k Key) bool { return o.fork.Has(k) }
+
+// Len is the number of live keys seen through the overlay.
+func (o *Overlay) Len() int { return o.fork.Len() }
+
+// Put writes k=v into the overlay only.
+func (o *Overlay) Put(k Key, v []byte) {
+	o.fork.Put(k, v)
+	stored, _ := o.fork.Get(k) // journal the trie-owned copy
+	o.writes[k] = write{val: stored}
+}
+
+// Delete removes k in the overlay only.
+func (o *Overlay) Delete(k Key) {
+	o.fork.Delete(k)
+	o.writes[k] = write{del: true}
+}
+
+// Fork opens a child overlay whose writes are invisible to o until
+// Adopt.
+func (o *Overlay) Fork() *Overlay { return NewOverlay(o.fork) }
+
+// Adopt folds a committed child overlay's writes into o. The child must
+// have been created by o.Fork and must not be used afterwards.
+func (o *Overlay) Adopt(child *Overlay) {
+	o.fork = child.fork.Snapshot()
+	for k, w := range child.writes {
+		o.writes[k] = w
+	}
+}
+
+// CommitTo replays the journal onto dst, which is normally the base the
+// overlay was opened on (after any sibling overlays were checked for
+// disjointness). Replay order does not matter: the journal holds final
+// values, one entry per key.
+func (o *Overlay) CommitTo(dst *Trie) {
+	for k, w := range o.writes {
+		if w.del {
+			dst.Delete(k)
+		} else {
+			dst.Put(k, w.val)
+		}
+	}
+}
+
+// Touched returns the number of distinct keys written or deleted.
+func (o *Overlay) Touched() int { return len(o.writes) }

@@ -1,0 +1,146 @@
+package mstate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// NodeStore is the persistence seam: content-addressed node storage,
+// keyed by node hash. The in-memory MemStore implements it today; a
+// disk backend only needs these two methods because the trie encodes
+// nodes into self-contained byte records.
+type NodeStore interface {
+	// PutNode stores enc under its hash h. Stores are idempotent:
+	// equal hashes carry equal encodings.
+	PutNode(h Hash, enc []byte)
+	// GetNode returns the encoding stored under h.
+	GetNode(h Hash) ([]byte, bool)
+}
+
+// MemStore is the in-memory NodeStore.
+type MemStore struct {
+	nodes map[Hash][]byte
+}
+
+// NewMemStore returns an empty MemStore.
+func NewMemStore() *MemStore { return &MemStore{nodes: make(map[Hash][]byte)} }
+
+// PutNode implements NodeStore.
+func (m *MemStore) PutNode(h Hash, enc []byte) {
+	if _, ok := m.nodes[h]; ok {
+		return
+	}
+	cp := make([]byte, len(enc))
+	copy(cp, enc)
+	m.nodes[h] = cp
+}
+
+// GetNode implements NodeStore.
+func (m *MemStore) GetNode(h Hash) ([]byte, bool) {
+	enc, ok := m.nodes[h]
+	return enc, ok
+}
+
+// Len is the number of stored nodes.
+func (m *MemStore) Len() int { return len(m.nodes) }
+
+// Commit writes every node reachable from t's root into store and
+// returns the root hash. Shared subtrees are written once (the store
+// is content-addressed, and already-present hashes short-circuit).
+func (t *Trie) Commit(store NodeStore) Hash {
+	if t.root == nil {
+		return emptyRoot
+	}
+	commitNode(t.root, store)
+	return t.root.hash()
+}
+
+func commitNode(n node, store NodeStore) Hash {
+	h := n.hash()
+	if _, ok := store.GetNode(h); ok {
+		return h // whole subtree already persisted
+	}
+	switch cur := n.(type) {
+	case *leaf:
+		enc := make([]byte, 0, 1+32+len(cur.val))
+		enc = append(enc, tagLeaf)
+		enc = append(enc, cur.key[:]...)
+		enc = append(enc, cur.val...)
+		store.PutNode(h, enc)
+	case *branch:
+		mask := cur.mask()
+		enc := make([]byte, 0, 3+32*bits.OnesCount16(mask))
+		enc = append(enc, tagBranch, byte(mask>>8), byte(mask))
+		for _, c := range cur.children {
+			if c != nil {
+				ch := commitNode(c, store)
+				enc = append(enc, ch[:]...)
+			}
+		}
+		store.PutNode(h, enc)
+	}
+	return h
+}
+
+// Load reconstructs the trie rooted at root from store. The empty root
+// loads as an empty trie.
+func Load(store NodeStore, root Hash) (*Trie, error) {
+	if root == emptyRoot {
+		return New(), nil
+	}
+	n, count, err := loadNode(store, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Trie{root: n, count: count}, nil
+}
+
+func loadNode(store NodeStore, h Hash) (node, int, error) {
+	enc, ok := store.GetNode(h)
+	if !ok {
+		return nil, 0, fmt.Errorf("mstate: missing node %x", h[:8])
+	}
+	if len(enc) == 0 {
+		return nil, 0, fmt.Errorf("mstate: empty node encoding for %x", h[:8])
+	}
+	switch enc[0] {
+	case tagLeaf:
+		if len(enc) < 1+32 {
+			return nil, 0, fmt.Errorf("mstate: short leaf encoding for %x", h[:8])
+		}
+		l := &leaf{}
+		copy(l.key[:], enc[1:33])
+		l.val = append([]byte(nil), enc[33:]...)
+		return l, 1, nil
+	case tagBranch:
+		if len(enc) < 3 {
+			return nil, 0, fmt.Errorf("mstate: short branch encoding for %x", h[:8])
+		}
+		mask := binary.BigEndian.Uint16(enc[1:3])
+		want := 3 + 32*bits.OnesCount16(mask)
+		if len(enc) != want {
+			return nil, 0, fmt.Errorf("mstate: branch encoding for %x has %d bytes, want %d", h[:8], len(enc), want)
+		}
+		b := &branch{}
+		off := 3
+		count := 0
+		for i := 0; i < 16; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			var ch Hash
+			copy(ch[:], enc[off:off+32])
+			off += 32
+			child, n, err := loadNode(store, ch)
+			if err != nil {
+				return nil, 0, err
+			}
+			b.children[i] = child
+			count += n
+		}
+		return b, count, nil
+	default:
+		return nil, 0, fmt.Errorf("mstate: unknown node tag 0x%02x for %x", enc[0], h[:8])
+	}
+}

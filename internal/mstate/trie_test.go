@@ -1,0 +1,317 @@
+package mstate
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func k(s string) Key { return KeyOf("test", []byte(s)) }
+
+func TestPutGetDelete(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get(k("a")); ok {
+		t.Fatal("empty trie claims a key")
+	}
+	tr.Put(k("a"), []byte("1"))
+	tr.Put(k("b"), []byte("2"))
+	tr.Put(k("a"), []byte("1x"))
+	if got, _ := tr.Get(k("a")); !bytes.Equal(got, []byte("1x")) {
+		t.Fatalf("a = %q, want 1x", got)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	tr.Delete(k("a"))
+	if tr.Has(k("a")) {
+		t.Fatal("deleted key still present")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tr.Len())
+	}
+	tr.Delete(k("missing")) // no-op
+	if tr.Len() != 1 {
+		t.Fatalf("len after deleting missing key = %d, want 1", tr.Len())
+	}
+}
+
+func TestEmptyValueVsAbsent(t *testing.T) {
+	tr := New()
+	tr.Put(k("a"), nil)
+	if v, ok := tr.Get(k("a")); !ok || len(v) != 0 {
+		t.Fatalf("empty value not stored: %v %v", v, ok)
+	}
+	r1 := tr.Root()
+	tr.Delete(k("a"))
+	if tr.Root() == r1 {
+		t.Fatal("root unchanged after delete of empty-valued key")
+	}
+	if tr.Root() != (Hash{}) {
+		t.Fatal("empty trie root is not the zero hash")
+	}
+}
+
+// The root must be a pure function of the key/value set, independent of
+// the order of insertions and interleaved deletions.
+func TestRootHistoryIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]Key, 64)
+	for i := range keys {
+		keys[i] = k(fmt.Sprintf("key-%d", i))
+	}
+	build := func(perm []int) Hash {
+		tr := New()
+		// Insert everything in permuted order, plus churn: write and
+		// delete a disjoint set of scratch keys along the way.
+		for j, idx := range perm {
+			tr.Put(k(fmt.Sprintf("scratch-%d", j)), []byte("tmp"))
+			tr.Put(keys[idx], []byte(fmt.Sprintf("val-%d", idx)))
+		}
+		for j := range perm {
+			tr.Delete(k(fmt.Sprintf("scratch-%d", j)))
+		}
+		return tr.Root()
+	}
+	perm := rng.Perm(len(keys))
+	want := build(perm)
+	for trial := 0; trial < 5; trial++ {
+		if got := build(rng.Perm(len(keys))); got != want {
+			t.Fatalf("trial %d: root %x != %x under different history", trial, got[:8], want[:8])
+		}
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	tr := New()
+	tr.Put(k("a"), []byte("1"))
+	snap := tr.Snapshot()
+	tr.Put(k("a"), []byte("2"))
+	tr.Put(k("b"), []byte("3"))
+	snap.Delete(k("a"))
+
+	if got, _ := tr.Get(k("a")); !bytes.Equal(got, []byte("2")) {
+		t.Fatalf("parent a = %q, want 2", got)
+	}
+	if snap.Has(k("a")) || snap.Has(k("b")) {
+		t.Fatal("snapshot observed parent mutations")
+	}
+	if tr.Len() != 2 || snap.Len() != 0 {
+		t.Fatalf("len parent=%d snap=%d, want 2 and 0", tr.Len(), snap.Len())
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	tr := New()
+	v := []byte("mutable")
+	tr.Put(k("a"), v)
+	v[0] = 'X'
+	if got, _ := tr.Get(k("a")); !bytes.Equal(got, []byte("mutable")) {
+		t.Fatalf("trie aliased caller slice: %q", got)
+	}
+}
+
+func TestOverlay(t *testing.T) {
+	base := New()
+	base.Put(k("a"), []byte("1"))
+	base.Put(k("b"), []byte("2"))
+
+	ov := NewOverlay(base)
+	ov.Put(k("a"), []byte("10"))
+	ov.Delete(k("b"))
+	ov.Put(k("c"), []byte("30"))
+
+	if got, _ := ov.Get(k("a")); !bytes.Equal(got, []byte("10")) {
+		t.Fatalf("overlay a = %q", got)
+	}
+	if ov.Has(k("b")) {
+		t.Fatal("overlay sees deleted key")
+	}
+	// Base untouched until commit.
+	if got, _ := base.Get(k("a")); !bytes.Equal(got, []byte("1")) {
+		t.Fatalf("base a = %q before commit", got)
+	}
+	if ov.Touched() != 3 {
+		t.Fatalf("touched = %d, want 3", ov.Touched())
+	}
+
+	ov.CommitTo(base)
+	if got, _ := base.Get(k("a")); !bytes.Equal(got, []byte("10")) {
+		t.Fatalf("base a = %q after commit", got)
+	}
+	if base.Has(k("b")) {
+		t.Fatal("base kept deleted key after commit")
+	}
+	if got, _ := base.Get(k("c")); !bytes.Equal(got, []byte("30")) {
+		t.Fatalf("base c = %q after commit", got)
+	}
+}
+
+func TestOverlayForkAdoptAndDiscard(t *testing.T) {
+	base := New()
+	base.Put(k("a"), []byte("1"))
+	ov := NewOverlay(base)
+	ov.Put(k("b"), []byte("2"))
+
+	// A discarded child leaves the parent untouched.
+	child := ov.Fork()
+	child.Put(k("a"), []byte("bad"))
+	child.Delete(k("b"))
+	if got, _ := ov.Get(k("a")); !bytes.Equal(got, []byte("1")) {
+		t.Fatalf("parent overlay a = %q after child writes", got)
+	}
+
+	// An adopted child's writes land in the parent and survive commit.
+	child2 := ov.Fork()
+	child2.Put(k("a"), []byte("good"))
+	ov.Adopt(child2)
+	if got, _ := ov.Get(k("a")); !bytes.Equal(got, []byte("good")) {
+		t.Fatalf("parent overlay a = %q after adopt", got)
+	}
+	ov.CommitTo(base)
+	if got, _ := base.Get(k("a")); !bytes.Equal(got, []byte("good")) {
+		t.Fatalf("base a = %q after commit", got)
+	}
+	if got, _ := base.Get(k("b")); !bytes.Equal(got, []byte("2")) {
+		t.Fatalf("base b = %q after commit", got)
+	}
+}
+
+func TestCommitLoadRoundTrip(t *testing.T) {
+	tr := New()
+	for i := 0; i < 300; i++ {
+		tr.Put(k(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	tr.Delete(k("k7"))
+	store := NewMemStore()
+	root := tr.Commit(store)
+	if root != tr.Root() {
+		t.Fatal("commit returned a different root")
+	}
+
+	got, err := Load(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root() != root {
+		t.Fatalf("loaded root %x != committed %x", got.Root(), root)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("loaded len %d != %d", got.Len(), tr.Len())
+	}
+	if got.Has(k("k7")) {
+		t.Fatal("deleted key resurrected by load")
+	}
+	if v, _ := got.Get(k("k42")); !bytes.Equal(v, []byte("v42")) {
+		t.Fatalf("loaded k42 = %q", v)
+	}
+
+	// A second commit of a mutated fork only adds the changed paths.
+	before := store.Len()
+	fork := tr.Snapshot()
+	fork.Put(k("k1"), []byte("patched"))
+	fork.Commit(store)
+	if added := store.Len() - before; added <= 0 || added > 70 {
+		t.Fatalf("incremental commit added %d nodes; shared subtrees not reused", added)
+	}
+
+	if _, err := Load(NewMemStore(), root); err == nil {
+		t.Fatal("load from an empty store should fail")
+	}
+	empty, err := Load(store, Hash{})
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty-root load: %v len=%d", err, empty.Len())
+	}
+}
+
+// Randomized model check: the trie must agree with a plain map under
+// mixed puts, deletes, snapshots and overlay commits.
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := New()
+	model := map[Key]string{}
+	keys := make([]Key, 200)
+	for i := range keys {
+		keys[i] = k(fmt.Sprintf("r%d", i))
+	}
+	check := func(step int) {
+		if tr.Len() != len(model) {
+			t.Fatalf("step %d: len %d != model %d", step, tr.Len(), len(model))
+		}
+		for _, kk := range keys {
+			got, ok := tr.Get(kk)
+			want, wok := model[kk]
+			if ok != wok || (ok && string(got) != want) {
+				t.Fatalf("step %d: key %x got %q/%v want %q/%v", step, kk[:4], got, ok, want, wok)
+			}
+		}
+	}
+	for step := 0; step < 3000; step++ {
+		kk := keys[rng.Intn(len(keys))]
+		switch rng.Intn(10) {
+		case 0, 1:
+			tr.Delete(kk)
+			delete(model, kk)
+		case 2: // batch via overlay
+			ov := NewOverlay(tr)
+			for j := 0; j < 5; j++ {
+				ok := keys[rng.Intn(len(keys))]
+				if rng.Intn(3) == 0 {
+					ov.Delete(ok)
+					delete(model, ok)
+				} else {
+					v := fmt.Sprintf("ov%d-%d", step, j)
+					ov.Put(ok, []byte(v))
+					model[ok] = v
+				}
+			}
+			ov.CommitTo(tr)
+		default:
+			v := fmt.Sprintf("v%d", step)
+			tr.Put(kk, []byte(v))
+			model[kk] = v
+		}
+		if step%500 == 0 {
+			check(step)
+		}
+	}
+	check(-1)
+
+	// Rebuild from the model alone: identical root.
+	fresh := New()
+	for kk, v := range model {
+		fresh.Put(kk, []byte(v))
+	}
+	if fresh.Root() != tr.Root() {
+		t.Fatalf("rebuilt root %x != churned root %x", fresh.Root(), tr.Root())
+	}
+}
+
+// Concurrent Root() on snapshots sharing unhashed nodes must be safe
+// (exercised under -race) and agree.
+func TestConcurrentRootHashing(t *testing.T) {
+	tr := New()
+	for i := 0; i < 2000; i++ {
+		tr.Put(k(fmt.Sprintf("c%d", i)), []byte{byte(i)})
+	}
+	snaps := make([]*Trie, 8)
+	for i := range snaps {
+		snaps[i] = tr.Snapshot()
+	}
+	roots := make([]Hash, len(snaps))
+	var wg sync.WaitGroup
+	for i, s := range snaps {
+		wg.Add(1)
+		go func(i int, s *Trie) {
+			defer wg.Done()
+			roots[i] = s.Root()
+		}(i, s)
+	}
+	wg.Wait()
+	for i := 1; i < len(roots); i++ {
+		if roots[i] != roots[0] {
+			t.Fatalf("snapshot %d root diverged", i)
+		}
+	}
+}

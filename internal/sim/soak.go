@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"time"
 
 	"agnopol/internal/algorand"
@@ -70,6 +71,17 @@ type SoakResult struct {
 	// Digest fingerprints the chain's end state: two runs of the same spec
 	// must produce the same digest regardless of Shards or GOMAXPROCS.
 	Digest chain.Hash32
+	// StateRoot is the world-state Merkle root at the end of the run —
+	// a pure function of the live key/value set, so runs that differ only
+	// in scheduling must agree on it.
+	StateRoot chain.Hash32
+
+	// HeapBytes is the live heap after a forced GC at the end of the run;
+	// BytesPerUser divides it by Users. With block retention bounded, the
+	// quotient stays flat as users grow — memory tracks live state, not
+	// history.
+	HeapBytes    uint64
+	BytesPerUser float64
 }
 
 // TxsPerSecWall is the headline throughput number: included transactions
@@ -94,27 +106,38 @@ func (r *SoakResult) TxsPerSecSimulated() float64 {
 // identifier. Distinct codes are all the contract requires.
 func soakAreaCode(i int) string { return fmt.Sprintf("7H36SOAK+%03X", i) }
 
+// soakRetention bounds how many blocks (and their receipts) a soak chain
+// keeps resident — enough for any confirmation depth, small enough that a
+// million-user run's memory is set by live state, not by history.
+const soakRetention = 16
+
 // newSoakConnector builds the chain under soak. EVM presets get their
 // ambient congestion traffic trimmed so the measured workload — not the
 // synthetic background — fills the blocks; the congestion stream stays on,
-// seeded, and deterministic.
-func newSoakConnector(name ChainName, seed uint64) (core.Connector, error) {
+// seeded, and deterministic. The block gas limit scales with the user
+// count so a round's check-ins fit a bounded number of blocks — at the
+// paper's scales (≤ a few hundred users) the preset limit already
+// dominates and nothing changes.
+func newSoakConnector(spec SoakSpec) (core.Connector, error) {
 	trim := func(cfg eth.Config) eth.Config {
 		cfg.CongestionMeanGas = 1_000_000
 		cfg.SpikeProb = 0
+		if scaled := uint64(spec.Users) * 200_000; scaled > cfg.BlockGasLimit {
+			cfg.BlockGasLimit = scaled
+		}
 		return cfg
 	}
-	switch name {
+	switch spec.Chain {
 	case ChainRopsten:
-		return core.NewEVMConnector(eth.NewChain(trim(eth.Ropsten()), seed)), nil
+		return core.NewEVMConnector(eth.NewChain(trim(eth.Ropsten()), spec.Seed)), nil
 	case ChainGoerli:
-		return core.NewEVMConnector(eth.NewChain(trim(eth.Goerli()), seed)), nil
+		return core.NewEVMConnector(eth.NewChain(trim(eth.Goerli()), spec.Seed)), nil
 	case ChainPolygon:
-		return core.NewEVMConnector(eth.NewChain(trim(eth.PolygonMumbai()), seed)), nil
+		return core.NewEVMConnector(eth.NewChain(trim(eth.PolygonMumbai()), spec.Seed)), nil
 	case ChainAlgorand:
-		return core.NewAlgorandConnector(algorand.NewChain(algorand.Testnet(), seed)), nil
+		return core.NewAlgorandConnector(algorand.NewChain(algorand.Testnet(), spec.Seed)), nil
 	default:
-		return nil, fmt.Errorf("sim: unknown chain %q", name)
+		return nil, fmt.Errorf("sim: unknown chain %q", spec.Chain)
 	}
 }
 
@@ -132,7 +155,7 @@ func RunSoak(spec SoakSpec) (*SoakResult, error) {
 	if spec.Shards < 1 {
 		spec.Shards = 1
 	}
-	conn, err := newSoakConnector(spec.Chain, spec.Seed)
+	conn, err := newSoakConnector(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -156,23 +179,33 @@ func RunSoak(spec SoakSpec) (*SoakResult, error) {
 
 	// Deployment phase: one contract per area, registered for routing.
 	// This happens before the clock starts — the soak measures sustained
-	// load, not setup.
+	// load, not setup. EVM chains deploy through the batched submission
+	// path: at 100k+ areas, one signed deployment per block (the
+	// connector's submit-and-wait) would take days of wall clock.
 	reg := core.NewAreaRegistry(spec.Shards)
-	deployer, err := conn.NewAccount(100)
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < spec.Areas; i++ {
-		area := soakAreaCode(i)
-		h, _, err := conn.Deploy(deployer, compiled, []lang.Value{
-			lang.BytesValue([]byte(area)),
-		})
+	switch c := conn.(type) {
+	case *core.EVMConnector:
+		err = deployAreasEVM(spec, c, reg, compiled)
+	default:
+		var deployer *core.Account
+		deployer, err = conn.NewAccount(100)
 		if err != nil {
-			return nil, fmt.Errorf("sim: deploy area %s: %w", area, err)
-		}
-		if err := reg.Register(area, h); err != nil {
 			return nil, err
 		}
+		for i := 0; i < spec.Areas && err == nil; i++ {
+			area := soakAreaCode(i)
+			h, _, derr := conn.Deploy(deployer, compiled, []lang.Value{
+				lang.BytesValue([]byte(area)),
+			})
+			if derr != nil {
+				err = fmt.Errorf("sim: deploy area %s: %w", area, derr)
+				break
+			}
+			err = reg.Register(area, h)
+		}
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	res := &SoakResult{
@@ -190,6 +223,18 @@ func RunSoak(spec SoakSpec) (*SoakResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Live-heap measurement, outside the timed window: force a collection
+	// so HeapAlloc reflects reachable state, not garbage awaiting GC. The
+	// KeepAlives below stop liveness analysis from letting the chain and
+	// registry be collected before the reading — without them the number
+	// measures an empty process, not the world state.
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	res.HeapBytes = m.HeapAlloc
+	res.BytesPerUser = float64(m.HeapAlloc) / float64(spec.Users)
+	runtime.KeepAlive(conn)
+	runtime.KeepAlive(reg)
 	return res, nil
 }
 
@@ -205,10 +250,93 @@ func checkinGasLimit(compiled *lang.Compiled) uint64 {
 	return eth.DefaultGasLimit
 }
 
+// deployAreasEVM publishes one check-in contract per area through the
+// chain's batched submission path: sequential deployer nonces keep the
+// deterministic contract addresses computable up front, so handles are
+// registered before the transactions even land. The deployer is funded
+// proportionally to the area count — selection reserves maxFee×gasLimit
+// per pending deployment up front.
+func deployAreasEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, compiled *lang.Compiled) error {
+	c := conn.Chain()
+	c.SetRetention(soakRetention)
+	deployerAcct, err := conn.NewAccount(float64(spec.Areas) + 100)
+	if err != nil {
+		return err
+	}
+	deployer := deployerAcct.EVM()
+	gasLimit := compiled.Analysis.EVMDeployGas + compiled.Analysis.EVMDeployGas/4
+	tip := big.NewInt(2_000_000_000)
+	// Headroom for the base-fee climb across the (few) full deploy blocks.
+	maxFee := new(big.Int).Add(new(big.Int).Mul(c.BaseFee(), big.NewInt(8)), tip)
+
+	const deployBatch = 4096
+	txs := make([]*eth.Tx, 0, deployBatch)
+	flush := func() error {
+		if len(txs) == 0 {
+			return nil
+		}
+		_, errs := c.SubmitBatch(txs)
+		for i, err := range errs {
+			if err != nil {
+				return fmt.Errorf("sim: deploy tx %d: %w", i, err)
+			}
+		}
+		txs = txs[:0]
+		return nil
+	}
+	for i := 0; i < spec.Areas; i++ {
+		area := soakAreaCode(i)
+		ctorData, err := lang.EncodeArgsEVM(lang.CtorMethodName, compiled.Program.Ctor.Params,
+			[]lang.Value{lang.BytesValue([]byte(area))})
+		if err != nil {
+			return err
+		}
+		nonce := uint64(i)
+		tx := &eth.Tx{
+			From: deployer.Address, Nonce: nonce,
+			Value: big.NewInt(0), Data: eth.PackDeployData(compiled.EVMCode, ctorData),
+			GasLimit: gasLimit, MaxFee: maxFee, MaxTip: tip,
+		}
+		tx.Sign(deployer)
+		txs = append(txs, tx)
+		if len(txs) == deployBatch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		h := &core.Handle{
+			Connector: conn.Name(),
+			EVMAddr:   chain.ContractAddress(deployer.Address, nonce),
+			Compiled:  compiled,
+		}
+		if err := reg.Register(area, h); err != nil {
+			return err
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	for i := 0; i < spec.Areas+200 && c.PendingCount() > 0; i++ {
+		c.Step()
+	}
+	if n := c.PendingCount(); n != 0 {
+		return fmt.Errorf("sim: %d deployments never included", n)
+	}
+	// Every registered handle must actually hold code.
+	for _, area := range reg.Areas() {
+		h, _ := reg.Lookup(area)
+		if _, ok := c.ContractCode(h.EVMAddr); !ok {
+			return fmt.Errorf("sim: deployment of area %s reverted", area)
+		}
+	}
+	return nil
+}
+
 // soakEVM runs the load phase against an Ethereum-family chain.
 func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, compiled *lang.Compiled, res *SoakResult) error {
 	c := conn.Chain()
 	c.SetShards(spec.Shards)
+	c.SetRetention(soakRetention)
 	api := compiled.Program.FindAPI("checkin")
 	if api == nil {
 		return fmt.Errorf("sim: checkin API missing from compiled contract")
@@ -283,6 +411,7 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 		res.ParallelBatches = st.ParallelBatches
 	}
 	res.Digest = c.Digest()
+	res.StateRoot = c.StateRoot()
 	return nil
 }
 
@@ -290,6 +419,7 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaRegistry, res *SoakResult) error {
 	c := conn.Chain()
 	c.SetShards(spec.Shards)
+	c.SetRetention(soakRetention)
 
 	users := make([]*algorand.Account, spec.Users)
 	targets := make([]uint64, spec.Users)
@@ -360,5 +490,6 @@ func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaReg
 		res.ParallelBatches = st.ParallelBatches
 	}
 	res.Digest = c.Digest()
+	res.StateRoot = c.StateRoot()
 	return nil
 }

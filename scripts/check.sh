@@ -49,6 +49,11 @@ echo "== sharded soak =="
 # (bit-identity checked inside); leaves BENCH_throughput.json for CI to
 # gate against the committed baseline and upload as an artifact.
 go run ./cmd/polbench -soak -areas 8 -soakusers 32 -soakrounds 15 -shards 4 -benchout BENCH_throughput.json > /dev/null
+# State gate on the smoke record: serial and sharded runs must agree on
+# the world-state Merkle root. The memory bound is loose here because at
+# 32 users fixed process heap dominates bytes/user; the default 8192
+# bound applies to the committed full-scale soak record.
+go run ./cmd/benchgate -kind state -fresh BENCH_throughput.json -maxbytesperuser 2000000
 
 echo "== serve smoke =="
 # Live-telemetry smoke: a soak with the HTTP exposition server attached,
