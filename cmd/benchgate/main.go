@@ -6,6 +6,7 @@
 //	benchgate -kind throughput -fresh BENCH_throughput.json -baseline ci/baseline/BENCH_throughput.json
 //	benchgate -kind health -fresh HEALTH_report.json
 //	benchgate -kind state -fresh BENCH_throughput.json
+//	benchgate -kind persist -fresh BENCH_persist.json
 //
 // For -kind vm every workload's u256 ns/op may regress at most -tolerance
 // (default 25%) against the baseline. For -kind throughput the record must
@@ -17,7 +18,10 @@
 // rules attached) with a healthy verdict; -baseline is not used. For
 // -kind state the record's runs must agree on the world-state Merkle root
 // and stay within -maxbytesperuser of live heap per simulated user;
-// -baseline is not used.
+// -baseline is not used. For -kind persist every chain family's resumed
+// run must be bit-identical (digest, state root, blocks) to its
+// uninterrupted reference and reopen within -maxreopenseconds; -baseline
+// is not used.
 package main
 
 import (
@@ -36,10 +40,12 @@ func main() {
 		minSpeedup = flag.Float64("minspeedup", 1.8, "required sharded-vs-serial speedup when the measurement is valid")
 		minShards  = flag.Int("minshards", 4, "shard count from which -minspeedup is enforced")
 		maxBPU     = flag.Float64("maxbytesperuser", 8192, "allowed live-heap bytes per user for -kind state")
+		maxReopen  = flag.Float64("maxreopenseconds", 30, "allowed restart-from-root wall time for -kind persist")
 	)
 	flag.Parse()
-	if *kind == "" || *fresh == "" || (*baseline == "" && *kind != "health" && *kind != "state") {
-		fmt.Fprintln(os.Stderr, "benchgate: -kind and -fresh are required (-baseline too, except for -kind health and -kind state)")
+	baselineFree := map[string]bool{"health": true, "state": true, "persist": true}
+	if *kind == "" || *fresh == "" || (*baseline == "" && !baselineFree[*kind]) {
+		fmt.Fprintln(os.Stderr, "benchgate: -kind and -fresh are required (-baseline too, except for -kind health, state and persist)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -61,8 +67,10 @@ func main() {
 		problems, err = gateHealth(*fresh)
 	case "state":
 		problems, err = gateState(*fresh, *maxBPU)
+	case "persist":
+		problems, err = gatePersist(*fresh, *maxReopen)
 	default:
-		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want vm, throughput, health or state)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want vm, throughput, health, state or persist)\n", *kind)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -287,6 +295,69 @@ func gateThroughput(freshPath, basePath string, tol, minSpeedup float64, minShar
 				"sharded throughput regressed %.1f%% (fresh %.0f txs/sec vs baseline %.0f, tolerance %.0f%%)",
 				100*(baseRun.TxsPerSecWall/freshRun.TxsPerSecWall-1),
 				freshRun.TxsPerSecWall, baseRun.TxsPerSecWall, 100*tol))
+		}
+	}
+	return problems, nil
+}
+
+// persistRun mirrors one runs[] entry of BENCH_persist.json.
+type persistRun struct {
+	Chain            string  `json:"chain"`
+	DigestFull       string  `json:"digest_full"`
+	DigestResumed    string  `json:"digest_resumed"`
+	StateRootFull    string  `json:"state_root_full"`
+	StateRootResumed string  `json:"state_root_resumed"`
+	Match            bool    `json:"match"`
+	ReopenSeconds    float64 `json:"reopen_seconds"`
+}
+
+// persistRecord mirrors the fields of BENCH_persist.json the gate reads.
+type persistRecord struct {
+	AllMatch bool         `json:"all_match"`
+	Runs     []persistRun `json:"runs"`
+}
+
+// gatePersist checks the kill-and-resume record: every chain family's
+// resumed run must be bit-identical to its uninterrupted reference, and
+// the restart-from-root reopen must stay within the wall-time bound. The
+// digests are re-compared here rather than trusting the match flag alone —
+// a record whose flag contradicts its own digests must not pass.
+func gatePersist(freshPath string, maxReopen float64) ([]string, error) {
+	var rec persistRecord
+	if err := readJSON(freshPath, &rec); err != nil {
+		return nil, err
+	}
+	var problems []string
+	if len(rec.Runs) == 0 {
+		return append(problems, "record has no runs"), nil
+	}
+	if !rec.AllMatch {
+		problems = append(problems, "all_match is false: at least one resumed run diverged from its reference")
+	}
+	for _, run := range rec.Runs {
+		if run.DigestFull == "" || run.DigestResumed == "" {
+			problems = append(problems, fmt.Sprintf(
+				"%s: record carries no digest pair: bit-identity was never checked", run.Chain))
+			continue
+		}
+		if run.DigestFull != run.DigestResumed {
+			problems = append(problems, fmt.Sprintf(
+				"%s: resumed digest %.16s... diverges from uninterrupted %.16s...",
+				run.Chain, run.DigestResumed, run.DigestFull))
+		}
+		if run.StateRootFull != run.StateRootResumed {
+			problems = append(problems, fmt.Sprintf(
+				"%s: resumed state root %.16s... diverges from uninterrupted %.16s...",
+				run.Chain, run.StateRootResumed, run.StateRootFull))
+		}
+		if !run.Match {
+			problems = append(problems, fmt.Sprintf(
+				"%s: match is false: the resumed run is not bit-identical to its reference", run.Chain))
+		}
+		if run.ReopenSeconds > maxReopen {
+			problems = append(problems, fmt.Sprintf(
+				"%s: restart-from-root took %.1fs, above the %.0fs bound",
+				run.Chain, run.ReopenSeconds, maxReopen))
 		}
 	}
 	return problems, nil

@@ -305,6 +305,96 @@ func TestGateState(t *testing.T) {
 	}
 }
 
+func persistRec(allMatch bool, runs ...persistRun) persistRecord {
+	return persistRecord{AllMatch: allMatch, Runs: runs}
+}
+
+func persistOK(chain string, reopen float64) persistRun {
+	return persistRun{
+		Chain: chain, Match: true, ReopenSeconds: reopen,
+		DigestFull: "d1", DigestResumed: "d1",
+		StateRootFull: "r1", StateRootResumed: "r1",
+	}
+}
+
+func TestGatePersist(t *testing.T) {
+	dir := t.TempDir()
+	diverged := persistOK("goerli", 0.1)
+	diverged.DigestResumed = "d2"
+	diverged.Match = false
+	rootOnly := persistOK("goerli", 0.1)
+	rootOnly.StateRootResumed = "r2"
+	lyingFlag := persistOK("goerli", 0.1)
+	lyingFlag.Match = false
+	noDigest := persistOK("goerli", 0.1)
+	noDigest.DigestFull, noDigest.DigestResumed = "", ""
+	cases := []struct {
+		name  string
+		rec   persistRecord
+		want  int
+		match string
+	}{
+		{
+			name: "bit-identical record passes",
+			rec:  persistRec(true, persistOK("goerli", 0.2), persistOK("algorand", 0.3)),
+			want: 0,
+		},
+		{
+			name:  "empty record fails",
+			rec:   persistRec(true),
+			want:  1,
+			match: "no runs",
+		},
+		{
+			name: "diverged digest fails",
+			// all_match false + digest divergence + match=false: three
+			// problems, the first naming the flag.
+			rec:   persistRec(false, diverged, persistOK("algorand", 0.3)),
+			want:  3,
+			match: "all_match is false",
+		},
+		{
+			name:  "diverged state root alone fails",
+			rec:   persistRec(true, rootOnly),
+			want:  1,
+			match: "state root",
+		},
+		{
+			name:  "match flag contradicting identical digests fails",
+			rec:   persistRec(true, lyingFlag),
+			want:  1,
+			match: "match is false",
+		},
+		{
+			name:  "missing digest pair fails",
+			rec:   persistRec(true, noDigest),
+			want:  1,
+			match: "no digest",
+		},
+		{
+			name:  "slow reopen fails",
+			rec:   persistRec(true, persistOK("goerli", 45)),
+			want:  1,
+			match: "above the 30s bound",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := writeJSON(t, dir, "persist.json", tc.rec)
+			problems, err := gatePersist(fresh, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(problems) != tc.want {
+				t.Fatalf("problems = %v, want %d", problems, tc.want)
+			}
+			if tc.match != "" && !strings.Contains(problems[0], tc.match) {
+				t.Fatalf("problem %q does not mention %q", problems[0], tc.match)
+			}
+		})
+	}
+}
+
 // TestGateHealthRoundTrip feeds the gate a report produced by the real
 // flight recorder, not a hand-built mirror, so the two JSON shapes
 // cannot drift apart silently.

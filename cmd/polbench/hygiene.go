@@ -17,6 +17,9 @@ type hygieneFlags struct {
 	FaultRate                 float64
 	SampleInterval            time.Duration
 	Serve, HealthOut          string
+	StateDir                  string
+	Checkpoint                int
+	Resume, Persist           bool
 }
 
 // runMode reports whether any run-producing mode is selected. -serve and
@@ -24,7 +27,7 @@ type hygieneFlags struct {
 // empty registry forever.
 func (f hygieneFlags) runMode() bool {
 	return f.Tables || f.Figures || f.Analysis || f.Fig != "" ||
-		f.Matrix || f.FaultsProfile != "" || f.VMBench || f.Soak
+		f.Matrix || f.FaultsProfile != "" || f.VMBench || f.Soak || f.Persist
 }
 
 // hygieneProblem returns the first incoherent-flag-combination message, or
@@ -40,22 +43,46 @@ func hygieneProblem(set map[string]bool, f hygieneFlags) string {
 	if set["vmbenchtime"] && !f.VMBench {
 		return "-vmbenchtime requires -vmbench"
 	}
-	for _, name := range []string{"soakchain", "areas", "soakusers", "soakrounds", "shards"} {
-		if set[name] && !f.Soak {
-			return fmt.Sprintf("-%s requires -soak", name)
+	if set["soakchain"] && !f.Soak {
+		return "-soakchain requires -soak (-persist always runs both chain families)"
+	}
+	for _, name := range []string{"areas", "soakusers", "soakrounds", "shards"} {
+		if set[name] && !f.Soak && !f.Persist {
+			return fmt.Sprintf("-%s requires -soak or -persist", name)
 		}
 	}
-	if set["benchout"] && !f.Matrix && !f.VMBench && !f.Soak {
-		return "-benchout only applies to -matrix, -vmbench or -soak runs"
+	if f.StateDir != "" && !f.Soak {
+		return "-statedir requires -soak (-persist manages its own temporary state dirs)"
 	}
-	if set["benchout"] && boolCount(f.Matrix, f.VMBench, f.Soak) > 1 {
-		return "-benchout is ambiguous when more than one of -matrix, -vmbench and -soak run; invoke them separately"
+	if set["checkpoint"] && f.StateDir == "" && !f.Persist {
+		return "-checkpoint requires -statedir or -persist"
+	}
+	if set["checkpoint"] && f.Checkpoint < 1 {
+		return fmt.Sprintf("-checkpoint %d must be >= 1", f.Checkpoint)
+	}
+	if f.Resume && f.StateDir == "" {
+		return "-resume requires -statedir"
+	}
+	if f.Resume {
+		// The manifest is authoritative for the workload shape; an explicit
+		// flag would either be redundant or a silently different workload.
+		for _, name := range []string{"soakchain", "areas", "soakusers", "soakrounds", "seed"} {
+			if set[name] {
+				return fmt.Sprintf("-%s conflicts with -resume: the workload shape comes from the state dir's manifest", name)
+			}
+		}
+	}
+	if set["benchout"] && !f.Matrix && !f.VMBench && !f.Soak && !f.Persist {
+		return "-benchout only applies to -matrix, -vmbench, -soak or -persist runs"
+	}
+	if set["benchout"] && boolCount(f.Matrix, f.VMBench, f.Soak, f.Persist) > 1 {
+		return "-benchout is ambiguous when more than one of -matrix, -vmbench, -soak and -persist run; invoke them separately"
 	}
 	if f.FaultRate < 0 || f.FaultRate > 1 {
 		return fmt.Sprintf("-faultrate %v is outside [0,1]", f.FaultRate)
 	}
 	if f.Serve != "" && !f.runMode() {
-		return "-serve requires a run mode (-tables, -figures, -fig, -matrix, -faults, -vmbench or -soak)"
+		return "-serve requires a run mode (-tables, -figures, -fig, -matrix, -faults, -vmbench, -soak or -persist)"
 	}
 	if set["sampleinterval"] && f.Serve == "" {
 		return "-sampleinterval requires -serve"

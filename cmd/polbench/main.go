@@ -12,6 +12,9 @@
 //	polbench -faults default -faultrate 0.2  # reliability sweep + recovery report
 //	polbench -vmbench                     # VM interpreter micro-benchmarks -> BENCH_vm.json
 //	polbench -soak -areas 8 -shards 4     # sharded soak/load harness -> BENCH_throughput.json
+//	polbench -soak -statedir state/       # persisted soak: checkpoint every -checkpoint rounds -> SOAK_state.json
+//	polbench -soak -statedir state/ -resume  # continue a killed persisted soak from its manifest
+//	polbench -persist                     # kill-and-resume bit-identity benchmark -> BENCH_persist.json
 //	polbench -tables -cpuprofile cpu.out  # profile any run with pprof
 package main
 
@@ -59,6 +62,10 @@ func main() {
 		soakUsers = flag.Int("soakusers", 32, "soak users (K) issuing check-ins every round")
 		soakRound = flag.Int("soakrounds", 20, "soak rounds (T) of sustained load")
 		shards    = flag.Int("shards", 4, "execution shard count for the sharded soak run (vs the serial baseline)")
+		stateDir  = flag.String("statedir", "", "persist the -soak run's state to this directory (crash-safe checkpoints; single run, no serial baseline)")
+		checkEver = flag.Int("checkpoint", 5, "checkpoint every N rounds for -statedir and -persist runs")
+		resumeF   = flag.Bool("resume", false, "resume the -soak run from the committed checkpoint in -statedir")
+		persistF  = flag.Bool("persist", false, "run the kill-and-resume persistence benchmark on both chain families -> BENCH_persist.json")
 		serveAddr = flag.String("serve", "", "serve live telemetry (/metrics, /timeseries, /trace, /health, /debug/pprof) on this address during the run")
 		sampleInt = flag.Duration("sampleinterval", 250*time.Millisecond, "wall-clock background sampling interval for -serve")
 		serveHold = flag.Duration("servehold", 0, "keep the -serve endpoint up this long after the runs (POST /quitquitquit releases it early)")
@@ -81,6 +88,7 @@ func main() {
 		Matrix: *matrix, FaultsProfile: *faultsPro, VMBench: *vmbenchF, Soak: *soak,
 		FaultRate: *faultRate, SampleInterval: *sampleInt,
 		Serve: *serveAddr, HealthOut: *healthOut,
+		StateDir: *stateDir, Checkpoint: *checkEver, Resume: *resumeF, Persist: *persistF,
 	}); msg != "" {
 		usageErr(msg)
 	}
@@ -92,7 +100,7 @@ func main() {
 		}
 	}
 
-	if !*tables && !*figures && !*analysis && *fig == "" && !*matrix && *faultsPro == "" && !*vmbenchF && !*soak {
+	if !*tables && !*figures && !*analysis && *fig == "" && !*matrix && *faultsPro == "" && !*vmbenchF && !*soak && !*persistF {
 		*tables, *figures, *analysis = true, true, true
 	}
 
@@ -201,10 +209,34 @@ func main() {
 
 	if *soak {
 		out := *benchOut
-		if out == "" {
-			out = "BENCH_throughput.json"
+		if *stateDir != "" {
+			if out == "" {
+				out = "SOAK_state.json"
+			}
+			spec := persistedSoakFlags{
+				Chain: *soakChain, Areas: *areas, Users: *soakUsers, Rounds: *soakRound,
+				Shards: *shards, ShardsSet: setFlags["shards"], Seed: *seed,
+				StateDir: *stateDir, CheckpointEvery: *checkEver, Resume: *resumeF,
+			}
+			if err := runSoakPersisted(spec, out, o, tel, *jsonOut); err != nil {
+				fatal(err)
+			}
+		} else {
+			if out == "" {
+				out = "BENCH_throughput.json"
+			}
+			if err := runSoakMode(*soakChain, *areas, *soakUsers, *soakRound, *shards, *seed, out, o, tel, *jsonOut); err != nil {
+				fatal(err)
+			}
 		}
-		if err := runSoakMode(*soakChain, *areas, *soakUsers, *soakRound, *shards, *seed, out, o, tel, *jsonOut); err != nil {
+	}
+
+	if *persistF {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_persist.json"
+		}
+		if err := runPersistMode(*areas, *soakUsers, *soakRound, *shards, *seed, *checkEver, out, o, tel, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}

@@ -51,6 +51,41 @@ func TestHygieneProblem(t *testing.T) {
 		{"healthout with soak", set("healthout", "soak"), hygieneFlags{HealthOut: "h.json", Soak: true, FaultRate: 0.1}, ""},
 		{"healthout with serve+matrix", set("healthout", "serve", "matrix"),
 			hygieneFlags{HealthOut: "h.json", Serve: ":0", Matrix: true, FaultRate: 0.1}, ""},
+
+		{"statedir without soak", set("statedir"),
+			hygieneFlags{StateDir: "s", FaultRate: 0.1}, "-statedir requires -soak"},
+		{"statedir with persist only", set("persist", "statedir"),
+			hygieneFlags{Persist: true, StateDir: "s", FaultRate: 0.1}, "-statedir requires -soak"},
+		{"statedir with soak", set("soak", "statedir"),
+			hygieneFlags{Soak: true, StateDir: "s", FaultRate: 0.1}, ""},
+		{"checkpoint without statedir or persist", set("soak", "checkpoint"),
+			hygieneFlags{Soak: true, Checkpoint: 5, FaultRate: 0.1}, "-checkpoint requires -statedir or -persist"},
+		{"checkpoint with statedir", set("soak", "statedir", "checkpoint"),
+			hygieneFlags{Soak: true, StateDir: "s", Checkpoint: 5, FaultRate: 0.1}, ""},
+		{"checkpoint with persist", set("persist", "checkpoint"),
+			hygieneFlags{Persist: true, Checkpoint: 5, FaultRate: 0.1}, ""},
+		{"checkpoint below one", set("soak", "statedir", "checkpoint"),
+			hygieneFlags{Soak: true, StateDir: "s", Checkpoint: 0, FaultRate: 0.1}, "must be >= 1"},
+		{"resume without statedir", set("soak", "resume"),
+			hygieneFlags{Soak: true, Resume: true, FaultRate: 0.1}, "-resume requires -statedir"},
+		{"resume with statedir", set("soak", "statedir", "resume"),
+			hygieneFlags{Soak: true, StateDir: "s", Resume: true, FaultRate: 0.1}, ""},
+		{"resume with explicit areas", set("soak", "statedir", "resume", "areas"),
+			hygieneFlags{Soak: true, StateDir: "s", Resume: true, FaultRate: 0.1}, "-areas conflicts with -resume"},
+		{"resume with explicit seed", set("soak", "statedir", "resume", "seed"),
+			hygieneFlags{Soak: true, StateDir: "s", Resume: true, FaultRate: 0.1}, "-seed conflicts with -resume"},
+		{"resume with explicit shards is allowed", set("soak", "statedir", "resume", "shards"),
+			hygieneFlags{Soak: true, StateDir: "s", Resume: true, FaultRate: 0.1}, ""},
+		{"persist is a run mode for serve", set("serve", "persist"),
+			hygieneFlags{Serve: ":0", Persist: true, FaultRate: 0.1}, ""},
+		{"persist with grid flags", set("persist", "areas", "soakrounds"),
+			hygieneFlags{Persist: true, FaultRate: 0.1}, ""},
+		{"soakchain with persist only", set("persist", "soakchain"),
+			hygieneFlags{Persist: true, FaultRate: 0.1}, "-soakchain requires -soak"},
+		{"benchout with persist", set("persist", "benchout"),
+			hygieneFlags{Persist: true, FaultRate: 0.1}, ""},
+		{"benchout ambiguous with soak+persist", set("soak", "persist", "benchout"),
+			hygieneFlags{Soak: true, Persist: true, FaultRate: 0.1}, "ambiguous"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

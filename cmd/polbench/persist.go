@@ -1,0 +1,240 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"agnopol/internal/obs"
+	"agnopol/internal/sim"
+)
+
+// persistedSoakFlags carries the -soak -statedir flag values into
+// runSoakPersisted. ShardsSet distinguishes an explicit -shards from the
+// default: a resume without one inherits the shard count recorded in the
+// manifest (the digest is shard-invariant, so overriding is also legal).
+type persistedSoakFlags struct {
+	Chain           string
+	Areas           int
+	Users           int
+	Rounds          int
+	Shards          int
+	ShardsSet       bool
+	Seed            uint64
+	StateDir        string
+	CheckpointEvery int
+	Resume          bool
+}
+
+// soakStateJSON is the machine-readable SOAK_state.json record of one
+// persisted soak run — the digest and state root a kill-and-resume smoke
+// compares between a reference run and a resumed run.
+type soakStateJSON struct {
+	Chain           string  `json:"chain"`
+	Areas           int     `json:"areas"`
+	Users           int     `json:"users"`
+	Rounds          int     `json:"rounds"`
+	Shards          int     `json:"shards"`
+	Seed            uint64  `json:"seed"`
+	CheckpointEvery int     `json:"checkpoint_every"`
+	Resumed         bool    `json:"resumed"`
+	Stopped         bool    `json:"stopped"`
+	Blocks          uint64  `json:"blocks"`
+	TxsSubmitted    uint64  `json:"txs_submitted"`
+	TxsIncluded     uint64  `json:"txs_included"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	ReopenSeconds   float64 `json:"reopen_seconds"`
+	Digest          string  `json:"digest"`
+	StateRoot       string  `json:"state_root"`
+}
+
+// runSoakPersisted runs a single persisted soak — fresh into -statedir, or
+// resumed from the manifest committed there — and writes the state record.
+// Unlike the plain -soak mode there is no serial-vs-sharded pair: the
+// crash-safety property is checked across processes (reference run vs
+// kill-and-resume), not within one.
+func runSoakPersisted(f persistedSoakFlags, out string, o *obs.Obs, tel *obs.Telemetry, jsonOut bool) error {
+	var spec sim.SoakSpec
+	if f.Resume {
+		// The manifest is authoritative for the workload shape; flag
+		// hygiene already rejected explicit shape flags, so everything but
+		// the shard count stays zero here.
+		spec = sim.SoakSpec{
+			StateDir: f.StateDir, Resume: true, CheckpointEvery: f.CheckpointEvery,
+			Obs: o, Telemetry: tel,
+		}
+		if f.ShardsSet {
+			spec.Shards = f.Shards
+		}
+	} else {
+		spec = sim.SoakSpec{
+			Chain: sim.ChainName(f.Chain), Areas: f.Areas, Users: f.Users,
+			Rounds: f.Rounds, Shards: f.Shards, Seed: f.Seed,
+			StateDir: f.StateDir, CheckpointEvery: f.CheckpointEvery,
+			Obs: o, Telemetry: tel,
+		}
+	}
+	res, err := sim.RunSoak(spec)
+	if err != nil {
+		return fmt.Errorf("soak (persisted): %w", err)
+	}
+	if !jsonOut {
+		verb := "fresh"
+		if res.Resumed {
+			verb = fmt.Sprintf("resumed (reopen %v)", res.ReopenWall.Round(time.Millisecond))
+		}
+		fmt.Printf("Persisted soak — %s, %d areas × %d users × %d rounds, checkpoint every %d, %s\n",
+			res.Chain, res.Areas, res.Users, res.Rounds, f.CheckpointEvery, verb)
+		if res.Stopped {
+			fmt.Printf("  stopped early by StopAfterRounds; state committed to %s\n", f.StateDir)
+		}
+		fmt.Printf("  %d shards: %d txs submitted, %d included, %d blocks in %v\n",
+			res.Shards, res.Submitted, res.Included, res.Blocks, res.Wall.Round(time.Millisecond))
+		fmt.Printf("  digest %x, state root %x\n\n", res.Digest[:8], res.StateRoot[:8])
+	}
+	rec := soakStateJSON{
+		Chain: string(res.Chain), Areas: res.Areas, Users: res.Users,
+		Rounds: res.Rounds, Shards: res.Shards, Seed: res.Seed,
+		CheckpointEvery: f.CheckpointEvery,
+		Resumed:         res.Resumed, Stopped: res.Stopped,
+		Blocks:       res.Blocks,
+		TxsSubmitted: res.Submitted, TxsIncluded: res.Included,
+		WallSeconds: res.Wall.Seconds(), ReopenSeconds: res.ReopenWall.Seconds(),
+		Digest:    fmt.Sprintf("%x", res.Digest[:]),
+		StateRoot: fmt.Sprintf("%x", res.StateRoot[:]),
+	}
+	if err := writeRecord(out, rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "polbench: soak state record written to %s\n", out)
+	return nil
+}
+
+// persistRunJSON is one chain family's kill-and-resume comparison in the
+// persistence record.
+type persistRunJSON struct {
+	Chain            string  `json:"chain"`
+	DigestFull       string  `json:"digest_full"`
+	DigestResumed    string  `json:"digest_resumed"`
+	StateRootFull    string  `json:"state_root_full"`
+	StateRootResumed string  `json:"state_root_resumed"`
+	BlocksFull       uint64  `json:"blocks_full"`
+	BlocksResumed    uint64  `json:"blocks_resumed"`
+	Match            bool    `json:"match"`
+	ReopenSeconds    float64 `json:"reopen_seconds"`
+}
+
+// benchPersistJSON is the machine-readable BENCH_persist.json record: for
+// each chain family, an uninterrupted soak against a stop-at-checkpoint +
+// resume pair over the identical workload, and whether they landed on the
+// same digest, state root and block count.
+type benchPersistJSON struct {
+	Areas           int              `json:"areas"`
+	Users           int              `json:"users"`
+	Rounds          int              `json:"rounds"`
+	Shards          int              `json:"shards"`
+	Seed            uint64           `json:"seed"`
+	CheckpointEvery int              `json:"checkpoint_every"`
+	StopAfterRounds int              `json:"stop_after_rounds"`
+	GOMAXPROCS      int              `json:"gomaxprocs"`
+	NumCPU          int              `json:"num_cpu"`
+	AllMatch        bool             `json:"all_match"`
+	Runs            []persistRunJSON `json:"runs"`
+}
+
+// runPersistMode is the crash-safety benchmark: on each chain family it
+// runs the soak uninterrupted, then again into a temporary state dir
+// stopping mid-run at a checkpoint, then resumes from that checkpoint —
+// and records whether the resumed run is bit-identical to the
+// uninterrupted one. The record is written before any mismatch becomes an
+// error, so CI always has the artifact to upload.
+func runPersistMode(areas, users, rounds, shards int, seed uint64, checkpointEvery int, out string, o *obs.Obs, tel *obs.Telemetry, jsonOut bool) error {
+	stopAfter := rounds / 2
+	if stopAfter < 1 {
+		stopAfter = 1
+	}
+	rec := benchPersistJSON{
+		Areas: areas, Users: users, Rounds: rounds, Shards: shards, Seed: seed,
+		CheckpointEvery: checkpointEvery, StopAfterRounds: stopAfter,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		AllMatch: true,
+	}
+	for _, chain := range []sim.ChainName{sim.ChainGoerli, sim.ChainAlgorand} {
+		spec := sim.SoakSpec{
+			Chain: chain, Areas: areas, Users: users, Rounds: rounds,
+			Shards: shards, Seed: seed, Obs: o, Telemetry: tel,
+		}
+		full, err := sim.RunSoak(spec)
+		if err != nil {
+			return fmt.Errorf("persist (%s, uninterrupted): %w", chain, err)
+		}
+		dir, err := os.MkdirTemp("", "polbench-persist-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		stoppedSpec := spec
+		stoppedSpec.StateDir = dir
+		stoppedSpec.CheckpointEvery = checkpointEvery
+		stoppedSpec.StopAfterRounds = stopAfter
+		if _, err := sim.RunSoak(stoppedSpec); err != nil {
+			return fmt.Errorf("persist (%s, stopped): %w", chain, err)
+		}
+		resumed, err := sim.RunSoak(sim.SoakSpec{
+			StateDir: dir, Resume: true, CheckpointEvery: checkpointEvery,
+			Obs: o, Telemetry: tel,
+		})
+		if err != nil {
+			return fmt.Errorf("persist (%s, resumed): %w", chain, err)
+		}
+		match := resumed.Digest == full.Digest &&
+			resumed.StateRoot == full.StateRoot &&
+			resumed.Blocks == full.Blocks
+		rec.AllMatch = rec.AllMatch && match
+		rec.Runs = append(rec.Runs, persistRunJSON{
+			Chain:            string(chain),
+			DigestFull:       fmt.Sprintf("%x", full.Digest[:]),
+			DigestResumed:    fmt.Sprintf("%x", resumed.Digest[:]),
+			StateRootFull:    fmt.Sprintf("%x", full.StateRoot[:]),
+			StateRootResumed: fmt.Sprintf("%x", resumed.StateRoot[:]),
+			BlocksFull:       full.Blocks, BlocksResumed: resumed.Blocks,
+			Match: match, ReopenSeconds: resumed.ReopenWall.Seconds(),
+		})
+		if !jsonOut {
+			verdict := "MATCH"
+			if !match {
+				verdict = "DIVERGED"
+			}
+			fmt.Printf("Persistence — %s, %d areas × %d users × %d rounds, stop after %d, checkpoint every %d\n",
+				chain, areas, users, rounds, stopAfter, checkpointEvery)
+			fmt.Printf("  %s: digest %x vs %x, reopen %v\n\n",
+				verdict, full.Digest[:8], resumed.Digest[:8],
+				resumed.ReopenWall.Round(time.Millisecond))
+		}
+	}
+	if err := writeRecord(out, rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "polbench: persistence record written to %s\n", out)
+	if !rec.AllMatch {
+		return fmt.Errorf("persist: a resumed run diverged from its uninterrupted reference (see %s)", out)
+	}
+	return nil
+}
+
+// writeRecord writes an indented JSON benchmark record.
+func writeRecord(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -169,10 +169,26 @@ type Chain struct {
 	// shardStats tallies per-shard work once SetShards configures it.
 	shards     int
 	shardStats *chain.ShardStats
+
+	// clientRng is the pre-forked stream clients draw their simulated
+	// RPC/indexer latencies from; see newChain for why it is not forked
+	// lazily. Every client attached to the chain shares it.
+	clientRng *chain.Rand
 }
 
-// NewChain builds a network from a preset and seed.
+// NewChain builds a network from a preset and seed. It is a thin
+// wrapper over Open's in-memory path; chains that should restart from a
+// committed state root go through Open directly.
 func NewChain(cfg Config, seed uint64) *Chain {
+	c, err := Open(Options{Config: cfg, Seed: seed})
+	if err != nil {
+		// Unreachable: the in-memory path has no failure modes.
+		panic("algorand: " + err.Error())
+	}
+	return c
+}
+
+func newChain(cfg Config, seed uint64) *Chain {
 	c := &Chain{
 		cfg:         cfg,
 		clock:       chain.NewClock(),
@@ -182,6 +198,13 @@ func NewChain(cfg Config, seed uint64) *Chain {
 		receipts:    make(map[chain.Hash32]*chain.Receipt),
 		feeSink:     chain.AddressFromBytes([]byte("algorand-fee-sink")),
 	}
+	// Pre-fork the client stream at a fixed point in construction:
+	// forking consumes a draw from the chain rng, and a lazy fork in
+	// NewClient would make the chain's stream position depend on whether
+	// — and when — a client is attached. A chain reopened from a
+	// checkpoint re-forks this stream at the same point, so attaching a
+	// client never perturbs the restored rng state.
+	c.clientRng = c.rng.Fork("client")
 	keyRng := c.rng.Fork("participants")
 	stakeRng := c.rng.Fork("stakes")
 	for i := 0; i < cfg.ParticipantCount; i++ {

@@ -29,6 +29,15 @@ func (r *Rand) Fork(name string) *Rand {
 	return &Rand{state: binary.BigEndian.Uint64(h[:8])}
 }
 
+// State exposes the generator's internal state so a checkpoint can
+// capture the stream position; SetState restores it. A restored
+// generator continues the exact sequence the captured one would have
+// produced.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState repositions the generator. See State.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -74,6 +74,15 @@ type Account struct {
 	algo *algorand.Account
 }
 
+// EVMAccount wraps an externally-created Ethereum-family account — e.g.
+// one whose key a harness derived from its own seed stream and funded via
+// eth.Chain.Fund — for use through a Connector.
+func EVMAccount(a *eth.Account) *Account { return &Account{evm: a} }
+
+// AlgorandAccount wraps an externally-created Algorand account for use
+// through a Connector.
+func AlgorandAccount(a *algorand.Account) *Account { return &Account{algo: a} }
+
 // Address returns the 20-byte account address.
 func (a *Account) Address() [20]byte {
 	if a.evm != nil {

@@ -157,12 +157,28 @@ type Chain struct {
 	shards     int
 	shardStats *chain.ShardStats
 
+	// clientRng is the pre-forked stream clients draw their simulated
+	// RPC/API latencies from; see newChain for why it is not forked
+	// lazily. Every client attached to the chain shares it.
+	clientRng *chain.Rand
+
 	// obs holds the chain's instrumentation; nil when uninstrumented.
 	obs *chainObs
 }
 
-// NewChain creates a network from a preset and a deterministic seed.
+// NewChain creates a network from a preset and a deterministic seed. It
+// is a thin wrapper over Open's in-memory path; chains that should
+// restart from a committed state root go through Open directly.
 func NewChain(cfg Config, seed uint64) *Chain {
+	c, err := Open(Options{Config: cfg, Seed: seed})
+	if err != nil {
+		// Unreachable: the in-memory path has no failure modes.
+		panic("eth: " + err.Error())
+	}
+	return c
+}
+
+func newChain(cfg Config, seed uint64) *Chain {
 	c := &Chain{
 		cfg:      cfg,
 		clock:    chain.NewClock(),
@@ -173,6 +189,13 @@ func NewChain(cfg Config, seed uint64) *Chain {
 		burned:   new(big.Int),
 		tipped:   new(big.Int),
 	}
+	// The client stream is forked here, at a fixed point in construction,
+	// rather than lazily in NewClient: forking consumes a draw from the
+	// chain rng, and a lazy fork would make the chain's stream position
+	// depend on whether — and when — a client is attached. A chain
+	// reopened from a checkpoint re-forks this stream at the same point,
+	// so attaching a client to it never perturbs the restored rng state.
+	c.clientRng = c.rng.Fork("client")
 	keyRng := c.rng.Fork("validators")
 	for i := 0; i < cfg.ValidatorCount; i++ {
 		kp := polcrypto.MustGenerateKeyPair(keyRng)

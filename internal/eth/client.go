@@ -19,9 +19,13 @@ type Client struct {
 	rng   *chain.Rand
 }
 
-// NewClient opens a client against a chain.
+// NewClient opens a client against a chain. Clients draw their simulated
+// RPC latencies from the chain's pre-forked client stream (shared by
+// every client on the chain), so attaching one never advances the
+// chain's own rng — a restored checkpoint stays bit-exact no matter how
+// many clients wrap the chain afterwards.
 func NewClient(c *Chain) *Client {
-	return &Client{chain: c, rng: c.rng.Fork("client")}
+	return &Client{chain: c, rng: c.clientRng}
 }
 
 // Chain exposes the underlying chain (for experiment bookkeeping).

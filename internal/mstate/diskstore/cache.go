@@ -1,0 +1,62 @@
+package diskstore
+
+import (
+	"container/list"
+
+	"agnopol/internal/mstate"
+)
+
+// lruCache keeps hot node encodings in memory so trie loads and repeat
+// reads stay off disk. Bounded by entry count; the caller sizes it
+// (Options.CacheNodes) against expected node size — mstate nodes are a
+// few hundred bytes (leaves: 33 bytes + value; branches: ≤ 515 bytes),
+// so the default 4096 entries is roughly a couple of MiB.
+//
+// Not itself synchronized: the Store's mutex guards it.
+type lruCache struct {
+	cap int
+	ll  *list.List // front = most recent
+	m   map[mstate.Hash]*list.Element
+}
+
+type lruEntry struct {
+	h   mstate.Hash
+	enc []byte
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[mstate.Hash]*list.Element)}
+}
+
+// get returns the cached encoding. The caller must not mutate it.
+func (c *lruCache) get(h mstate.Hash) ([]byte, bool) {
+	el, ok := c.m[h]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).enc, true
+}
+
+// put inserts enc (which the cache takes ownership of), evicting the
+// least recently used entry past capacity.
+func (c *lruCache) put(h mstate.Hash, enc []byte) {
+	if c.cap == 0 {
+		return
+	}
+	if el, ok := c.m[h]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[h] = c.ll.PushFront(&lruEntry{h: h, enc: enc})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*lruEntry).h)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

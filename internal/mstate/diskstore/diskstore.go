@@ -1,0 +1,534 @@
+// Package diskstore is the disk-backed mstate.NodeStore: an append-only,
+// content-addressed node log with crash-safe commits.
+//
+// Layout of a store directory:
+//
+//	seg-000001.log   append-only segment: 8-byte magic, then records
+//	seg-000002.log   ... (a new segment starts once the previous one
+//	                 crosses Options.SegmentBytes)
+//	MANIFEST         commit manifest: (root, segment, offset, meta),
+//	                 written atomically (temp + fsync + rename) only
+//	                 after the nodes it references are durable
+//
+// Each record is
+//
+//	len(payload) uint32 BE | hash [32]byte | payload | crc32 uint32 BE
+//
+// with the CRC (IEEE) taken over len‖hash‖payload. Records are never
+// rewritten; the hash is the content address (sha256 of the payload per
+// the mstate node encoding), so equal nodes are stored once.
+//
+// Durability protocol: PutBatch appends records to the active segment
+// through a buffered writer; Commit flushes, fsyncs the segment, and
+// only then replaces MANIFEST with one pointing at (root, segment,
+// offset). A crash between those steps leaves a torn tail past the
+// manifest offset, which Open truncates away; the store always reopens
+// at the last committed root, never a partial one.
+package diskstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"agnopol/internal/mstate"
+)
+
+// Typed failure classes, so callers can tell corruption apart from
+// absence and from ordinary I/O errors (all wrapped with context).
+var (
+	// ErrMissingManifest: segment files exist but no MANIFEST does.
+	// The log alone cannot say which prefix is committed, so this is
+	// corruption (a deleted manifest), not a fresh store.
+	ErrMissingManifest = errors.New("diskstore: segments present but manifest missing")
+	// ErrCorruptManifest: MANIFEST exists but fails parsing, its
+	// checksum, or its magic.
+	ErrCorruptManifest = errors.New("diskstore: corrupt manifest")
+	// ErrMissingSegment: the manifest references a segment that is not
+	// on disk (or the numbering has a gap below it).
+	ErrMissingSegment = errors.New("diskstore: missing segment")
+	// ErrTruncatedRecord: the durable region promised by the manifest
+	// ends mid-record, or a sealed segment does.
+	ErrTruncatedRecord = errors.New("diskstore: truncated record inside durable region")
+	// ErrChecksum: a record failed its CRC on read.
+	ErrChecksum = errors.New("diskstore: record checksum mismatch")
+	// ErrClosed: the store has been closed.
+	ErrClosed = errors.New("diskstore: store is closed")
+)
+
+const (
+	segMagic      = "POLSEG1\n"
+	segHeaderLen  = int64(len(segMagic))
+	recHeaderLen  = 4 + 32 // len + hash
+	recTrailerLen = 4      // crc
+	manifestName  = "MANIFEST"
+)
+
+// Options tunes a Store. The zero value picks sensible defaults.
+type Options struct {
+	// SegmentBytes rolls the active segment once it crosses this size.
+	// Default 64 MiB.
+	SegmentBytes int64
+	// CacheNodes bounds the LRU node cache (entries). Default 4096;
+	// negative disables caching.
+	CacheNodes int
+	// NoSync skips every fsync. Only for tests that measure logic, not
+	// durability.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.CacheNodes == 0 {
+		o.CacheNodes = 4096
+	}
+	return o
+}
+
+// ref locates one record inside the log.
+type ref struct {
+	seg int
+	off int64 // record start (length field)
+	ln  int   // payload length
+}
+
+// Store is a disk-backed mstate.NodeStore. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	index map[mstate.Hash]ref
+	cache *lruCache
+
+	files      map[int]*os.File // open segment files, keyed by number
+	active     int              // active (append) segment number
+	w          *bufio.Writer    // buffers appends to files[active]
+	curOff     int64            // logical end of the active segment
+	flushedOff int64            // bytes of the active segment visible to ReadAt
+
+	root    mstate.Hash
+	hasRoot bool
+	meta    []byte
+
+	closed bool
+}
+
+// Open opens (or creates) the store in dir, recovering to the last
+// committed manifest: the index is rebuilt by scanning segments up to
+// the manifest's (segment, offset), any torn tail past it is truncated,
+// and uncommitted newer segments are removed. An empty or absent dir
+// initialises a fresh store; segments without a manifest are corruption
+// (ErrMissingManifest).
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: create dir: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	man, manErr := readManifest(filepath.Join(dir, manifestName))
+	if manErr != nil && !errors.Is(manErr, os.ErrNotExist) {
+		return nil, manErr
+	}
+
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		index: make(map[mstate.Hash]ref),
+		cache: newLRUCache(opts.CacheNodes),
+		files: make(map[int]*os.File),
+	}
+
+	if man == nil {
+		if len(segs) > 0 {
+			return nil, fmt.Errorf("%w: found %s without %s in %s",
+				ErrMissingManifest, segName(segs[0]), manifestName, dir)
+		}
+		if err := s.startSegment(1); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	// Committed state exists: every segment 1..man.Segment must be
+	// present; anything newer was never committed and is dropped.
+	present := make(map[int]bool, len(segs))
+	for _, n := range segs {
+		present[n] = true
+	}
+	for n := 1; n <= man.Segment; n++ {
+		if !present[n] {
+			return nil, fmt.Errorf("%w: %s referenced by manifest", ErrMissingSegment, segName(n))
+		}
+	}
+	for _, n := range segs {
+		if n > man.Segment {
+			if err := os.Remove(filepath.Join(dir, segName(n))); err != nil {
+				return nil, fmt.Errorf("diskstore: drop uncommitted %s: %w", segName(n), err)
+			}
+		}
+	}
+
+	for n := 1; n <= man.Segment; n++ {
+		f, err := os.OpenFile(filepath.Join(dir, segName(n)), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: open %s: %w", segName(n), err)
+		}
+		s.files[n] = f
+		limit := int64(-1) // sealed segments scan to their full size
+		if n == man.Segment {
+			limit = man.Offset
+		}
+		end, err := s.scanSegment(n, f, limit)
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		if n == man.Segment {
+			// Torn tail from a crash after flush but before commit:
+			// drop everything past the durable offset.
+			if err := f.Truncate(end); err != nil {
+				s.closeFiles()
+				return nil, fmt.Errorf("diskstore: truncate torn tail of %s: %w", segName(n), err)
+			}
+			if _, err := f.Seek(end, 0); err != nil {
+				s.closeFiles()
+				return nil, fmt.Errorf("diskstore: seek %s: %w", segName(n), err)
+			}
+			s.active = n
+			s.curOff = end
+			s.flushedOff = end
+			s.w = bufio.NewWriterSize(f, 1<<20)
+		}
+	}
+	s.root = man.Root
+	s.hasRoot = true
+	s.meta = man.Meta
+	return s, nil
+}
+
+// scanSegment validates the header and walks records up to limit (or
+// the file size when limit < 0), adding each to the index. It returns
+// the byte offset where the durable region ends.
+func (s *Store) scanSegment(n int, f *os.File, limit int64) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("diskstore: stat %s: %w", segName(n), err)
+	}
+	size := st.Size()
+	if limit < 0 {
+		limit = size
+	}
+	if size < limit {
+		return 0, fmt.Errorf("%w: %s is %d bytes but the manifest requires %d",
+			ErrTruncatedRecord, segName(n), size, limit)
+	}
+	if limit < segHeaderLen {
+		return 0, fmt.Errorf("%w: %s shorter than its header", ErrTruncatedRecord, segName(n))
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return 0, fmt.Errorf("diskstore: read %s header: %w", segName(n), err)
+	}
+	if string(magic[:]) != segMagic {
+		return 0, fmt.Errorf("%w: %s has bad magic %q", ErrChecksum, segName(n), magic[:])
+	}
+	off := segHeaderLen
+	var hdr [recHeaderLen]byte
+	for off < limit {
+		if off+recHeaderLen+recTrailerLen > limit {
+			return 0, fmt.Errorf("%w: %s record header at %d runs past %d",
+				ErrTruncatedRecord, segName(n), off, limit)
+		}
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return 0, fmt.Errorf("diskstore: read %s at %d: %w", segName(n), off, err)
+		}
+		ln := int64(binary.BigEndian.Uint32(hdr[:4]))
+		recEnd := off + recHeaderLen + ln + recTrailerLen
+		if recEnd > limit {
+			return 0, fmt.Errorf("%w: %s record at %d ends at %d, past %d",
+				ErrTruncatedRecord, segName(n), off, recEnd, limit)
+		}
+		var h mstate.Hash
+		copy(h[:], hdr[4:])
+		if _, ok := s.index[h]; !ok {
+			s.index[h] = ref{seg: n, off: off, ln: int(ln)}
+		}
+		off = recEnd
+	}
+	return off, nil
+}
+
+// startSegment creates segment n with its header and makes it active.
+func (s *Store) startSegment(n int) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(n)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: create %s: %w", segName(n), err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("diskstore: write %s header: %w", segName(n), err)
+	}
+	s.files[n] = f
+	s.active = n
+	s.w = bufio.NewWriterSize(f, 1<<20)
+	s.curOff = segHeaderLen
+	s.flushedOff = segHeaderLen
+	return nil
+}
+
+// roll seals the active segment (flush + fsync) and starts the next.
+func (s *Store) roll() error {
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if err := s.syncFile(s.files[s.active]); err != nil {
+		return err
+	}
+	return s.startSegment(s.active + 1)
+}
+
+// PutBatch implements mstate.NodeStore: appends every unknown node to
+// the active segment, rolling segments as they fill. Records become
+// durable only at the next Commit.
+func (s *Store) PutBatch(nodes []mstate.Node) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	var hdr [recHeaderLen]byte
+	var tail [recTrailerLen]byte
+	for _, n := range nodes {
+		if _, ok := s.index[n.Hash]; ok {
+			continue
+		}
+		if s.curOff >= s.opts.SegmentBytes {
+			if err := s.roll(); err != nil {
+				return err
+			}
+		}
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(n.Enc)))
+		copy(hdr[4:], n.Hash[:])
+		crc := crc32.ChecksumIEEE(hdr[:])
+		crc = crc32.Update(crc, crc32.IEEETable, n.Enc)
+		binary.BigEndian.PutUint32(tail[:], crc)
+		if _, err := s.w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("diskstore: append: %w", err)
+		}
+		if _, err := s.w.Write(n.Enc); err != nil {
+			return fmt.Errorf("diskstore: append: %w", err)
+		}
+		if _, err := s.w.Write(tail[:]); err != nil {
+			return fmt.Errorf("diskstore: append: %w", err)
+		}
+		s.index[n.Hash] = ref{seg: s.active, off: s.curOff, ln: len(n.Enc)}
+		s.curOff += recHeaderLen + int64(len(n.Enc)) + recTrailerLen
+		s.cache.put(n.Hash, append([]byte(nil), n.Enc...))
+	}
+	return nil
+}
+
+// GetNode implements mstate.NodeStore: LRU cache first, then a CRC-
+// checked read from the segment the index points at. The returned slice
+// is owned by the caller.
+func (s *Store) GetNode(h mstate.Hash) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if enc, ok := s.cache.get(h); ok {
+		return append([]byte(nil), enc...), nil
+	}
+	r, ok := s.index[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: %x", mstate.ErrNodeMissing, h[:8])
+	}
+	// Reads hit the file through ReadAt, which cannot see bytes still
+	// sitting in the append buffer — push them down first.
+	if r.seg == s.active && r.off+recHeaderLen+int64(r.ln)+recTrailerLen > s.flushedOff {
+		if err := s.flushLocked(); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, recHeaderLen+r.ln+recTrailerLen)
+	if _, err := s.files[r.seg].ReadAt(buf, r.off); err != nil {
+		return nil, fmt.Errorf("diskstore: read %s at %d: %w", segName(r.seg), r.off, err)
+	}
+	if got := binary.BigEndian.Uint32(buf[:4]); int(got) != r.ln {
+		return nil, fmt.Errorf("%w: %s at %d: length %d, index says %d",
+			ErrChecksum, segName(r.seg), r.off, got, r.ln)
+	}
+	want := binary.BigEndian.Uint32(buf[len(buf)-recTrailerLen:])
+	if crc := crc32.ChecksumIEEE(buf[:len(buf)-recTrailerLen]); crc != want {
+		return nil, fmt.Errorf("%w: %s at %d: crc %08x, stored %08x",
+			ErrChecksum, segName(r.seg), r.off, crc, want)
+	}
+	var stored mstate.Hash
+	copy(stored[:], buf[4:recHeaderLen])
+	if stored != h {
+		return nil, fmt.Errorf("%w: %s at %d: stored hash %x, want %x",
+			ErrChecksum, segName(r.seg), r.off, stored[:8], h[:8])
+	}
+	enc := append([]byte(nil), buf[recHeaderLen:len(buf)-recTrailerLen]...)
+	s.cache.put(h, append([]byte(nil), enc...))
+	return enc, nil
+}
+
+// Has implements mstate.NodeStore.
+func (s *Store) Has(h mstate.Hash) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	_, ok := s.index[h]
+	return ok, nil
+}
+
+// Flush implements mstate.NodeStore: pushes buffered appends to the OS.
+// Durability still requires Commit.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("diskstore: flush %s: %w", segName(s.active), err)
+	}
+	s.flushedOff = s.curOff
+	return nil
+}
+
+// Commit makes every node written so far durable and atomically
+// publishes root (with an opaque meta blob, e.g. a chain checkpoint) as
+// the store's committed state: flush, fsync the active segment, then
+// replace MANIFEST via temp-file + rename. On reopen the store recovers
+// exactly to this point.
+func (s *Store) Commit(root mstate.Hash, meta []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if root != (mstate.Hash{}) {
+		if _, ok := s.index[root]; !ok {
+			return fmt.Errorf("diskstore: commit of root %x not present in the log", root[:8])
+		}
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if err := s.syncFile(s.files[s.active]); err != nil {
+		return err
+	}
+	man := &manifest{
+		Root:    root,
+		Segment: s.active,
+		Offset:  s.curOff,
+		Nodes:   len(s.index),
+		Meta:    meta,
+	}
+	if err := writeManifest(s.dir, man, s.opts.NoSync); err != nil {
+		return err
+	}
+	s.root = root
+	s.hasRoot = true
+	s.meta = append([]byte(nil), meta...)
+	return nil
+}
+
+// Root returns the last committed root, and whether one exists.
+func (s *Store) Root() (mstate.Hash, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root, s.hasRoot
+}
+
+// Meta returns a copy of the meta blob from the last commit.
+func (s *Store) Meta() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.meta...)
+}
+
+// Len is the number of indexed nodes (committed or staged).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close implements mstate.NodeStore: flushes buffered appends and
+// closes every segment file. Staged-but-uncommitted records are not
+// made durable — reopen recovers the last Commit.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.flushLocked()
+	s.closeFiles()
+	s.closed = true
+	return err
+}
+
+func (s *Store) closeFiles() {
+	for _, f := range s.files {
+		f.Close()
+	}
+}
+
+func (s *Store) syncFile(f *os.File) error {
+	if s.opts.NoSync {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("diskstore: fsync: %w", err)
+	}
+	return nil
+}
+
+func segName(n int) string { return fmt.Sprintf("seg-%06d.log", n) }
+
+// listSegments returns the sorted segment numbers present in dir.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("diskstore: read dir: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "seg-%06d.log", &n); err == nil && segName(n) == e.Name() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}

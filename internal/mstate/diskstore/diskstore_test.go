@@ -1,0 +1,441 @@
+package diskstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"agnopol/internal/mstate"
+)
+
+func tk(s string) mstate.Key { return mstate.KeyOf("disktest", []byte(s)) }
+
+func buildTrie(n int, salt string) *mstate.Trie {
+	tr := mstate.New()
+	for i := 0; i < n; i++ {
+		tr.Put(tk(fmt.Sprintf("%s-%d", salt, i)), []byte(fmt.Sprintf("val-%s-%d", salt, i)))
+	}
+	return tr
+}
+
+// commit writes tr into s and publishes its root with meta.
+func commit(t *testing.T, tr *mstate.Trie, s *Store, meta []byte) mstate.Hash {
+	t.Helper()
+	root, err := tr.Commit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(root, meta); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	opts.NoSync = true // logic tests; durability fsyncs just slow them down
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFreshCommitReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if _, ok := s.Root(); ok {
+		t.Fatal("fresh store claims a committed root")
+	}
+	tr := buildTrie(500, "a")
+	root := commit(t, tr, s, []byte("checkpoint-1"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	defer s2.Close()
+	got, ok := s2.Root()
+	if !ok || got != root {
+		t.Fatalf("reopened root %x ok=%v, want %x", got[:8], ok, root[:8])
+	}
+	if !bytes.Equal(s2.Meta(), []byte("checkpoint-1")) {
+		t.Fatalf("meta = %q", s2.Meta())
+	}
+	loaded, err := mstate.Load(s2, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Root() != tr.Root() || loaded.Len() != tr.Len() {
+		t.Fatalf("loaded root/len %x/%d, want %x/%d", loaded.Root(), loaded.Len(), tr.Root(), tr.Len())
+	}
+	if v, _ := loaded.Get(tk("a-123")); !bytes.Equal(v, []byte("val-a-123")) {
+		t.Fatalf("loaded value %q", v)
+	}
+}
+
+func TestIncrementalCommitsAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force many rolls; reopen must scan them all.
+	s := openT(t, dir, Options{SegmentBytes: 2048, CacheNodes: 8})
+	tr := buildTrie(200, "s")
+	var root mstate.Hash
+	for step := 0; step < 5; step++ {
+		tr.Put(tk(fmt.Sprintf("step-%d", step)), []byte{byte(step)})
+		root = commit(t, tr, s, []byte{byte(step)})
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+	s.Close()
+
+	s2 := openT(t, dir, Options{SegmentBytes: 2048, CacheNodes: 8})
+	defer s2.Close()
+	got, _ := s2.Root()
+	if got != root {
+		t.Fatalf("root after multi-segment reopen: %x, want %x", got[:8], root[:8])
+	}
+	loaded, err := mstate.Load(s2, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Root() != tr.Root() {
+		t.Fatal("multi-segment load diverged from the source trie")
+	}
+}
+
+func TestStagedButUncommittedTailIsDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	tr := buildTrie(100, "base")
+	root1 := commit(t, tr, s, nil)
+
+	// Stage more nodes, flush them to the OS, but never Commit — as if
+	// the process died between Trie.Commit and Store.Commit.
+	tr2 := tr.Snapshot()
+	tr2.Put(tk("uncommitted"), []byte("lost"))
+	root2, err := tr2.Commit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root2 == root1 {
+		t.Fatal("mutation did not change the root")
+	}
+	s.Close()
+
+	s2 := openT(t, dir, Options{})
+	defer s2.Close()
+	got, _ := s2.Root()
+	if got != root1 {
+		t.Fatalf("recovered root %x, want last durable %x", got[:8], root1[:8])
+	}
+	if _, err := s2.GetNode(root2); !errors.Is(err, mstate.ErrNodeMissing) {
+		t.Fatalf("uncommitted root readable after reopen: %v", err)
+	}
+	if _, err := mstate.Load(s2, root1); err != nil {
+		t.Fatalf("durable root unloadable: %v", err)
+	}
+}
+
+// Randomized crash-point test: kill a commit mid-batch by truncating
+// the log at an arbitrary byte within the uncommitted tail (including
+// mid-record cuts), then verify reopen recovers the last durable root
+// and a full trie load from it.
+func TestRandomizedCrashPointRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 25; iter++ {
+		dir := t.TempDir()
+		segBytes := int64(1 << 20)
+		if iter%3 == 0 {
+			segBytes = 4096 // also exercise crashes right after a roll
+		}
+		s := openT(t, dir, Options{SegmentBytes: segBytes})
+		tr := buildTrie(60+rng.Intn(60), fmt.Sprintf("c%d", iter))
+		root1 := commit(t, tr, s, []byte("durable"))
+		activeSeg := s.active
+		durable := s.curOff
+
+		tr2 := tr.Snapshot()
+		for j := 0; j < 30+rng.Intn(50); j++ {
+			tr2.Put(tk(fmt.Sprintf("crash-%d-%d", iter, j)), []byte("staged"))
+		}
+		if _, err := tr2.Commit(s); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+
+		// The "kill": chop the active segment at a random point at or
+		// past the durable offset. (A crash can also leave later,
+		// never-committed segments; those must be dropped wholesale.)
+		path := filepath.Join(dir, segName(activeSeg))
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() > durable {
+			cut := durable + rng.Int63n(st.Size()-durable+1)
+			if err := os.Truncate(path, cut); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		s2, err := Open(dir, Options{SegmentBytes: segBytes, NoSync: true})
+		if err != nil {
+			t.Fatalf("iter %d: reopen after crash: %v", iter, err)
+		}
+		got, ok := s2.Root()
+		if !ok || got != root1 {
+			t.Fatalf("iter %d: recovered root %x ok=%v, want %x", iter, got[:8], ok, root1[:8])
+		}
+		loaded, err := mstate.Load(s2, root1)
+		if err != nil {
+			t.Fatalf("iter %d: load recovered root: %v", iter, err)
+		}
+		if loaded.Root() != root1 {
+			t.Fatalf("iter %d: recovered trie root mismatch", iter)
+		}
+		// Recovery must leave a store that keeps working.
+		tr3 := loaded.Snapshot()
+		tr3.Put(tk("after-recovery"), []byte("ok"))
+		root3 := commit(t, tr3, s2, nil)
+		s2.Close()
+		s3 := openT(t, dir, Options{SegmentBytes: segBytes})
+		if got, _ := s3.Root(); got != root3 {
+			t.Fatalf("iter %d: post-recovery commit lost", iter)
+		}
+		s3.Close()
+	}
+}
+
+func TestMissingManifestIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	commit(t, buildTrie(20, "m"), s, nil)
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoSync: true}); !errors.Is(err, ErrMissingManifest) {
+		t.Fatalf("got %v, want ErrMissingManifest", err)
+	}
+}
+
+func TestCorruptManifestIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	commit(t, buildTrie(20, "cm"), s, nil)
+	s.Close()
+	path := filepath.Join(dir, manifestName)
+
+	// Torn JSON.
+	if err := os.WriteFile(path, []byte(`{"magic":"POLMAN1","root":"ab`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoSync: true}); !errors.Is(err, ErrCorruptManifest) {
+		t.Fatalf("torn manifest: got %v, want ErrCorruptManifest", err)
+	}
+
+	// Valid JSON, wrong checksum (a hand-edited offset).
+	if err := os.WriteFile(path, []byte(`{"magic":"POLMAN1","root":"`+fmt.Sprintf("%064x", 0)+`","segment":1,"offset":999,"nodes":1,"crc":12345}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoSync: true}); !errors.Is(err, ErrCorruptManifest) {
+		t.Fatalf("bad-crc manifest: got %v, want ErrCorruptManifest", err)
+	}
+}
+
+func TestTruncatedDurableTailIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	commit(t, buildTrie(40, "tt"), s, nil)
+	durable := s.curOff
+	s.Close()
+
+	// The manifest promises bytes the segment no longer has.
+	if err := os.Truncate(filepath.Join(dir, segName(1)), durable-5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoSync: true}); !errors.Is(err, ErrTruncatedRecord) {
+		t.Fatalf("got %v, want ErrTruncatedRecord", err)
+	}
+}
+
+func TestPartialFinalRecordIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	commit(t, buildTrie(40, "pf"), s, nil)
+	s.Close()
+
+	// Rewrite the manifest so its durable region ends mid-record: the
+	// file still has the bytes, but the record structure cannot close
+	// at that offset — a partially-written final record.
+	man, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Offset -= 3
+	if err := writeManifest(dir, man, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoSync: true}); !errors.Is(err, ErrTruncatedRecord) {
+		t.Fatalf("got %v, want ErrTruncatedRecord", err)
+	}
+}
+
+func TestBitFlippedPayloadIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	tr := buildTrie(30, "bf")
+	root := commit(t, tr, s, nil)
+	// Locate the root's record so the flip is inside a payload we will
+	// definitely read back.
+	r := s.index[root]
+	s.Close()
+
+	path := filepath.Join(dir, segName(r.seg))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipAt := r.off + recHeaderLen + int64(r.ln)/2
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], flipAt); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], flipAt); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openT(t, dir, Options{})
+	defer s2.Close()
+	if _, err := s2.GetNode(root); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+	// The same corruption must fail a trie load, never produce state.
+	if _, err := mstate.Load(s2, root); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("load over corrupt record: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestMissingSegmentIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SegmentBytes: 2048})
+	tr := buildTrie(300, "ms")
+	commit(t, tr, s, nil)
+	if s.active < 2 {
+		t.Fatalf("test needs multiple segments, active = %d", s.active)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, segName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoSync: true}); !errors.Is(err, ErrMissingSegment) {
+		t.Fatalf("got %v, want ErrMissingSegment", err)
+	}
+}
+
+func TestClosedStoreIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	root := commit(t, buildTrie(5, "cl"), s, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := s.GetNode(root); !errors.Is(err, ErrClosed) {
+		t.Fatalf("GetNode after close: %v", err)
+	}
+	if err := s.PutBatch([]mstate.Node{{}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PutBatch after close: %v", err)
+	}
+	if err := s.Commit(root, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit after close: %v", err)
+	}
+}
+
+func TestReadThroughTinyCache(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CacheNodes: 2})
+	tr := buildTrie(120, "lru")
+	root := commit(t, tr, s, nil)
+	s.Close()
+
+	s2 := openT(t, dir, Options{CacheNodes: 2})
+	defer s2.Close()
+	loaded, err := mstate.Load(s2, root) // every read a near-miss
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Root() != tr.Root() {
+		t.Fatal("tiny-cache load diverged")
+	}
+	if s2.cache.len() > 2 {
+		t.Fatalf("cache grew to %d entries past its bound", s2.cache.len())
+	}
+}
+
+func TestGetNodeSeesUnflushedAppends(t *testing.T) {
+	dir := t.TempDir()
+	// Cache disabled so the read must go through the file, exercising
+	// the flush-before-ReadAt path.
+	s := openT(t, dir, Options{CacheNodes: -1})
+	defer s.Close()
+	tr := buildTrie(10, "uf")
+	root, err := tr.Commit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := s.GetNode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) == 0 {
+		t.Fatal("empty encoding")
+	}
+}
+
+func TestGetNodeReturnsOwnedSlice(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	defer s.Close()
+	root := commit(t, buildTrie(10, "own"), s, nil)
+	enc, err := s.GetNode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		enc[i] = 0xAA
+	}
+	again, err := s.GetNode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(again, enc) {
+		t.Fatal("caller mutation leaked into the store")
+	}
+}
+
+func TestCommitOfUnknownRootRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	defer s.Close()
+	if err := s.Commit(mstate.Hash{1, 2, 3}, nil); err == nil {
+		t.Fatal("commit of a root the log never saw must fail")
+	}
+	// The empty root is always committable (an empty trie).
+	if err := s.Commit(mstate.Hash{}, []byte("empty")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,20 +2,46 @@ package mstate
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
 )
 
+// ErrNodeMissing is returned (wrapped) by NodeStore.GetNode when no node
+// is stored under the requested hash. Callers distinguish "absent" from
+// I/O or corruption failures with errors.Is(err, ErrNodeMissing).
+var ErrNodeMissing = errors.New("mstate: node missing")
+
+// Node is one content-addressed trie node ready for persistence: Enc is
+// the self-contained encoding and Hash its sha256 content address.
+type Node struct {
+	Hash Hash
+	Enc  []byte
+}
+
 // NodeStore is the persistence seam: content-addressed node storage,
-// keyed by node hash. The in-memory MemStore implements it today; a
-// disk backend only needs these two methods because the trie encodes
-// nodes into self-contained byte records.
+// keyed by node hash. Writes are batched so disk backends can append a
+// whole commit in one buffered pass and make it durable once; every
+// method can fail, because real backends sit on files.
+//
+// Stores are idempotent: equal hashes carry equal encodings, and
+// re-putting a known hash is a no-op.
 type NodeStore interface {
-	// PutNode stores enc under its hash h. Stores are idempotent:
-	// equal hashes carry equal encodings.
-	PutNode(h Hash, enc []byte)
-	// GetNode returns the encoding stored under h.
-	GetNode(h Hash) ([]byte, bool)
+	// PutBatch stores every node in the batch. The store must not
+	// retain the Enc slices (it copies or writes them out).
+	PutBatch(nodes []Node) error
+	// GetNode returns the encoding stored under h. The returned slice
+	// is owned by the caller. A miss satisfies
+	// errors.Is(err, ErrNodeMissing).
+	GetNode(h Hash) ([]byte, error)
+	// Has reports whether h is stored, without reading the payload.
+	Has(h Hash) (bool, error)
+	// Flush pushes buffered writes down to the backing medium. It does
+	// not guarantee durability (see diskstore.Store.Commit for that).
+	Flush() error
+	// Close releases the store's resources. The store is unusable
+	// afterwards.
+	Close() error
 }
 
 // MemStore is the in-memory NodeStore.
@@ -26,40 +52,83 @@ type MemStore struct {
 // NewMemStore returns an empty MemStore.
 func NewMemStore() *MemStore { return &MemStore{nodes: make(map[Hash][]byte)} }
 
-// PutNode implements NodeStore.
-func (m *MemStore) PutNode(h Hash, enc []byte) {
-	if _, ok := m.nodes[h]; ok {
-		return
+// PutBatch implements NodeStore. Encodings are copied.
+func (m *MemStore) PutBatch(nodes []Node) error {
+	for _, n := range nodes {
+		if _, ok := m.nodes[n.Hash]; ok {
+			continue
+		}
+		cp := make([]byte, len(n.Enc))
+		copy(cp, n.Enc)
+		m.nodes[n.Hash] = cp
 	}
-	cp := make([]byte, len(enc))
-	copy(cp, enc)
-	m.nodes[h] = cp
+	return nil
 }
 
-// GetNode implements NodeStore.
-func (m *MemStore) GetNode(h Hash) ([]byte, bool) {
+// GetNode implements NodeStore. The result is a defensive copy: callers
+// may mutate it freely without corrupting the store.
+func (m *MemStore) GetNode(h Hash) ([]byte, error) {
 	enc, ok := m.nodes[h]
-	return enc, ok
+	if !ok {
+		return nil, fmt.Errorf("%w: %x", ErrNodeMissing, h[:8])
+	}
+	return append([]byte(nil), enc...), nil
 }
+
+// Has implements NodeStore. It never allocates.
+func (m *MemStore) Has(h Hash) (bool, error) {
+	_, ok := m.nodes[h]
+	return ok, nil
+}
+
+// Flush implements NodeStore; MemStore has nothing buffered.
+func (m *MemStore) Flush() error { return nil }
+
+// Close implements NodeStore.
+func (m *MemStore) Close() error { return nil }
 
 // Len is the number of stored nodes.
 func (m *MemStore) Len() int { return len(m.nodes) }
 
-// Commit writes every node reachable from t's root into store and
-// returns the root hash. Shared subtrees are written once (the store
-// is content-addressed, and already-present hashes short-circuit).
-func (t *Trie) Commit(store NodeStore) Hash {
+// commitBatchSize bounds how many nodes a single PutBatch carries, so a
+// first-ever commit of a huge trie does not hold every encoding in
+// memory at once on top of the trie itself.
+const commitBatchSize = 4096
+
+// Commit writes every node reachable from t's root into store, in
+// batches, and returns the root hash. Shared subtrees are written once:
+// the store is content-addressed and an already-present hash
+// short-circuits its whole subtree. Commit flushes the store but does
+// not make it durable; disk backends expose a separate durability point
+// (diskstore.Store.Commit).
+func (t *Trie) Commit(store NodeStore) (Hash, error) {
 	if t.root == nil {
-		return emptyRoot
+		return emptyRoot, nil
 	}
-	commitNode(t.root, store)
-	return t.root.hash()
+	var batch []Node // grows on demand; stays nil for a no-op re-commit
+	root, err := commitNode(t.root, store, &batch)
+	if err != nil {
+		return Hash{}, err
+	}
+	if len(batch) > 0 {
+		if err := store.PutBatch(batch); err != nil {
+			return Hash{}, err
+		}
+	}
+	if err := store.Flush(); err != nil {
+		return Hash{}, err
+	}
+	return root, nil
 }
 
-func commitNode(n node, store NodeStore) Hash {
+func commitNode(n node, store NodeStore, batch *[]Node) (Hash, error) {
 	h := n.hash()
-	if _, ok := store.GetNode(h); ok {
-		return h // whole subtree already persisted
+	ok, err := store.Has(h)
+	if err != nil {
+		return Hash{}, err
+	}
+	if ok {
+		return h, nil // whole subtree already persisted
 	}
 	switch cur := n.(type) {
 	case *leaf:
@@ -67,24 +136,47 @@ func commitNode(n node, store NodeStore) Hash {
 		enc = append(enc, tagLeaf)
 		enc = append(enc, cur.key[:]...)
 		enc = append(enc, cur.val...)
-		store.PutNode(h, enc)
+		if err := appendNode(store, batch, Node{Hash: h, Enc: enc}); err != nil {
+			return Hash{}, err
+		}
 	case *branch:
 		mask := cur.mask()
 		enc := make([]byte, 0, 3+32*bits.OnesCount16(mask))
 		enc = append(enc, tagBranch, byte(mask>>8), byte(mask))
 		for _, c := range cur.children {
 			if c != nil {
-				ch := commitNode(c, store)
+				ch, err := commitNode(c, store, batch)
+				if err != nil {
+					return Hash{}, err
+				}
 				enc = append(enc, ch[:]...)
 			}
 		}
-		store.PutNode(h, enc)
+		if err := appendNode(store, batch, Node{Hash: h, Enc: enc}); err != nil {
+			return Hash{}, err
+		}
 	}
-	return h
+	return h, nil
+}
+
+// appendNode adds n to the pending batch, draining it through PutBatch
+// whenever it fills. Children are appended before their parents, so any
+// durable prefix of the node stream is closed under reachability once
+// its subtrees complete.
+func appendNode(store NodeStore, batch *[]Node, n Node) error {
+	*batch = append(*batch, n)
+	if len(*batch) >= commitBatchSize {
+		if err := store.PutBatch(*batch); err != nil {
+			return err
+		}
+		*batch = (*batch)[:0]
+	}
+	return nil
 }
 
 // Load reconstructs the trie rooted at root from store. The empty root
-// loads as an empty trie.
+// loads as an empty trie. A node absent from the store surfaces as an
+// error wrapping ErrNodeMissing.
 func Load(store NodeStore, root Hash) (*Trie, error) {
 	if root == emptyRoot {
 		return New(), nil
@@ -97,9 +189,9 @@ func Load(store NodeStore, root Hash) (*Trie, error) {
 }
 
 func loadNode(store NodeStore, h Hash) (node, int, error) {
-	enc, ok := store.GetNode(h)
-	if !ok {
-		return nil, 0, fmt.Errorf("mstate: missing node %x", h[:8])
+	enc, err := store.GetNode(h)
+	if err != nil {
+		return nil, 0, err
 	}
 	if len(enc) == 0 {
 		return nil, 0, fmt.Errorf("mstate: empty node encoding for %x", h[:8])

@@ -1,0 +1,118 @@
+package mstate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Regression: MemStore.GetNode used to return its internal slice, so a
+// caller mutating the returned encoding corrupted the store (same bug
+// class as the PR 7 SetCode aliasing fix).
+func TestMemStoreGetNodeDefensiveCopy(t *testing.T) {
+	tr := New()
+	tr.Put(k("alias"), []byte("payload"))
+	store := NewMemStore()
+	root, err := tr.Commit(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enc, err := store.GetNode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), enc...)
+	for i := range enc {
+		enc[i] = 0xFF
+	}
+	again, err := store.GetNode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Fatal("mutating GetNode's result corrupted the store")
+	}
+	if _, err := Load(store, root); err != nil {
+		t.Fatalf("load after caller-side mutation: %v", err)
+	}
+}
+
+func TestMemStoreMissReturnsTypedError(t *testing.T) {
+	store := NewMemStore()
+	if _, err := store.GetNode(Hash{1}); !errors.Is(err, ErrNodeMissing) {
+		t.Fatalf("got %v, want ErrNodeMissing", err)
+	}
+	if ok, err := store.Has(Hash{1}); ok || err != nil {
+		t.Fatalf("Has on empty store = %v, %v", ok, err)
+	}
+}
+
+// The commit hot path — Has probes and re-puts of already-present
+// nodes — must not allocate on MemStore. Enforced here (not just
+// benchmarked) so a regression fails CI.
+func TestMemStoreHotPathNoAllocs(t *testing.T) {
+	tr := New()
+	for i := 0; i < 64; i++ {
+		tr.Put(k(fmt.Sprintf("n%d", i)), []byte{byte(i)})
+	}
+	store := NewMemStore()
+	root, err := tr.Commit(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if ok, err := store.Has(root); !ok || err != nil {
+			t.Fatal("Has lost the root")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Has allocates %.1f objects per call", allocs)
+	}
+
+	enc, err := store.GetNode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Node{{Hash: root, Enc: enc}}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := store.PutBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("idempotent PutBatch allocates %.1f objects per call", allocs)
+	}
+}
+
+// BenchmarkTrieCommitMemStore measures the full commit path (encode +
+// batch + store) and the no-op re-commit where every subtree
+// short-circuits through Has.
+func BenchmarkTrieCommitMemStore(b *testing.B) {
+	tr := New()
+	for i := 0; i < 2000; i++ {
+		tr.Put(k(fmt.Sprintf("bench%d", i)), []byte(fmt.Sprintf("value-%d", i)))
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			store := NewMemStore()
+			if _, err := tr.Commit(store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nochange", func(b *testing.B) {
+		store := NewMemStore()
+		if _, err := tr.Commit(store); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Commit(store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package mstate
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -185,7 +186,10 @@ func TestCommitLoadRoundTrip(t *testing.T) {
 	}
 	tr.Delete(k("k7"))
 	store := NewMemStore()
-	root := tr.Commit(store)
+	root, err := tr.Commit(store)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if root != tr.Root() {
 		t.Fatal("commit returned a different root")
 	}
@@ -211,13 +215,15 @@ func TestCommitLoadRoundTrip(t *testing.T) {
 	before := store.Len()
 	fork := tr.Snapshot()
 	fork.Put(k("k1"), []byte("patched"))
-	fork.Commit(store)
+	if _, err := fork.Commit(store); err != nil {
+		t.Fatal(err)
+	}
 	if added := store.Len() - before; added <= 0 || added > 70 {
 		t.Fatalf("incremental commit added %d nodes; shared subtrees not reused", added)
 	}
 
-	if _, err := Load(NewMemStore(), root); err == nil {
-		t.Fatal("load from an empty store should fail")
+	if _, err := Load(NewMemStore(), root); !errors.Is(err, ErrNodeMissing) {
+		t.Fatalf("load from an empty store: got %v, want ErrNodeMissing", err)
 	}
 	empty, err := Load(store, Hash{})
 	if err != nil || empty.Len() != 0 {

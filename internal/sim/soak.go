@@ -11,6 +11,7 @@ import (
 	"agnopol/internal/core"
 	"agnopol/internal/eth"
 	"agnopol/internal/lang"
+	"agnopol/internal/mstate/diskstore"
 	"agnopol/internal/obs"
 )
 
@@ -40,6 +41,24 @@ type SoakSpec struct {
 	// load round and once after the drain, so /metrics, /timeseries and
 	// /health evolve while the soak is still running.
 	Telemetry *obs.Telemetry
+
+	// StateDir, when set, persists the run into a diskstore at that path:
+	// the world state is committed and a manifest checkpoint written after
+	// setup, every CheckpointEvery load rounds, and after the drain. A run
+	// killed at any point resumes from the last durable checkpoint.
+	StateDir string
+	// CheckpointEvery is the round cadence of mid-run checkpoints; zero or
+	// negative keeps only the setup and final checkpoints.
+	CheckpointEvery int
+	// Resume continues the run recorded in StateDir instead of starting
+	// fresh. The manifest is authoritative for Chain/Areas/Users/Rounds/
+	// Seed — leave them zero or set them to matching values.
+	Resume bool
+	// StopAfterRounds > 0 checkpoints and returns (Result.Stopped) once
+	// that many total rounds are done — an in-process stand-in for kill -9
+	// that lets tests exercise the resume path deterministically. Requires
+	// StateDir.
+	StopAfterRounds int
 }
 
 // SoakResult aggregates one soak run.
@@ -49,6 +68,9 @@ type SoakResult struct {
 	Users  int
 	Rounds int
 	Shards int
+	// Seed echoes the resolved experiment seed — on a resume it comes from
+	// the state dir's manifest, not the (zero) caller spec.
+	Seed uint64
 
 	// Submitted and Included count user transactions (congestion traffic
 	// excluded); after a full drain they are equal.
@@ -82,6 +104,18 @@ type SoakResult struct {
 	// history.
 	HeapBytes    uint64
 	BytesPerUser float64
+
+	// Resumed marks a run reconstructed from a StateDir manifest rather
+	// than started fresh; ReopenWall is the wall-clock cost of rebuilding
+	// the chain from the committed root (diskstore open + trie load +
+	// checkpoint restore).
+	Resumed    bool
+	ReopenWall time.Duration
+	// Stopped marks a run that checkpointed and returned early at
+	// StopAfterRounds. Submitted, Blocks, Digest and StateRoot reflect the
+	// stop point; Included stays zero — inclusion accounting is finalized
+	// by the resumed run that drains the mempool.
+	Stopped bool
 }
 
 // TxsPerSecWall is the headline throughput number: included transactions
@@ -118,7 +152,7 @@ const soakRetention = 16
 // count so a round's check-ins fit a bounded number of blocks — at the
 // paper's scales (≤ a few hundred users) the preset limit already
 // dominates and nothing changes.
-func newSoakConnector(spec SoakSpec) (core.Connector, error) {
+func newSoakConnector(spec SoakSpec, run *soakRun) (core.Connector, error) {
 	trim := func(cfg eth.Config) eth.Config {
 		cfg.CongestionMeanGas = 1_000_000
 		cfg.SpikeProb = 0
@@ -127,14 +161,43 @@ func newSoakConnector(spec SoakSpec) (core.Connector, error) {
 		}
 		return cfg
 	}
+	openEVM := func(cfg eth.Config) (core.Connector, error) {
+		if run.resumed {
+			if run.eth == nil {
+				return nil, fmt.Errorf("sim: soak manifest for %s carries no EVM checkpoint", spec.Chain)
+			}
+			c, err := eth.Open(eth.Options{
+				Config: cfg, Seed: spec.Seed,
+				Store: run.store, Root: run.root, Checkpoint: run.eth,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewEVMConnector(c), nil
+		}
+		return core.NewEVMConnector(eth.NewChain(cfg, spec.Seed)), nil
+	}
 	switch spec.Chain {
 	case ChainRopsten:
-		return core.NewEVMConnector(eth.NewChain(trim(eth.Ropsten()), spec.Seed)), nil
+		return openEVM(trim(eth.Ropsten()))
 	case ChainGoerli:
-		return core.NewEVMConnector(eth.NewChain(trim(eth.Goerli()), spec.Seed)), nil
+		return openEVM(trim(eth.Goerli()))
 	case ChainPolygon:
-		return core.NewEVMConnector(eth.NewChain(trim(eth.PolygonMumbai()), spec.Seed)), nil
+		return openEVM(trim(eth.PolygonMumbai()))
 	case ChainAlgorand:
+		if run.resumed {
+			if run.algo == nil {
+				return nil, fmt.Errorf("sim: soak manifest for %s carries no Algorand checkpoint", spec.Chain)
+			}
+			c, err := algorand.Open(algorand.Options{
+				Config: algorand.Testnet(), Seed: spec.Seed,
+				Store: run.store, Root: run.root, Checkpoint: run.algo,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewAlgorandConnector(c), nil
+		}
 		return core.NewAlgorandConnector(algorand.NewChain(algorand.Testnet(), spec.Seed)), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown chain %q", spec.Chain)
@@ -148,16 +211,54 @@ func newSoakConnector(spec SoakSpec) (core.Connector, error) {
 // returned digest lets callers assert that shard count and scheduling never
 // change the chain's final state.
 func RunSoak(spec SoakSpec) (*SoakResult, error) {
-	if spec.Areas < 1 || spec.Users < 1 || spec.Rounds < 1 {
+	if spec.Resume {
+		if spec.StateDir == "" {
+			return nil, fmt.Errorf("sim: soak resume requires StateDir")
+		}
+	} else if spec.Areas < 1 || spec.Users < 1 || spec.Rounds < 1 {
 		return nil, fmt.Errorf("sim: soak needs areas, users and rounds >= 1 (got %d/%d/%d)",
 			spec.Areas, spec.Users, spec.Rounds)
+	}
+	if spec.StopAfterRounds > 0 && spec.StateDir == "" {
+		return nil, fmt.Errorf("sim: StopAfterRounds without StateDir would abandon the run unrecoverably")
+	}
+
+	run := &soakRun{}
+	if spec.StateDir != "" {
+		store, err := diskstore.Open(spec.StateDir, diskstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+		if spec.Resume {
+			spec, run, err = loadSoakManifest(store, spec)
+			if err != nil {
+				return nil, err
+			}
+		} else if _, committed := store.Root(); committed {
+			return nil, fmt.Errorf("sim: %s already holds a committed soak; set Resume or use a fresh directory", spec.StateDir)
+		}
+		run.persist = &soakPersist{store: store}
 	}
 	if spec.Shards < 1 {
 		spec.Shards = 1
 	}
-	conn, err := newSoakConnector(spec)
+	if run.persist != nil {
+		run.persist.meta = soakCheckpoint{
+			Version: soakCheckpointVersion, Chain: spec.Chain,
+			Areas: spec.Areas, Users: spec.Users, Rounds: spec.Rounds,
+			Shards: spec.Shards, Seed: spec.Seed,
+		}
+	}
+
+	reopenStart := time.Now()
+	conn, err := newSoakConnector(spec, run)
 	if err != nil {
 		return nil, err
+	}
+	var reopenWall time.Duration
+	if run.resumed {
+		reopenWall = time.Since(reopenStart)
 	}
 	InstrumentConnector(conn, spec.Obs)
 
@@ -181,27 +282,20 @@ func RunSoak(spec SoakSpec) (*SoakResult, error) {
 	// This happens before the clock starts — the soak measures sustained
 	// load, not setup. EVM chains deploy through the batched submission
 	// path: at 100k+ areas, one signed deployment per block (the
-	// connector's submit-and-wait) would take days of wall clock.
+	// connector's submit-and-wait) would take days of wall clock. A
+	// resumed run skips deployment entirely — the contracts are already in
+	// the loaded state, and their identities re-derive from the spec.
 	reg := core.NewAreaRegistry(spec.Shards)
-	switch c := conn.(type) {
-	case *core.EVMConnector:
-		err = deployAreasEVM(spec, c, reg, compiled)
-	default:
-		var deployer *core.Account
-		deployer, err = conn.NewAccount(100)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < spec.Areas && err == nil; i++ {
-			area := soakAreaCode(i)
-			h, _, derr := conn.Deploy(deployer, compiled, []lang.Value{
-				lang.BytesValue([]byte(area)),
-			})
-			if derr != nil {
-				err = fmt.Errorf("sim: deploy area %s: %w", area, derr)
-				break
-			}
-			err = reg.Register(area, h)
+	if run.resumed {
+		err = rebuildSoakRegistry(spec, conn, reg, compiled)
+	} else {
+		switch c := conn.(type) {
+		case *core.EVMConnector:
+			err = deployAreasEVM(spec, c, reg, compiled)
+		case *core.AlgorandConnector:
+			err = deployAreasAlgorand(spec, c, reg, compiled)
+		default:
+			err = fmt.Errorf("sim: soak does not support connector %T", conn)
 		}
 	}
 	if err != nil {
@@ -210,13 +304,14 @@ func RunSoak(spec SoakSpec) (*SoakResult, error) {
 
 	res := &SoakResult{
 		Chain: spec.Chain, Areas: spec.Areas, Users: spec.Users,
-		Rounds: spec.Rounds, Shards: spec.Shards,
+		Rounds: spec.Rounds, Shards: spec.Shards, Seed: spec.Seed,
+		Resumed: run.resumed, ReopenWall: reopenWall,
 	}
 	switch c := conn.(type) {
 	case *core.EVMConnector:
-		err = soakEVM(spec, c, reg, compiled, res)
+		err = soakEVM(spec, c, reg, compiled, res, run)
 	case *core.AlgorandConnector:
-		err = soakAlgorand(spec, c, reg, res)
+		err = soakAlgorand(spec, c, reg, res, run)
 	default:
 		err = fmt.Errorf("sim: soak does not support connector %T", conn)
 	}
@@ -253,17 +348,15 @@ func checkinGasLimit(compiled *lang.Compiled) uint64 {
 // deployAreasEVM publishes one check-in contract per area through the
 // chain's batched submission path: sequential deployer nonces keep the
 // deterministic contract addresses computable up front, so handles are
-// registered before the transactions even land. The deployer is funded
-// proportionally to the area count — selection reserves maxFee×gasLimit
-// per pending deployment up front.
+// registered before the transactions even land. The deployer's key comes
+// from the soak-owned stream and is funded via Fund — proportionally to
+// the area count, since selection reserves maxFee×gasLimit per pending
+// deployment up front.
 func deployAreasEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, compiled *lang.Compiled) error {
 	c := conn.Chain()
 	c.SetRetention(soakRetention)
-	deployerAcct, err := conn.NewAccount(float64(spec.Areas) + 100)
-	if err != nil {
-		return err
-	}
-	deployer := deployerAcct.EVM()
+	deployer := soakAccountEVM(soakKeyStream(spec.Seed))
+	c.Fund(deployer.Address, new(big.Int).Mul(big.NewInt(int64(spec.Areas)+100), big.NewInt(1e18)))
 	gasLimit := compiled.Analysis.EVMDeployGas + compiled.Analysis.EVMDeployGas/4
 	tip := big.NewInt(2_000_000_000)
 	// Headroom for the base-fee climb across the (few) full deploy blocks.
@@ -332,8 +425,37 @@ func deployAreasEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegist
 	return nil
 }
 
+// deployAreasAlgorand publishes one check-in application per area through
+// the connector's submit-and-wait path. Sequential creation pins app ids
+// to 1..Areas, which is what lets a resumed run re-derive its registry
+// without replaying the deployment.
+func deployAreasAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaRegistry, compiled *lang.Compiled) error {
+	c := conn.Chain()
+	c.SetRetention(soakRetention)
+	dep := soakAccountAlgorand(soakKeyStream(spec.Seed))
+	c.Fund(dep.Address, 100_000_000+uint64(spec.Areas)*2*algorand.MinFee)
+	deployer := core.AlgorandAccount(dep)
+	for i := 0; i < spec.Areas; i++ {
+		area := soakAreaCode(i)
+		h, _, err := conn.Deploy(deployer, compiled, []lang.Value{
+			lang.BytesValue([]byte(area)),
+		})
+		if err != nil {
+			return fmt.Errorf("sim: deploy area %s: %w", area, err)
+		}
+		if h.AppID != uint64(i)+1 {
+			return fmt.Errorf("sim: area %s deployed as app %d, want %d (resume derivation relies on sequential ids)",
+				area, h.AppID, i+1)
+		}
+		if err := reg.Register(area, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // soakEVM runs the load phase against an Ethereum-family chain.
-func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, compiled *lang.Compiled, res *SoakResult) error {
+func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, compiled *lang.Compiled, res *SoakResult, run *soakRun) error {
 	c := conn.Chain()
 	c.SetShards(spec.Shards)
 	c.SetRetention(soakRetention)
@@ -343,16 +465,24 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 	}
 	gasLimit := checkinGasLimit(compiled)
 
+	// User keys come from the soak-owned stream (deployer first, then one
+	// key per user index), so a resumed process re-derives the identical
+	// accounts; only a fresh run funds them. Each user submits exactly one
+	// transaction per round, which pins their nonce at round start to the
+	// number of completed rounds.
+	keys := soakKeyStream(spec.Seed)
+	_ = soakAccountEVM(keys) // skip the deployer's draw
 	users := make([]*eth.Account, spec.Users)
 	nonces := make([]uint64, spec.Users)
 	targets := make([]chain.Address, spec.Users)
 	areas := reg.Areas()
 	for ui := range users {
-		acct, err := conn.NewAccount(1)
-		if err != nil {
-			return err
+		u := soakAccountEVM(keys)
+		if !run.resumed {
+			c.Fund(u.Address, big.NewInt(1e18))
 		}
-		users[ui] = acct.EVM()
+		users[ui] = u
+		nonces[ui] = uint64(run.startRound)
 		h, ok := reg.Lookup(areas[ui%len(areas)])
 		if !ok {
 			return fmt.Errorf("sim: area %s not registered", areas[ui%len(areas)])
@@ -363,8 +493,34 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 	tip := big.NewInt(2_000_000_000)
 	blocksBefore := c.Head().Number
 	simStart := c.Now()
+	if run.resumed {
+		blocksBefore = run.blocksAtLoadStart
+		simStart = run.simStart
+	}
+	if run.persist != nil {
+		run.persist.meta.BlocksAtLoadStart = blocksBefore
+		run.persist.meta.SimStart = simStart
+		if !run.resumed {
+			if err := run.persist.commitEVM(c, 0, 0, false); err != nil {
+				return err
+			}
+		}
+	}
+	res.Submitted = run.submitted0
 	start := time.Now()
-	for round := 0; round < spec.Rounds; round++ {
+	finish := func() {
+		res.Wall = time.Since(start)
+		res.Simulated = c.Now() - simStart
+		res.Blocks = c.Head().Number - blocksBefore
+		if st := c.ShardStats(); st != nil {
+			res.Utilization = st.Utilization()
+			res.ShardTxs = append([]uint64(nil), st.Txs...)
+			res.ParallelBatches = st.ParallelBatches
+		}
+		res.Digest = c.Digest()
+		res.StateRoot = c.StateRoot()
+	}
+	for round := run.startRound; round < spec.Rounds; round++ {
 		maxFee := new(big.Int).Add(new(big.Int).Mul(c.BaseFee(), big.NewInt(2)), tip)
 		txs := make([]*eth.Tx, 0, spec.Users)
 		for ui, u := range users {
@@ -393,6 +549,18 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 		res.Submitted += uint64(len(txs))
 		c.Step()
 		spec.Telemetry.Tick()
+		roundsDone := round + 1
+		stop := spec.StopAfterRounds > 0 && roundsDone >= spec.StopAfterRounds && roundsDone < spec.Rounds
+		if run.persist != nil && (stop || (spec.CheckpointEvery > 0 && roundsDone%spec.CheckpointEvery == 0)) {
+			if err := run.persist.commitEVM(c, roundsDone, res.Submitted, false); err != nil {
+				return err
+			}
+		}
+		if stop {
+			res.Stopped = true
+			finish()
+			return nil
+		}
 	}
 	for i := 0; i < spec.Rounds*10+50 && c.PendingCount() > 0; i++ {
 		c.Step()
@@ -401,36 +569,34 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 	if n := c.PendingCount(); n != 0 {
 		return fmt.Errorf("sim: soak drain incomplete: %d transactions pending", n)
 	}
-	res.Wall = time.Since(start)
-	res.Simulated = c.Now() - simStart
+	finish()
 	res.Included = res.Submitted
-	res.Blocks = c.Head().Number - blocksBefore
-	if st := c.ShardStats(); st != nil {
-		res.Utilization = st.Utilization()
-		res.ShardTxs = append([]uint64(nil), st.Txs...)
-		res.ParallelBatches = st.ParallelBatches
+	if run.persist != nil {
+		if err := run.persist.commitEVM(c, spec.Rounds, res.Submitted, true); err != nil {
+			return err
+		}
 	}
-	res.Digest = c.Digest()
-	res.StateRoot = c.StateRoot()
 	return nil
 }
 
 // soakAlgorand runs the load phase against the Algorand chain.
-func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaRegistry, res *SoakResult) error {
+func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaRegistry, res *SoakResult, run *soakRun) error {
 	c := conn.Chain()
 	c.SetShards(spec.Shards)
 	c.SetRetention(soakRetention)
 
+	keys := soakKeyStream(spec.Seed)
+	_ = soakAccountAlgorand(keys) // skip the deployer's draw
 	users := make([]*algorand.Account, spec.Users)
 	targets := make([]uint64, spec.Users)
 	areas := reg.Areas()
 	var api *lang.API
 	for ui := range users {
-		acct, err := conn.NewAccount(10)
-		if err != nil {
-			return err
+		u := soakAccountAlgorand(keys)
+		if !run.resumed {
+			c.Fund(u.Address, 10_000_000)
 		}
-		users[ui] = acct.Algorand()
+		users[ui] = u
 		h, ok := reg.Lookup(areas[ui%len(areas)])
 		if !ok {
 			return fmt.Errorf("sim: area %s not registered", areas[ui%len(areas)])
@@ -446,8 +612,34 @@ func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaReg
 
 	blocksBefore := c.Head().Round
 	simStart := c.Now()
+	if run.resumed {
+		blocksBefore = run.blocksAtLoadStart
+		simStart = run.simStart
+	}
+	if run.persist != nil {
+		run.persist.meta.BlocksAtLoadStart = blocksBefore
+		run.persist.meta.SimStart = simStart
+		if !run.resumed {
+			if err := run.persist.commitAlgorand(c, 0, 0, false); err != nil {
+				return err
+			}
+		}
+	}
+	res.Submitted = run.submitted0
 	start := time.Now()
-	for round := 0; round < spec.Rounds; round++ {
+	finish := func() {
+		res.Wall = time.Since(start)
+		res.Simulated = c.Now() - simStart
+		res.Blocks = c.Head().Round - blocksBefore
+		if st := c.ShardStats(); st != nil {
+			res.Utilization = st.Utilization()
+			res.ShardTxs = append([]uint64(nil), st.Txs...)
+			res.ParallelBatches = st.ParallelBatches
+		}
+		res.Digest = c.Digest()
+		res.StateRoot = c.StateRoot()
+	}
+	for round := run.startRound; round < spec.Rounds; round++ {
 		groups := make([]algorand.Group, 0, spec.Users)
 		for ui, u := range users {
 			appArgs, err := lang.EncodeArgsTEAL("checkin", api.Params, []lang.Value{
@@ -472,6 +664,18 @@ func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaReg
 		res.Submitted += uint64(len(groups))
 		c.Step()
 		spec.Telemetry.Tick()
+		roundsDone := round + 1
+		stop := spec.StopAfterRounds > 0 && roundsDone >= spec.StopAfterRounds && roundsDone < spec.Rounds
+		if run.persist != nil && (stop || (spec.CheckpointEvery > 0 && roundsDone%spec.CheckpointEvery == 0)) {
+			if err := run.persist.commitAlgorand(c, roundsDone, res.Submitted, false); err != nil {
+				return err
+			}
+		}
+		if stop {
+			res.Stopped = true
+			finish()
+			return nil
+		}
 	}
 	for i := 0; i < spec.Rounds*10+50 && c.PendingCount() > 0; i++ {
 		c.Step()
@@ -480,16 +684,12 @@ func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaReg
 	if n := c.PendingCount(); n != 0 {
 		return fmt.Errorf("sim: soak drain incomplete: %d groups pending", n)
 	}
-	res.Wall = time.Since(start)
-	res.Simulated = c.Now() - simStart
+	finish()
 	res.Included = res.Submitted
-	res.Blocks = c.Head().Round - blocksBefore
-	if st := c.ShardStats(); st != nil {
-		res.Utilization = st.Utilization()
-		res.ShardTxs = append([]uint64(nil), st.Txs...)
-		res.ParallelBatches = st.ParallelBatches
+	if run.persist != nil {
+		if err := run.persist.commitAlgorand(c, spec.Rounds, res.Submitted, true); err != nil {
+			return err
+		}
 	}
-	res.Digest = c.Digest()
-	res.StateRoot = c.StateRoot()
 	return nil
 }

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSoakCheckpointResumeBitIdentical is the headline crash-safety gate
+// at the harness level: a soak stopped mid-run and resumed from its
+// diskstore checkpoint must land on exactly the digest, state root and
+// block count of a soak that never stopped — on both chain families, and
+// even when the resumed process picks a different shard count.
+func TestSoakCheckpointResumeBitIdentical(t *testing.T) {
+	for _, c := range []ChainName{ChainGoerli, ChainAlgorand} {
+		c := c
+		t.Run(string(c), func(t *testing.T) {
+			spec := SoakSpec{Chain: c, Areas: 3, Users: 6, Rounds: 6, Shards: 2, Seed: 42}
+			full, err := RunSoak(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			withState := spec
+			withState.StateDir = dir
+			withState.CheckpointEvery = 2
+			withState.StopAfterRounds = 3
+			stopped, err := RunSoak(withState)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !stopped.Stopped {
+				t.Fatal("run should have stopped at StopAfterRounds")
+			}
+			if stopped.Digest == full.Digest {
+				t.Fatal("a stopped run cannot already match the full run's digest")
+			}
+
+			resumed, err := RunSoak(SoakSpec{StateDir: dir, Resume: true, Shards: 4, CheckpointEvery: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resumed.Resumed {
+				t.Fatal("result should be marked resumed")
+			}
+			if resumed.Digest != full.Digest {
+				t.Fatalf("resumed digest %x diverges from uninterrupted %x", resumed.Digest, full.Digest)
+			}
+			if resumed.StateRoot != full.StateRoot {
+				t.Fatal("resumed state root diverges from uninterrupted run")
+			}
+			if resumed.Blocks != full.Blocks {
+				t.Fatalf("resumed run reports %d blocks, uninterrupted %d", resumed.Blocks, full.Blocks)
+			}
+			if resumed.Submitted != full.Submitted || resumed.Included != full.Included {
+				t.Fatalf("resumed submitted/included %d/%d, uninterrupted %d/%d",
+					resumed.Submitted, resumed.Included, full.Submitted, full.Included)
+			}
+		})
+	}
+}
+
+// TestSoakResumeOfCompletedRunIsNoOp: resuming after the final (drained)
+// checkpoint replays nothing and preserves the digest — the property that
+// makes a kill arriving after completion harmless.
+func TestSoakResumeOfCompletedRunIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	done, err := RunSoak(SoakSpec{
+		Chain: ChainGoerli, Areas: 2, Users: 4, Rounds: 3, Shards: 2, Seed: 7,
+		StateDir: dir, CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunSoak(SoakSpec{StateDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != done.Digest || again.StateRoot != done.StateRoot {
+		t.Fatal("resume of a completed run must be a digest-preserving no-op")
+	}
+	if again.Blocks != done.Blocks {
+		t.Fatalf("no-op resume reports %d blocks, original %d", again.Blocks, done.Blocks)
+	}
+}
+
+func TestSoakPersistValidation(t *testing.T) {
+	if _, err := RunSoak(SoakSpec{Chain: ChainGoerli, Areas: 1, Users: 1, Rounds: 1, StopAfterRounds: 1}); err == nil {
+		t.Fatal("StopAfterRounds without StateDir must be rejected")
+	}
+	if _, err := RunSoak(SoakSpec{Resume: true}); err == nil {
+		t.Fatal("Resume without StateDir must be rejected")
+	}
+
+	dir := t.TempDir()
+	spec := SoakSpec{Chain: ChainAlgorand, Areas: 2, Users: 2, Rounds: 2, Seed: 9, StateDir: dir}
+	if _, err := RunSoak(spec); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh run must refuse a directory that already holds a committed soak.
+	if _, err := RunSoak(spec); err == nil {
+		t.Fatal("fresh run into a committed state dir must be rejected")
+	}
+	// A resume contradicting the manifest's workload shape must be rejected.
+	if _, err := RunSoak(SoakSpec{StateDir: dir, Resume: true, Users: 99}); err == nil {
+		t.Fatal("resume with mismatched users must be rejected")
+	}
+	if _, err := RunSoak(SoakSpec{StateDir: dir, Resume: true, Chain: ChainGoerli}); err == nil {
+		t.Fatal("resume with mismatched chain must be rejected")
+	}
+	// A matching resume still works after the rejections above.
+	if _, err := RunSoak(SoakSpec{StateDir: dir, Resume: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Resuming an empty state dir must fail cleanly.
+	if _, err := RunSoak(SoakSpec{StateDir: t.TempDir(), Resume: true}); err == nil {
+		t.Fatal("resume of an empty state dir must be rejected")
+	}
+}

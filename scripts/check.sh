@@ -55,6 +55,55 @@ go run ./cmd/polbench -soak -areas 8 -soakusers 32 -soakrounds 15 -shards 4 -ben
 # bound applies to the committed full-scale soak record.
 go run ./cmd/benchgate -kind state -fresh BENCH_throughput.json -maxbytesperuser 2000000
 
+echo "== persistence (kill-and-resume) =="
+# Crash-safety smoke: an uninterrupted reference soak, then the identical
+# workload checkpointing into a state dir and killed with SIGKILL
+# mid-flight, then resumed from whatever manifest survived the kill. The
+# resumed run must land on the reference digest — restart-from-root is
+# bit-exact. The harness is built to a real binary first: SIGKILLing a
+# `go run` pid would orphan the child instead of killing the harness. If
+# the kill happens to land after the run finished, the resume degrades to
+# a digest-preserving no-op and the comparison still holds.
+persist_tmp="$(mktemp -d)"
+go build -o "$persist_tmp/polbench" ./cmd/polbench
+"$persist_tmp/polbench" -soak -areas 4 -soakusers 48 -soakrounds 300 -shards 2 \
+    -statedir "$persist_tmp/ref" -checkpoint 20 \
+    -benchout "$persist_tmp/ref.json" > /dev/null
+"$persist_tmp/polbench" -soak -areas 4 -soakusers 48 -soakrounds 300 -shards 2 \
+    -statedir "$persist_tmp/killed" -checkpoint 20 \
+    -benchout "$persist_tmp/killed.json" > /dev/null &
+kill_pid=$!
+tries=0
+while [ ! -f "$persist_tmp/killed/MANIFEST" ] && [ $tries -lt 400 ]; do
+    tries=$((tries + 1))
+    sleep 0.05
+done
+# The setup checkpoint writes the first manifest right after deployment;
+# a short grace period lets the load phase commit a few more before the
+# kill lands mid-run.
+sleep 0.5
+kill -9 "$kill_pid" 2>/dev/null || true
+wait "$kill_pid" 2>/dev/null || true
+"$persist_tmp/polbench" -soak -statedir "$persist_tmp/killed" -resume \
+    -benchout "$persist_tmp/resumed.json" > /dev/null
+ref_digest="$(grep '"digest"' "$persist_tmp/ref.json")"
+res_digest="$(grep '"digest"' "$persist_tmp/resumed.json")"
+if [ -z "$ref_digest" ] || [ "$ref_digest" != "$res_digest" ]; then
+    echo "persistence smoke: resumed digest diverges from the uninterrupted reference" >&2
+    echo "  reference: $ref_digest" >&2
+    echo "  resumed:   $res_digest" >&2
+    exit 1
+fi
+rm -rf "$persist_tmp"
+
+echo "== persistence benchmark =="
+# Stop-at-checkpoint + resume vs uninterrupted, on both chain families,
+# inside one process (the SIGKILL variant above covers the hard-crash
+# path); leaves BENCH_persist.json for CI to gate and upload.
+go run ./cmd/polbench -persist -areas 4 -soakusers 12 -soakrounds 10 -shards 2 \
+    -benchout BENCH_persist.json > /dev/null
+go run ./cmd/benchgate -kind persist -fresh BENCH_persist.json
+
 echo "== serve smoke =="
 # Live-telemetry smoke: a soak with the HTTP exposition server attached,
 # scraped from outside the process while it is up, then shut down via
