@@ -40,6 +40,7 @@ func main() {
 		minSpeedup = flag.Float64("minspeedup", 1.8, "required sharded-vs-serial speedup when the measurement is valid")
 		minShards  = flag.Int("minshards", 4, "shard count from which -minspeedup is enforced")
 		maxBPU     = flag.Float64("maxbytesperuser", 8192, "allowed live-heap bytes per user for -kind state")
+		minPre     = flag.Float64("minprecompilespeedup", 2.0, "required EVM precompile-vs-interpreted speedup for -kind vm (0 disables)")
 		maxReopen  = flag.Float64("maxreopenseconds", 30, "allowed restart-from-root wall time for -kind persist")
 	)
 	flag.Parse()
@@ -60,7 +61,7 @@ func main() {
 	)
 	switch *kind {
 	case "vm":
-		problems, err = gateVM(*fresh, *baseline, *tolerance)
+		problems, err = gateVM(*fresh, *baseline, *tolerance, *minPre)
 	case "throughput":
 		problems, err = gateThroughput(*fresh, *baseline, *tolerance, *minSpeedup, *minShards)
 	case "health":
@@ -102,10 +103,13 @@ type vmWorkload struct {
 	U256 *vmSeries `json:"u256"`
 }
 
-// vmRecord mirrors the fields of BENCH_vm.json the gate reads.
+// vmRecord mirrors the fields of BENCH_vm.json the gate reads. The
+// precompile headline is a pointer so a record predating the proof-verify
+// workload is distinguishable from a measured 0x.
 type vmRecord struct {
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Workloads  []vmWorkload `json:"workloads"`
+	GOMAXPROCS           int          `json:"gomaxprocs"`
+	Workloads            []vmWorkload `json:"workloads"`
+	EVMPrecompileSpeedup *float64     `json:"evm_proof_verify_precompile_ns_improvement"`
 }
 
 // throughputRun mirrors one runs[] entry of BENCH_throughput.json.
@@ -147,8 +151,13 @@ func regressed(fresh, base, tol float64) bool {
 
 // gateVM checks every baseline workload's u256 ns/op against the fresh
 // record. A workload missing from the fresh record is itself a failure —
-// a silently dropped benchmark must not pass the gate.
-func gateVM(freshPath, basePath string, tol float64) ([]string, error) {
+// a silently dropped benchmark must not pass the gate. When minPre > 0
+// the fresh record must additionally carry the proof-verification
+// precompile headline and clear that floor: the native hot path staying
+// at least that much faster than the interpreted lowering is an
+// acceptance criterion, and a record without the measurement is the gate
+// silently disarming itself.
+func gateVM(freshPath, basePath string, tol, minPre float64) ([]string, error) {
 	var fresh, base vmRecord
 	if err := readJSON(freshPath, &fresh); err != nil {
 		return nil, err
@@ -176,6 +185,18 @@ func gateVM(freshPath, basePath string, tol float64) ([]string, error) {
 				"workload %q ns/op regressed %.1f%% (fresh %.0f vs baseline %.0f, tolerance %.0f%%)",
 				bw.Name, 100*(fw.U256.NsPerOp/bw.U256.NsPerOp-1),
 				fw.U256.NsPerOp, bw.U256.NsPerOp, 100*tol))
+		}
+	}
+	if minPre > 0 {
+		switch {
+		case fresh.EVMPrecompileSpeedup == nil:
+			problems = append(problems, fmt.Sprintf(
+				"fresh record carries no evm_proof_verify_precompile_ns_improvement headline "+
+					"(required floor %.2fx): the precompile speedup was never measured", minPre))
+		case *fresh.EVMPrecompileSpeedup < minPre:
+			problems = append(problems, fmt.Sprintf(
+				"EVM precompile speedup %.2fx is below the required %.2fx floor",
+				*fresh.EVMPrecompileSpeedup, minPre))
 		}
 	}
 	return problems, nil

@@ -68,7 +68,66 @@ func TestGateVM(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			fresh := writeJSON(t, dir, "fresh.json", tc.fresh)
-			problems, err := gateVM(fresh, base, 0.25)
+			problems, err := gateVM(fresh, base, 0.25, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(problems) != tc.want {
+				t.Fatalf("problems = %v, want %d", problems, tc.want)
+			}
+			if tc.match != "" && !strings.Contains(problems[0], tc.match) {
+				t.Fatalf("problem %q does not mention %q", problems[0], tc.match)
+			}
+		})
+	}
+}
+
+func TestGateVMPrecompileFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", vmRec([]string{"evm"}, []float64{1000}))
+	withHeadline := func(speedup float64) vmRecord {
+		r := vmRec([]string{"evm"}, []float64{1000})
+		r.EVMPrecompileSpeedup = &speedup
+		return r
+	}
+
+	cases := []struct {
+		name   string
+		fresh  vmRecord
+		minPre float64
+		want   int
+		match  string
+	}{
+		{
+			name:  "speedup above the floor passes",
+			fresh: withHeadline(2.2), minPre: 2.0,
+			want: 0,
+		},
+		{
+			name:  "speedup below the floor fails",
+			fresh: withHeadline(1.4), minPre: 2.0,
+			want: 1, match: "below the required 2.00x floor",
+		},
+		{
+			name:  "missing headline fails when the floor is armed",
+			fresh: vmRec([]string{"evm"}, []float64{1000}), minPre: 2.0,
+			want: 1, match: "never measured",
+		},
+		{
+			name:  "zero floor disables the check",
+			fresh: vmRec([]string{"evm"}, []float64{1000}), minPre: 0,
+			want: 0,
+		},
+		{
+			name:  "measured zero is a failure, not a missing field",
+			fresh: withHeadline(0), minPre: 2.0,
+			want: 1, match: "below the required",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := writeJSON(t, dir, "fresh.json", tc.fresh)
+			problems, err := gateVM(fresh, base, 0.25, tc.minPre)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -420,7 +479,7 @@ func TestGateHealthRoundTrip(t *testing.T) {
 }
 
 func TestGateVMReadErrors(t *testing.T) {
-	if _, err := gateVM("does-not-exist.json", "also-missing.json", 0.25); err == nil {
+	if _, err := gateVM("does-not-exist.json", "also-missing.json", 0.25, 0); err == nil {
 		t.Fatal("missing files must error")
 	}
 	dir := t.TempDir()
@@ -428,7 +487,7 @@ func TestGateVMReadErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := gateVM(bad, bad, 0.25); err == nil {
+	if _, err := gateVM(bad, bad, 0.25, 0); err == nil {
 		t.Fatal("malformed JSON must error")
 	}
 }

@@ -14,6 +14,7 @@ type hygieneFlags struct {
 	Matrix                    bool
 	FaultsProfile             string
 	VMBench, Soak             bool
+	VMFilter                  string
 	FaultRate                 float64
 	SampleInterval            time.Duration
 	Serve, HealthOut          string
@@ -42,6 +43,12 @@ func hygieneProblem(set map[string]bool, f hygieneFlags) string {
 	}
 	if set["vmbenchtime"] && !f.VMBench {
 		return "-vmbenchtime requires -vmbench"
+	}
+	if set["vmfilter"] && !f.VMBench {
+		return "-vmfilter requires -vmbench"
+	}
+	if set["vmfilter"] && f.VMFilter == "" {
+		return "-vmfilter must not be empty (omit it to run every workload)"
 	}
 	if set["soakchain"] && !f.Soak {
 		return "-soakchain requires -soak (-persist always runs both chain families)"

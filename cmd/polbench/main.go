@@ -56,6 +56,7 @@ func main() {
 		faultsOut = flag.String("faultsout", "FAULTS_report.json", "where -faults writes the recovery-rate report")
 		vmbenchF  = flag.Bool("vmbench", false, "run the VM interpreter micro-benchmarks (u256 fast path vs big.Int reference)")
 		vmbenchT  = flag.String("vmbenchtime", "1s", "testing -benchtime for -vmbench (e.g. 1s, 100x; 1x = CI smoke)")
+		vmFilter  = flag.String("vmfilter", "", "only run -vmbench workloads whose name contains this substring (e.g. proof_verify)")
 		soak      = flag.Bool("soak", false, "run the sharded soak/load harness -> BENCH_throughput.json")
 		soakChain = flag.String("soakchain", "goerli", "network preset for -soak (goerli, polygon, algorand)")
 		areas     = flag.Int("areas", 8, "soak areas (M): one check-in contract each")
@@ -85,7 +86,7 @@ func main() {
 	}
 	if msg := hygieneProblem(setFlags, hygieneFlags{
 		Tables: *tables, Figures: *figures, Analysis: *analysis, Fig: *fig,
-		Matrix: *matrix, FaultsProfile: *faultsPro, VMBench: *vmbenchF, Soak: *soak,
+		Matrix: *matrix, FaultsProfile: *faultsPro, VMBench: *vmbenchF, VMFilter: *vmFilter, Soak: *soak,
 		FaultRate: *faultRate, SampleInterval: *sampleInt,
 		Serve: *serveAddr, HealthOut: *healthOut,
 		StateDir: *stateDir, Checkpoint: *checkEver, Resume: *resumeF, Persist: *persistF,
@@ -202,7 +203,7 @@ func main() {
 		if out == "" {
 			out = "BENCH_vm.json"
 		}
-		if err := runVMBench(*vmbenchT, out, *jsonOut); err != nil {
+		if err := runVMBench(*vmbenchT, *vmFilter, out, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -485,10 +486,15 @@ func runMatrixMode(seed uint64, reps, parallel int, benchOut string, o *obs.Obs,
 
 // runVMBench runs the interpreter micro-benchmarks and writes the
 // BENCH_vm.json before/after record (u256 fast path vs big.Int reference).
-func runVMBench(benchtime, out string, jsonOut bool) error {
-	rep, err := vmbench.Run(benchtime)
+func runVMBench(benchtime, filter, out string, jsonOut bool) error {
+	rep, err := vmbench.Run(benchtime, filter)
 	if err != nil {
 		return err
+	}
+	if len(rep.Workloads) == 0 {
+		// A filter that matches nothing would write a record every gate
+		// rejects; fail loudly at the source instead.
+		return fmt.Errorf("-vmfilter %q matched no vmbench workloads", filter)
 	}
 	if !jsonOut {
 		fmt.Print(rep)

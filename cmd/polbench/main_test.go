@@ -25,6 +25,9 @@ func TestHygieneProblem(t *testing.T) {
 		{"reps without matrix or faults", set("reps"), hygieneFlags{FaultRate: 0.1}, "-reps and -parallel"},
 		{"faultrate without faults", set("faultrate"), hygieneFlags{FaultRate: 0.5}, "require -faults"},
 		{"vmbenchtime without vmbench", set("vmbenchtime"), hygieneFlags{FaultRate: 0.1}, "requires -vmbench"},
+		{"vmfilter without vmbench", set("vmfilter"), hygieneFlags{VMFilter: "proof_verify", FaultRate: 0.1}, "-vmfilter requires -vmbench"},
+		{"vmfilter with vmbench", set("vmbench", "vmfilter"), hygieneFlags{VMBench: true, VMFilter: "proof_verify", FaultRate: 0.1}, ""},
+		{"empty vmfilter", set("vmbench", "vmfilter"), hygieneFlags{VMBench: true, VMFilter: "", FaultRate: 0.1}, "must not be empty"},
 		{"areas without soak", set("areas"), hygieneFlags{FaultRate: 0.1}, "-areas requires -soak"},
 		{"benchout without a bench mode", set("benchout"), hygieneFlags{FaultRate: 0.1}, "-benchout only applies"},
 		{"benchout ambiguous", set("benchout"), hygieneFlags{Matrix: true, Soak: true, FaultRate: 0.1}, "ambiguous"},

@@ -37,7 +37,7 @@ func main() {
 		var prog *lang.Program
 		prog, err = lang.ParseSource(string(data))
 		if err == nil {
-			compiled, err = lang.Compile(prog, lang.Options{MaxBytesLen: 512})
+			compiled, err = lang.Compile(prog, lang.Options{MaxBytesLen: 512, Precompiles: true})
 		}
 	case *v2:
 		compiled, err = core.CompilePoLV2()

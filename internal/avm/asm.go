@@ -51,7 +51,7 @@ func Parse(src string) (*Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("avm: line %d: %w", lineNo+1, err)
 		}
-		p.Instrs = append(p.Instrs, Instr{Op: fields[0], Args: fields[1:], Line: lineNo + 1, Cost: instrCost(fields[0])})
+		p.Instrs = append(p.Instrs, Instr{Op: fields[0], Args: fields[1:], Line: lineNo + 1, Cost: instrCostArgs(fields[0], fields[1:])})
 	}
 	return p, nil
 }

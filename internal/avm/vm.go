@@ -8,6 +8,7 @@ import (
 	"agnopol/internal/chain"
 	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
+	"agnopol/internal/precompile"
 )
 
 // DefaultBudget is the opcode-cost budget of a single application call.
@@ -70,9 +71,29 @@ var (
 
 // opCost gives non-unit opcode costs; everything else costs 1. Parse bakes
 // these into Instr.Cost so the interpreter loop never consults the map.
+// Precompile pseudo-ops (ed25519verify, keccak256, sha256_parts,
+// olc_contains) register their fixed costs from the shared registry at init
+// so the two stay in lockstep.
 var opCost = map[string]uint64{
 	"sha256": 35,
 }
+
+func init() {
+	for _, p := range precompile.All() {
+		if p.AVMOp != "" {
+			opCost[p.AVMOp] = p.AVMCost
+		}
+	}
+}
+
+// Pre-resolved precompile entries so the dispatch loop never consults the
+// registry map.
+var (
+	preEd25519     = precompile.ByAVMOp("ed25519verify")
+	preKeccak256   = precompile.ByAVMOp("keccak256")
+	preSha256Parts = precompile.ByAVMOp("sha256_parts")
+	preOLCContains = precompile.ByAVMOp("olc_contains")
+)
 
 // instrCost is the budget cost of op (≥ 1).
 func instrCost(op string) uint64 {
@@ -80,6 +101,19 @@ func instrCost(op string) uint64 {
 		return c
 	}
 	return 1
+}
+
+// instrCostArgs is instrCost made argument-aware: sha256_parts charges its
+// base cost plus one per hashed part, mirroring how the EVM precompile
+// charges per referenced range.
+func instrCostArgs(op string, args []string) uint64 {
+	c := instrCost(op)
+	if op == "sha256_parts" && len(args) == 1 {
+		if n, err := argUint(args[0]); err == nil {
+			c += n
+		}
+	}
+	return c
 }
 
 // machine is the pooled per-call interpreter state. The AVM already
@@ -213,7 +247,7 @@ func (m *machine) run() (bool, error) {
 		ins := m.prog.Instrs[pc]
 		c := ins.Cost
 		if c == 0 { // program not built by Parse
-			c = instrCost(ins.Op)
+			c = instrCostArgs(ins.Op, ins.Args)
 		}
 		m.cost += c
 		if m.tx.Profiler != nil {
@@ -437,8 +471,92 @@ func (m *machine) run() (bool, error) {
 			if err != nil {
 				return false, errAt(err)
 			}
-			h := polcrypto.Hash(b)
+			h := polcrypto.Hash1(b)
 			m.push(BytesValue(h[:]))
+
+		case "sha256_parts":
+			// Precompile pseudo-op: sha256 over the concatenation of the
+			// top N stack values without materializing the concatenation.
+			n, err := argUint(ins.Args[0])
+			if err != nil || n < 1 || n > 16 {
+				return false, errAt(fmt.Errorf("%w: sha256_parts count", ErrBadProgram))
+			}
+			parts := make([][]byte, n)
+			for i := int(n) - 1; i >= 0; i-- {
+				if parts[i], err = m.popBytes(); err != nil {
+					return false, errAt(err)
+				}
+			}
+			h, _ := preSha256Parts.Native(c, parts...)
+			m.push(BytesValue(h[:]))
+
+		case "keccak256":
+			// Precompile pseudo-op; the system hash is SHA-256 throughout
+			// (DESIGN.md §14), so this is sha256 at keccak's op cost.
+			b, err := m.popBytes()
+			if err != nil {
+				return false, errAt(err)
+			}
+			h, _ := preKeccak256.Native(c, b)
+			m.push(BytesValue(h[:]))
+
+		case "ed25519verify":
+			// Precompile pseudo-op: pops pubkey, signature, data (TEAL
+			// argument order data/sig/pubkey) and pushes the verdict. Routed
+			// through the shared LRU signature cache.
+			pub, err := m.popBytes()
+			if err != nil {
+				return false, errAt(err)
+			}
+			sig, err := m.popBytes()
+			if err != nil {
+				return false, errAt(err)
+			}
+			data, err := m.popBytes()
+			if err != nil {
+				return false, errAt(err)
+			}
+			w, ok := preEd25519.Native(c, pub, data, sig)
+			if !ok {
+				return false, errAt(fmt.Errorf("%w: ed25519verify", ErrBadProgram))
+			}
+			m.push(Uint64Value(uint64(w[31])))
+
+		case "olc_contains":
+			// Precompile pseudo-op: pops code, cell and pushes whether the
+			// open-location code lies in the (stripped-prefix) area cell.
+			code, err := m.popBytes()
+			if err != nil {
+				return false, errAt(err)
+			}
+			cell, err := m.popBytes()
+			if err != nil {
+				return false, errAt(err)
+			}
+			w, ok := preOLCContains.Native(c, cell, code)
+			if !ok {
+				return false, errAt(fmt.Errorf("%w: olc_contains", ErrBadProgram))
+			}
+			m.push(Uint64Value(uint64(w[31])))
+
+		case "substring3":
+			// substring3: A (bytes), B (start), C (end) -> A[B:C].
+			end, err := m.popUint()
+			if err != nil {
+				return false, errAt(err)
+			}
+			start, err := m.popUint()
+			if err != nil {
+				return false, errAt(err)
+			}
+			s, err := m.popBytes()
+			if err != nil {
+				return false, errAt(err)
+			}
+			if start > end || end > uint64(len(s)) {
+				return false, errAt(fmt.Errorf("%w: substring3 range [%d:%d] of %d bytes", ErrBadProgram, start, end, len(s)))
+			}
+			m.push(BytesValue(append([]byte(nil), s[start:end]...)))
 
 		case "dup":
 			v, err := m.pop()

@@ -136,7 +136,7 @@ func BuildPoLProgram() *lang.Program {
 // CompilePoL compiles the PoL contract for both backends; the single
 // compiled artifact drives every connector.
 func CompilePoL() (*lang.Compiled, error) {
-	c, err := lang.Compile(BuildPoLProgram(), lang.Options{MaxBytesLen: 512})
+	c, err := lang.Compile(BuildPoLProgram(), lang.Options{MaxBytesLen: 512, Precompiles: true})
 	if err != nil {
 		return nil, fmt.Errorf("core: compile PoL contract: %w", err)
 	}

@@ -135,7 +135,7 @@ func BuildPoLProgramV2() *lang.Program {
 
 // CompilePoLV2 compiles the extended contract.
 func CompilePoLV2() (*lang.Compiled, error) {
-	c, err := lang.Compile(BuildPoLProgramV2(), lang.Options{MaxBytesLen: 512})
+	c, err := lang.Compile(BuildPoLProgramV2(), lang.Options{MaxBytesLen: 512, Precompiles: true})
 	if err != nil {
 		return nil, fmt.Errorf("core: compile PoL v2 contract: %w", err)
 	}

@@ -46,7 +46,7 @@ func BuildDIDRegistryProgram() *lang.Program {
 
 // CompileDIDRegistry compiles the anchoring contract for both backends.
 func CompileDIDRegistry() (*lang.Compiled, error) {
-	c, err := lang.Compile(BuildDIDRegistryProgram(), lang.Options{MaxBytesLen: 64})
+	c, err := lang.Compile(BuildDIDRegistryProgram(), lang.Options{MaxBytesLen: 64, Precompiles: true})
 	if err != nil {
 		return nil, fmt.Errorf("core: compile DID registry: %w", err)
 	}

@@ -148,7 +148,7 @@ func BuildCheckinProgram() *lang.Program {
 
 // CompileCheckin compiles the check-in contract for both backends.
 func CompileCheckin() (*lang.Compiled, error) {
-	c, err := lang.Compile(BuildCheckinProgram(), lang.Options{MaxBytesLen: 512})
+	c, err := lang.Compile(BuildCheckinProgram(), lang.Options{MaxBytesLen: 512, Precompiles: true})
 	if err != nil {
 		return nil, fmt.Errorf("core: compile checkin contract: %w", err)
 	}

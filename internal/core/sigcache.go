@@ -1,105 +1,20 @@
 package core
 
 import (
-	"container/list"
 	"crypto/ed25519"
 	"errors"
 	"fmt"
-	"sync"
 
 	"agnopol/internal/polcrypto"
 )
 
-// defaultSigCacheSize bounds the signature-verification memo. A quorum run
-// re-checks every proof in a bundle at collection, submission and
-// verification time; a few thousand entries cover the largest experiment
-// matrix while keeping the cache at ~1 MiB worst case.
-const defaultSigCacheSize = 4096
+// The bounded LRU signature memo lives in polcrypto.SigCache so the VM
+// precompile layer (internal/precompile) can share the exact implementation
+// without importing core. This file keeps the System-level wiring: counter
+// instrumentation and the proof/bundle verification paths.
 
-// sigCacheKey is the full verification input. ed25519 keys and signatures
-// have fixed sizes and the system only ever signs 32-byte proof hashes, so
-// the key is a comparable value type — no per-lookup allocation.
-type sigCacheKey struct {
-	pub  [ed25519.PublicKeySize]byte
-	hash [32]byte
-	sig  [ed25519.SignatureSize]byte
-}
-
-type sigCacheEntry struct {
-	key sigCacheKey
-	ok  bool
-}
-
-// sigCache memoizes (pubkey, hash, signature) → valid under a bounded LRU.
-// Both outcomes are cached: a forged signature stays invalid forever, and
-// re-rejecting it should be as cheap as re-accepting a genuine one.
-type sigCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List
-	idx map[sigCacheKey]*list.Element
-}
-
-func newSigCache(capacity int) *sigCache {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &sigCache{
-		cap: capacity,
-		ll:  list.New(),
-		idx: make(map[sigCacheKey]*list.Element, capacity),
-	}
-}
-
-// get returns the memoized verdict and whether it was present.
-func (c *sigCache) get(k sigCacheKey) (ok, hit bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, found := c.idx[k]
-	if !found {
-		return false, false
-	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*sigCacheEntry).ok, true
-}
-
-// put records a verdict, evicting the least-recently-used entry at capacity.
-func (c *sigCache) put(k sigCacheKey, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, found := c.idx[k]; found {
-		el.Value.(*sigCacheEntry).ok = ok
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.idx[k] = c.ll.PushFront(&sigCacheEntry{key: k, ok: ok})
-	if c.ll.Len() > c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.idx, back.Value.(*sigCacheEntry).key)
-	}
-}
-
-// len reports the number of cached verdicts.
-func (c *sigCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
-
-// sigKeyFor packs the verification input into a cache key. Inputs with a
-// non-canonical shape (wrong key or signature length, message that is not a
-// 32-byte hash) are not cacheable.
-func sigKeyFor(pub ed25519.PublicKey, msg, sig []byte) (sigCacheKey, bool) {
-	var k sigCacheKey
-	if len(pub) != ed25519.PublicKeySize || len(msg) != 32 || len(sig) != ed25519.SignatureSize {
-		return k, false
-	}
-	copy(k.pub[:], pub)
-	copy(k.hash[:], msg)
-	copy(k.sig[:], sig)
-	return k, true
-}
+// defaultSigCacheSize bounds the system's signature-verification memo.
+const defaultSigCacheSize = polcrypto.DefaultSigCacheSize
 
 // verifySig is polcrypto.Verify memoized through the system's signature
 // cache. Quorum validation re-checks the same (witness, hash, signature)
@@ -107,17 +22,17 @@ func sigKeyFor(pub ed25519.PublicKey, msg, sig []byte) (sigCacheKey, bool) {
 // scalar math runs once and every re-check is a map hit. Hits and misses
 // feed core_sigcache_total when the system is instrumented.
 func (s *System) verifySig(pub ed25519.PublicKey, msg, sig []byte) bool {
-	key, cacheable := sigKeyFor(pub, msg, sig)
+	key, cacheable := polcrypto.SigKeyFor(pub, msg, sig)
 	if !cacheable {
 		return polcrypto.Verify(pub, msg, sig)
 	}
-	if ok, hit := s.sigs.get(key); hit {
+	if ok, hit := s.sigs.Get(key); hit {
 		s.countSigCache(true)
 		return ok
 	}
 	s.countSigCache(false)
 	ok := polcrypto.Verify(pub, msg, sig)
-	s.sigs.put(key, ok)
+	s.sigs.Put(key, ok)
 	return ok
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"crypto/ed25519"
 	"testing"
 
 	"agnopol/internal/chain"
@@ -72,7 +73,7 @@ func TestSigCacheUncacheableShapes(t *testing.T) {
 			t.Fatal("valid signature over non-hash message rejected")
 		}
 	}
-	if n := sys.sigs.len(); n != 0 {
+	if n := sys.sigs.Len(); n != 0 {
 		t.Fatalf("uncacheable input landed in the cache: len=%d", n)
 	}
 	if sys.verifySig(nil, longMsg, sig) {
@@ -80,34 +81,45 @@ func TestSigCacheUncacheableShapes(t *testing.T) {
 	}
 }
 
+// testSigKey builds a canonical-shape cache key whose hash leads with b.
+func testSigKey(t *testing.T, b byte) polcrypto.SigKey {
+	t.Helper()
+	var msg [32]byte
+	msg[0] = b
+	k, ok := polcrypto.SigKeyFor(make([]byte, ed25519.PublicKeySize), msg[:], make([]byte, ed25519.SignatureSize))
+	if !ok {
+		t.Fatal("canonical key shape rejected")
+	}
+	return k
+}
+
 // TestSigCacheEviction: the LRU stays bounded and evicts oldest-first.
 func TestSigCacheEviction(t *testing.T) {
-	c := newSigCache(3)
-	keys := make([]sigCacheKey, 5)
+	c := polcrypto.NewSigCache(3)
+	keys := make([]polcrypto.SigKey, 5)
 	for i := range keys {
-		keys[i].hash[0] = byte(i + 1)
-		c.put(keys[i], true)
+		keys[i] = testSigKey(t, byte(i+1))
+		c.Put(keys[i], true)
 	}
-	if c.len() != 3 {
-		t.Fatalf("cache len = %d, want 3", c.len())
+	if c.Len() != 3 {
+		t.Fatalf("cache len = %d, want 3", c.Len())
 	}
 	for i, want := range []bool{false, false, true, true, true} {
-		if _, hit := c.get(keys[i]); hit != want {
+		if _, hit := c.Get(keys[i]); hit != want {
 			t.Fatalf("key %d: hit=%v, want %v", i, hit, want)
 		}
 	}
 	// Touching the oldest survivor protects it from the next eviction.
-	c.get(keys[2])
-	var fresh sigCacheKey
-	fresh.hash[0] = 0xee
-	c.put(fresh, false)
-	if _, hit := c.get(keys[2]); !hit {
+	c.Get(keys[2])
+	fresh := testSigKey(t, 0xee)
+	c.Put(fresh, false)
+	if _, hit := c.Get(keys[2]); !hit {
 		t.Fatal("recently-used entry evicted")
 	}
-	if _, hit := c.get(keys[3]); hit {
+	if _, hit := c.Get(keys[3]); hit {
 		t.Fatal("least-recently-used entry survived eviction")
 	}
-	if ok, hit := c.get(fresh); !hit || ok {
+	if ok, hit := c.Get(fresh); !hit || ok {
 		t.Fatalf("fresh entry: ok=%v hit=%v, want false/true", ok, hit)
 	}
 }
@@ -143,13 +155,13 @@ func TestVerifyProofCachedMatchesUncached(t *testing.T) {
 	}
 	// Tampered request: rejected before any signature math, so the cache is
 	// untouched.
-	n := sys.sigs.len()
+	n := sys.sigs.Len()
 	bad := *proof
 	bad.Request.Nonce++
 	if err := sys.verifyProof(&bad); err == nil {
 		t.Fatal("hash-mismatched proof accepted")
 	}
-	if sys.sigs.len() != n {
+	if sys.sigs.Len() != n {
 		t.Fatal("hash mismatch reached the signature cache")
 	}
 }

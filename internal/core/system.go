@@ -12,6 +12,7 @@ import (
 	"agnopol/internal/ipfs"
 	"agnopol/internal/lang"
 	"agnopol/internal/olc"
+	"agnopol/internal/polcrypto"
 )
 
 // DefaultHypercubeDimension is r for the DHT; the thesis example (Fig. 1.3)
@@ -39,7 +40,7 @@ type System struct {
 
 	// sigs memoizes ed25519 signature verifications (see sigcache.go);
 	// quorum paths re-check the same proof several times per claim.
-	sigs *sigCache
+	sigs *polcrypto.SigCache
 
 	// obs holds the proof-pipeline instrumentation (see obs.go); nil when
 	// uninstrumented. Set once via Instrument before actors run.
@@ -71,7 +72,7 @@ func NewSystem(seed uint64) (*System, error) {
 		R:        DefaultHypercubeDimension,
 		handles:  make(map[string]*Handle),
 		didIndex: make(map[uint64]did.DID),
-		sigs:     newSigCache(defaultSigCacheSize),
+		sigs:     polcrypto.NewSigCache(defaultSigCacheSize),
 	}
 	return s, nil
 }

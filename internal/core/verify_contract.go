@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"agnopol/internal/lang"
+)
+
+// BuildVerifyProgram is the proof-verification hot-path contract
+// (contracts/pol-verify.pol): the on-chain half of the prover/verifier
+// protocol reduced to its two cryptographic assumes so the precompiled
+// lowering (DESIGN.md §14) carries the whole API cost.
+//
+//   - register(did, commitment) stores the prover's commitment
+//     digest(loc ++ nonce ++ cid) under its DID;
+//   - check_in(did, loc, nonce, cid, code) reveals the preimage, recomputes
+//     the digest on-chain (one fused multi-range sha256 when compiled with
+//     Precompiles), checks the stripped OLC area cell is a prefix of the
+//     prover's full code, and bumps the verified counter;
+//   - getVerified / getArea expose state for off-chain assertions.
+func BuildVerifyProgram() *lang.Program {
+	p := lang.NewProgram("pol-verify")
+
+	p.DeclareGlobal("area", lang.TBytes)
+	p.DeclareGlobal("verified", lang.TUInt)
+	p.DeclareMap("proofs", lang.TUInt, lang.TBytes)
+
+	p.SetConstructor(
+		[]lang.Param{{Name: "area_", Type: lang.TBytes}},
+		&lang.SetGlobal{Name: "area", Value: lang.A(0)},
+		&lang.SetGlobal{Name: "verified", Value: lang.U(0)},
+	)
+
+	p.AddAPI(&lang.API{
+		Name: "register",
+		Params: []lang.Param{
+			{Name: "did", Type: lang.TUInt},
+			{Name: "commitment", Type: lang.TBytes},
+		},
+		Returns: lang.TUInt,
+		Body: []lang.Stmt{
+			&lang.Assume{Cond: &lang.Not{A: &lang.MapHas{Map: "proofs", Key: lang.A(0)}}, Msg: "DID already registered"},
+			&lang.MapSet{Map: "proofs", Key: lang.A(0), Value: lang.A(1)},
+			&lang.Emit{Event: "reportRegister", Value: lang.A(0)},
+			&lang.Return{Value: lang.A(0)},
+		},
+	})
+
+	p.AddAPI(&lang.API{
+		Name: "check_in",
+		Params: []lang.Param{
+			{Name: "did", Type: lang.TUInt},
+			{Name: "loc", Type: lang.TBytes},
+			{Name: "nonce", Type: lang.TBytes},
+			{Name: "cid", Type: lang.TBytes},
+			{Name: "code", Type: lang.TBytes},
+		},
+		Returns: lang.TUInt,
+		Body: []lang.Stmt{
+			&lang.Assume{Cond: &lang.MapHas{Map: "proofs", Key: lang.A(0)}, Msg: "unknown DID"},
+			&lang.Assume{
+				Cond: lang.Eq(
+					&lang.Digest{A: lang.Concat(lang.Concat(lang.A(1), lang.A(2)), lang.A(3))},
+					&lang.MapGet{Map: "proofs", Key: lang.A(0)},
+				),
+				Msg: "commitment mismatch",
+			},
+			&lang.Assume{Cond: &lang.CellContains{Cell: lang.G("area"), Code: lang.A(4)}, Msg: "outside area"},
+			&lang.SetGlobal{Name: "verified", Value: lang.Add(lang.G("verified"), lang.U(1))},
+			&lang.Emit{Event: "reportCheckIn", Value: lang.A(0)},
+			&lang.Return{Value: lang.G("verified")},
+		},
+	})
+
+	p.AddView("getVerified", lang.TUInt, lang.G("verified"))
+	p.AddView("getArea", lang.TBytes, lang.G("area"))
+	return p
+}
+
+// CompileVerify compiles the proof-verification contract for both backends
+// on the precompiled path.
+func CompileVerify() (*lang.Compiled, error) {
+	c, err := lang.Compile(BuildVerifyProgram(), lang.Options{MaxBytesLen: 512, Precompiles: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: compile verify contract: %w", err)
+	}
+	return c, nil
+}

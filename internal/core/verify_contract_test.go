@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"agnopol/internal/lang"
+	"agnopol/internal/polcrypto"
+)
+
+// TestVerifySourceFileMatchesBuiltin: contracts/pol-verify.pol compiled
+// through the textual frontend must produce exactly the backends of
+// BuildVerifyProgram — the repo's .pol file IS the contract.
+func TestVerifySourceFileMatchesBuiltin(t *testing.T) {
+	data, err := os.ReadFile("../../contracts/pol-verify.pol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.ParseSource(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := lang.Compile(prog, lang.Options{MaxBytesLen: 512, Precompiles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := CompileVerify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile.EVMCode, builtin.EVMCode) {
+		t.Fatalf("EVM bytecode differs: file %d bytes, builtin %d bytes",
+			len(fromFile.EVMCode), len(builtin.EVMCode))
+	}
+	if fromFile.TEALSource != builtin.TEALSource {
+		t.Fatal("TEAL source differs between .pol file and builtin program")
+	}
+}
+
+func TestVerifyProgramShape(t *testing.T) {
+	p := BuildVerifyProgram()
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileVerify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The precompiled check_in must actually carry precompile CALLs: the
+	// fused digest and olc_contains reserved addresses appear as PUSH1 id
+	// immediately before the CALL-argument setup (spot-check the cheap
+	// invariant that compiling without Precompiles yields different code).
+	interp, err := lang.Compile(BuildVerifyProgram(), lang.Options{MaxBytesLen: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(c.EVMCode, interp.EVMCode) {
+		t.Fatal("precompiled and interpreted EVM code are identical — the lowering did not trigger")
+	}
+	if c.TEALSource == interp.TEALSource {
+		t.Fatal("precompiled and interpreted TEAL are identical — the lowering did not trigger")
+	}
+}
+
+// TestVerifyCommitmentShape pins the off-chain commitment recipe to the
+// on-chain digest: digest(loc ++ nonce ++ cid) over Bytes parts is the
+// plain SHA-256 of the concatenation on both backends.
+func TestVerifyCommitmentShape(t *testing.T) {
+	loc, nonce, cid := []byte("8FQFCXGV+XX"), []byte("n0"), []byte("bafy...")
+	want := polcrypto.Hash(append(append(append([]byte{}, loc...), nonce...), cid...))
+	got := polcrypto.Hash(loc, nonce, cid)
+	if want != got {
+		t.Fatal("variadic Hash must equal Hash of the concatenation")
+	}
+}

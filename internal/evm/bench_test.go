@@ -82,3 +82,34 @@ func BenchmarkOpcodes(b *testing.B) {
 		b.Run(p.name+"/bigint", func(b *testing.B) { benchExecute(b, p.code, ExecuteRef) })
 	}
 }
+
+// TestKeccakLoopZeroAllocs pins the hot-loop allocation contract of the
+// hashing path: the KECCAK256 handler must not allocate a hasher (or
+// anything else) per op, so a whole Execute of the keccak loop program is
+// allocation-free once the interpreter pool is warm.
+func TestKeccakLoopZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the 0 allocs/op contract is asserted in the non-race leg")
+	}
+	var code []byte
+	for _, p := range benchPrograms {
+		if p.name == "keccak" {
+			code = p.code
+		}
+	}
+	if code == nil {
+		t.Fatal("keccak bench program missing")
+	}
+	ctx := Context{
+		State:    NewMemState(),
+		Address:  chain.Address{0xaa},
+		Caller:   chain.Address{0xbb},
+		GasLimit: 10_000_000,
+	}
+	if res := Execute(ctx, code); res.Err != nil {
+		t.Fatalf("keccak program: %v", res.Err)
+	}
+	if avg := testing.AllocsPerRun(20, func() { Execute(ctx, code) }); avg != 0 {
+		t.Fatalf("keccak loop allocates %.1f objects per Execute, want 0", avg)
+	}
+}

@@ -41,6 +41,7 @@ const (
 	CALLVALUE    Opcode = 0x34
 	CALLDATALOAD Opcode = 0x35
 	CALLDATASIZE Opcode = 0x36
+	CALLDATACOPY Opcode = 0x37
 	TIMESTAMP    Opcode = 0x42
 	NUMBER       Opcode = 0x43
 	SELFBALANCE  Opcode = 0x47
@@ -87,7 +88,8 @@ var opNames = map[Opcode]string{
 	OR: "OR", XOR: "XOR", NOT: "NOT", BYTE: "BYTE", SHL: "SHL", SHR: "SHR",
 	KECCAK256: "KECCAK256", ADDRESS: "ADDRESS", BALANCE: "BALANCE",
 	CALLER: "CALLER", CALLVALUE: "CALLVALUE", CALLDATALOAD: "CALLDATALOAD",
-	CALLDATASIZE: "CALLDATASIZE", TIMESTAMP: "TIMESTAMP", NUMBER: "NUMBER",
+	CALLDATASIZE: "CALLDATASIZE", CALLDATACOPY: "CALLDATACOPY",
+	TIMESTAMP: "TIMESTAMP", NUMBER: "NUMBER",
 	SELFBALANCE: "SELFBALANCE", POP: "POP", MLOAD: "MLOAD", MSTORE: "MSTORE",
 	SLOAD: "SLOAD", SSTORE: "SSTORE", JUMP: "JUMP", JUMPI: "JUMPI", PC: "PC",
 	MSIZE: "MSIZE", GAS: "GAS", JUMPDEST: "JUMPDEST", LOG0: "LOG0",

@@ -1,0 +1,5 @@
+//go:build !race
+
+package evm
+
+const raceEnabled = false

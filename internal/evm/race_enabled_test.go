@@ -1,0 +1,8 @@
+//go:build race
+
+package evm
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation-count assertions are skipped under it because the
+// instrumentation itself allocates.
+const raceEnabled = true

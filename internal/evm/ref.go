@@ -6,6 +6,7 @@ import (
 
 	"agnopol/internal/chain"
 	"agnopol/internal/polcrypto"
+	"agnopol/internal/precompile"
 )
 
 // This file preserves the original big.Int interpreter, verbatim, as
@@ -39,9 +40,16 @@ type refInterpreter struct {
 
 	jumpdests map[uint64]bool
 
+	// pcArgs is the precompileHost scratch for resolved argument ranges.
+	pcArgs [maxPrecompileRanges][]byte
+
 	profOp    Opcode
 	profStart uint64
 	profArmed bool
+}
+
+func (in *refInterpreter) precompileArgs() *[maxPrecompileRanges][]byte {
+	return &in.pcArgs
 }
 
 func (in *refInterpreter) profTick(op Opcode) {
@@ -400,7 +408,7 @@ func (in *refInterpreter) run() Result {
 			if !in.expandMem(off, size) {
 				return fail(ErrOutOfGas)
 			}
-			h := polcrypto.Hash(in.memSlice(off, size))
+			h := polcrypto.Hash1(in.memSlice(off, size))
 			if err := in.push(new(big.Int).SetBytes(h[:])); err != nil {
 				return fail(err)
 			}
@@ -466,6 +474,28 @@ func (in *refInterpreter) run() Result {
 		case CALLDATASIZE:
 			if err := in.push(big.NewInt(int64(len(in.ctx.CallData)))); err != nil {
 				return fail(err)
+			}
+		case CALLDATACOPY:
+			vals, err := in.popN(3)
+			if err != nil {
+				return fail(err)
+			}
+			dst, off, size := vals[0].Uint64(), vals[1].Uint64(), vals[2].Uint64()
+			words := (size + 31) / 32
+			if !in.useGas(GasVeryLow + GasCopy*words) {
+				return fail(ErrOutOfGas)
+			}
+			if !in.expandMem(dst, size) {
+				return fail(ErrOutOfGas)
+			}
+			mem := in.memSlice(dst, size)
+			data := in.ctx.CallData
+			for i := uint64(0); i < size; i++ {
+				if src := off + i; src >= off && src < uint64(len(data)) {
+					mem[i] = data[src]
+				} else {
+					mem[i] = 0
+				}
 			}
 
 		case POP:
@@ -618,6 +648,22 @@ func (in *refInterpreter) run() Result {
 				return fail(err)
 			}
 			to := refWordToAddress(args[1])
+			if p := precompile.ByAddress(to); p != nil {
+				ok, oog := runPrecompile(in, p, args[2].Sign() == 0,
+					args[3].Uint64(), args[4].Uint64(), args[5].Uint64(), args[6].Uint64())
+				if oog {
+					return fail(ErrOutOfGas)
+				}
+				result := new(big.Int)
+				if ok {
+					result.SetUint64(1)
+				}
+				if err := in.push(result); err != nil {
+					return fail(err)
+				}
+				pc++
+				continue
+			}
 			value := args[2]
 			cost := uint64(GasColdAccount)
 			if in.warmAddrs[to] {

@@ -9,6 +9,7 @@ import (
 	"agnopol/internal/chain"
 	"agnopol/internal/obs"
 	"agnopol/internal/polcrypto"
+	"agnopol/internal/precompile"
 	"agnopol/internal/u256"
 )
 
@@ -107,7 +108,16 @@ type interpreter struct {
 	warmSlots map[slotRef]bool
 	origSlots map[slotRef]chain.Hash32
 
-	jumpdests []bool
+	// jumpdests is the valid-destination bitmap for code. scannedPtr/
+	// scannedLen identify the code slice it was built from, so repeated
+	// executions of the same (immutable) contract code on one pooled
+	// interpreter skip the O(len(code)) rescan.
+	jumpdests  []bool
+	scannedPtr *byte
+	scannedLen int
+
+	// pcArgs is the precompileHost scratch for resolved argument ranges.
+	pcArgs [maxPrecompileRanges][]byte
 
 	// Opcode profiling state: the opcode whose gas consumption is being
 	// accumulated, and the gas level when it started executing. Only
@@ -187,14 +197,21 @@ func (in *interpreter) release() {
 	in.state = journaledState{}
 	in.code = nil
 	in.logs = nil
+	clear(in.pcArgs[:]) // may reference superseded memory backing arrays
 	clear(in.warmAddrs)
 	clear(in.warmSlots)
 	clear(in.origSlots)
 }
 
 // scanJumpdests rebuilds the valid-destination bitmap over code, reusing the
-// pooled slice when it is large enough.
+// pooled slice when it is large enough. The bitmap is memoized by code
+// identity (data pointer + length): contract code is immutable once stored,
+// so a pooled interpreter re-running the same code — the hot pattern under
+// block execution — skips the rescan entirely.
 func (in *interpreter) scanJumpdests(code []byte) {
+	if len(code) > 0 && in.scannedPtr == &code[0] && in.scannedLen == len(code) {
+		return
+	}
 	if cap(in.jumpdests) >= len(code) {
 		in.jumpdests = in.jumpdests[:len(code)]
 		clear(in.jumpdests)
@@ -211,6 +228,16 @@ func (in *interpreter) scanJumpdests(code []byte) {
 		}
 		pc++
 	}
+	if len(code) > 0 {
+		in.scannedPtr = &code[0]
+	} else {
+		in.scannedPtr = nil
+	}
+	in.scannedLen = len(code)
+}
+
+func (in *interpreter) precompileArgs() *[maxPrecompileRanges][]byte {
+	return &in.pcArgs
 }
 
 func (in *interpreter) useGas(amount uint64) bool {
@@ -497,7 +524,7 @@ func (in *interpreter) run() Result {
 			if !in.expandMem(off, size) {
 				return fail(ErrOutOfGas)
 			}
-			h := polcrypto.Hash(in.memSlice(off, size))
+			h := polcrypto.Hash1(in.memSlice(off, size))
 			if err := in.push(u256.SetBytes(h[:])); err != nil {
 				return fail(err)
 			}
@@ -563,6 +590,32 @@ func (in *interpreter) run() Result {
 		case CALLDATASIZE:
 			if err := in.push(u256.FromUint64(uint64(len(in.ctx.CallData)))); err != nil {
 				return fail(err)
+			}
+		case CALLDATACOPY:
+			a, b, err := in.pop2()
+			if err != nil {
+				return fail(err)
+			}
+			c, err := in.pop()
+			if err != nil {
+				return fail(err)
+			}
+			dst, off, size := a.Uint64(), b.Uint64(), c.Uint64()
+			words := (size + 31) / 32
+			if !in.useGas(GasVeryLow + GasCopy*words) {
+				return fail(ErrOutOfGas)
+			}
+			if !in.expandMem(dst, size) {
+				return fail(ErrOutOfGas)
+			}
+			mem := in.memSlice(dst, size)
+			data := in.ctx.CallData
+			for i := uint64(0); i < size; i++ {
+				if src := off + i; src >= off && src < uint64(len(data)) {
+					mem[i] = data[src]
+				} else {
+					mem[i] = 0
+				}
 			}
 
 		case POP:
@@ -716,6 +769,18 @@ func (in *interpreter) run() Result {
 				return fail(err)
 			}
 			to := wordToAddr(argbuf[1])
+			if p := precompile.ByAddress(to); p != nil {
+				ok, oog := runPrecompile(in, p, argbuf[2].IsZero(),
+					argbuf[3].Uint64(), argbuf[4].Uint64(), argbuf[5].Uint64(), argbuf[6].Uint64())
+				if oog {
+					return fail(ErrOutOfGas)
+				}
+				if err := in.push(u256.FromBool(ok)); err != nil {
+					return fail(err)
+				}
+				pc++
+				continue
+			}
 			value := argbuf[2]
 			cost := uint64(GasColdAccount)
 			if in.warmAddrs[to] {

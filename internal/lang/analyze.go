@@ -284,6 +284,14 @@ func (an *analyzer) exprGas(e Expr) uint64 {
 		return evm.GasBase
 	case *Digest:
 		return an.exprGas(e.A) + evm.GasKeccak256 + evm.GasKeccak256Word*an.chunks() + 60
+	case *SigVerify:
+		// Precompiled ed25519 verification: flat base plus the CALL's warm
+		// access and descriptor plumbing.
+		return an.exprGas(e.Pub) + an.exprGas(e.Msg) + an.exprGas(e.Sig) + 3000 + evm.GasWarmAccess + 200
+	case *CellContains:
+		// Worst of the two lowerings: the interpreted path hashes both
+		// operands like a bytes equality.
+		return an.exprGas(e.Cell) + an.exprGas(e.Code) + 2*(evm.GasKeccak256+evm.GasKeccak256Word*an.chunks()) + 30
 	default:
 		return 0
 	}
@@ -312,6 +320,10 @@ func (an *analyzer) exprCost(e Expr) uint64 {
 		return 1
 	case *Digest:
 		return an.exprCost(e.A) + 36
+	case *SigVerify:
+		return an.exprCost(e.Pub) + an.exprCost(e.Msg) + an.exprCost(e.Sig) + 1900
+	case *CellContains:
+		return an.exprCost(e.Cell) + an.exprCost(e.Code) + 25
 	default:
 		return 0
 	}

@@ -90,18 +90,36 @@ type Digest struct {
 	A Expr
 }
 
-func (*Const) exprNode()     {}
-func (*Arg) exprNode()       {}
-func (*GlobalRef) exprNode() {}
-func (*MapGet) exprNode()    {}
-func (*MapHas) exprNode()    {}
-func (*Bin) exprNode()       {}
-func (*Not) exprNode()       {}
-func (*Balance) exprNode()   {}
-func (*Caller) exprNode()    {}
-func (*Paid) exprNode()      {}
-func (*Now) exprNode()       {}
-func (*Digest) exprNode()    {}
+// SigVerify checks an ed25519 signature (sigok(pub, msg, sig)). All three
+// operands are TBytes; the result is TBool. It lowers only to the VM
+// precompiles (Options.Precompiles) — there is no interpreted bytecode
+// equivalent, signature math does not belong in a contract loop.
+type SigVerify struct {
+	Pub, Msg, Sig Expr
+}
+
+// CellContains tests open-location-code containment
+// (contains(cell, code)): whether code lies in the area cell, with the
+// cell stored as a stripped even-length OLC prefix so containment is a raw
+// byte-prefix check. Both operands are TBytes; the result is TBool.
+type CellContains struct {
+	Cell, Code Expr
+}
+
+func (*Const) exprNode()        {}
+func (*Arg) exprNode()          {}
+func (*GlobalRef) exprNode()    {}
+func (*MapGet) exprNode()       {}
+func (*MapHas) exprNode()       {}
+func (*Bin) exprNode()          {}
+func (*Not) exprNode()          {}
+func (*Balance) exprNode()      {}
+func (*Caller) exprNode()       {}
+func (*Paid) exprNode()         {}
+func (*Now) exprNode()          {}
+func (*Digest) exprNode()       {}
+func (*SigVerify) exprNode()    {}
+func (*CellContains) exprNode() {}
 
 // Stmt is a statement node.
 type Stmt interface {

@@ -221,6 +221,24 @@ func (c *checker) typeOf(e Expr, where string) Type {
 	case *Digest:
 		c.typeOf(e.A, where)
 		return TBytes
+
+	case *SigVerify:
+		for i, sub := range []Expr{e.Pub, e.Msg, e.Sig} {
+			if t := c.typeOf(sub, where); t != TBytes {
+				return c.fail(where, "sigok argument %d is %s, want Bytes", i+1, t)
+			}
+		}
+		return TBool
+
+	case *CellContains:
+		if t := c.typeOf(e.Cell, where); t != TBytes {
+			return c.fail(where, "contains cell is %s, want Bytes", t)
+		}
+		if t := c.typeOf(e.Code, where); t != TBytes {
+			return c.fail(where, "contains code is %s, want Bytes", t)
+		}
+		return TBool
+
 	default:
 		return c.fail(where, "unknown expression %T", e)
 	}

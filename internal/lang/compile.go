@@ -36,6 +36,12 @@ type Options struct {
 	// SkipVerify compiles even when theorems fail; for tests that
 	// deliberately compile broken programs.
 	SkipVerify bool
+	// Precompiles lowers the verification builtins (digest over
+	// concatenations, bytes equality, contains, sigok) to the native VM
+	// precompiles (DESIGN.md §14) instead of interpreted bytecode. The
+	// interpreted lowering remains the differential oracle
+	// (differential_test.go); production contracts compile with this on.
+	Precompiles bool
 }
 
 // Compile type-checks, verifies and compiles a program for both backends.
@@ -47,11 +53,11 @@ func Compile(p *Program, opts Options) (*Compiled, error) {
 	if report.Failures > 0 && !opts.SkipVerify {
 		return nil, fmt.Errorf("%w:\n%s", ErrVerification, report)
 	}
-	evmCode, err := CompileEVM(p)
+	evmCode, err := CompileEVM(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	tealSrc, tealProg, err := CompileTEAL(p)
+	tealSrc, tealProg, err := CompileTEAL(p, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"agnopol/internal/evm"
 	"agnopol/internal/polcrypto"
+	"agnopol/internal/precompile"
 )
 
 // EVM backend.
@@ -57,11 +58,14 @@ type evmCompiler struct {
 	params []Param
 	seq    int
 	err    error
+	// pre lowers digest/equality/contains/sigok to precompile CALLs
+	// (Options.Precompiles).
+	pre bool
 }
 
 // CompileEVM lowers a checked program to EVM bytecode.
-func CompileEVM(p *Program) ([]byte, error) {
-	c := &evmCompiler{p: p, asm: evm.NewAssembler()}
+func CompileEVM(p *Program, opts Options) ([]byte, error) {
+	c := &evmCompiler{p: p, asm: evm.NewAssembler(), pre: opts.Precompiles}
 	c.emitEntry()
 	c.emitCtor()
 	for _, a := range p.APIs {
@@ -383,15 +387,6 @@ func (c *evmCompiler) emitLoopFooter(loop, end string) {
 	a.Label(end)
 }
 
-// emitLoopCalldataToMem copies len bytes from calldata[src] to mem[dst].
-func (c *evmCompiler) emitLoopCalldataToMem() {
-	a := c.asm
-	loop, end := c.emitLoopHeader()
-	a.PushUint(scratchSrc).Op(evm.MLOAD).PushUint(scratchI).Op(evm.MLOAD).Op(evm.ADD, evm.CALLDATALOAD)
-	a.PushUint(scratchDst).Op(evm.MLOAD).PushUint(scratchI).Op(evm.MLOAD).Op(evm.ADD, evm.MSTORE)
-	c.emitLoopFooter(loop, end)
-}
-
 // emitLoopMemToMem copies len bytes from mem[src] to mem[dst].
 func (c *evmCompiler) emitLoopMemToMem() {
 	a := c.asm
@@ -462,13 +457,13 @@ func (c *evmCompiler) expr(e Expr) {
 		if c.params[e.Index].Type == TBytes {
 			a.PushUint(head).Op(evm.CALLDATALOAD).PushUint(4).Op(evm.ADD) // [tailAbs]
 			a.Op(evm.DUP1, evm.CALLDATALOAD)                              // [tailAbs, len]
-			a.Op(evm.DUP1).PushUint(scratchLen).Op(evm.MSTORE)
 			a.Op(evm.DUP1)
-			c.emitAlloc()                                      // [tailAbs, len, ptr]
-			a.Op(evm.DUP1).PushUint(scratchDst).Op(evm.MSTORE) // dst
-			a.Op(evm.SWAP2)                                    // [ptr, len, tailAbs]
-			a.PushUint(32).Op(evm.ADD).PushUint(scratchSrc).Op(evm.MSTORE)
-			c.emitLoopCalldataToMem() // [ptr, len]
+			c.emitAlloc()              // [tailAbs, len, ptr]
+			a.Op(evm.SWAP2)            // [ptr, len, tailAbs]
+			a.PushUint(32).Op(evm.ADD) // [ptr, len, src]
+			a.Op(evm.DUP2, evm.SWAP1)  // [ptr, len, len, src]
+			a.Op(evm.DUP4)             // [ptr, len, len, src, ptr]
+			a.Op(evm.CALLDATACOPY)     // [ptr, len]
 		} else {
 			a.PushUint(head).Op(evm.CALLDATALOAD)
 		}
@@ -525,6 +520,18 @@ func (c *evmCompiler) expr(e Expr) {
 
 	case *Digest:
 		t := c.typeOf(e.A)
+		if parts := c.digestParts(e, t); parts != nil {
+			// Precompiled lowering with digest-over-concat fusion: hash the
+			// concatenation's operands as one multi-range sha256 descriptor
+			// CALL, skipping the concat allocations and word-copy loops
+			// entirely. polcrypto.Hash is variadic over concatenation, so
+			// the result is bit-identical to hashing the joined buffer.
+			for _, part := range parts {
+				c.expr(part) // [off_i, len_i] per part
+			}
+			c.emitPrecompileCall(precompile.IDSha256, len(parts), true) // [ptr, 32]
+			return
+		}
 		c.expr(e.A)
 		if t == TBytes {
 			a.Op(evm.SWAP1, evm.KECCAK256) // [hash]
@@ -539,8 +546,107 @@ func (c *evmCompiler) expr(e Expr) {
 		a.Op(evm.MSTORE) // [ptr]
 		a.PushUint(32)   // [ptr, 32]
 
+	case *SigVerify:
+		// Precompile-only: signature math has no interpreted lowering.
+		if !c.pre {
+			c.fail("sigok requires precompile lowering (Options.Precompiles)")
+			return
+		}
+		c.expr(e.Pub)
+		c.expr(e.Msg)
+		c.expr(e.Sig) // [offP,lenP, offM,lenM, offS,lenS]
+		c.emitPrecompileCall(precompile.IDEd25519Verify, 3, false)
+
+	case *CellContains:
+		if c.pre {
+			c.expr(e.Cell)
+			c.expr(e.Code) // [offC,lenC, offD,lenD]
+			c.emitPrecompileCall(precompile.IDOLCContains, 2, false)
+			return
+		}
+		// Interpreted lowering: cell ⊆ code[:len(cell)] via the same
+		// hash-compare trick as bytes equality, guarded by a length check
+		// (a too-short code reads zero-padded memory, but the guard ANDs
+		// the comparison away).
+		c.expr(e.Cell)                 // [cOff, cLen]
+		a.Op(evm.DUP2, evm.DUP2)       // [cOff, cLen, cOff, cLen]
+		a.Op(evm.SWAP1, evm.KECCAK256) // [cOff, cLen, hCell]
+		a.Op(evm.SWAP2, evm.POP)       // [hCell, cLen]
+		c.expr(e.Code)                 // [hCell, cLen, dOff, dLen]
+		a.Op(evm.DUP3, evm.DUP2)       // [hCell, cLen, dOff, dLen, cLen, dLen]
+		a.Op(evm.LT, evm.ISZERO)       // [hCell, cLen, dOff, dLen, le]  le = cLen<=dLen
+		a.Op(evm.SWAP1, evm.POP)       // [hCell, cLen, dOff, le]
+		a.Op(evm.SWAP2)                // [hCell, le, dOff, cLen]
+		a.Op(evm.SWAP1)                // [hCell, le, cLen, dOff]
+		a.Op(evm.KECCAK256)            // [hCell, le, hPrefix]
+		a.Op(evm.SWAP1, evm.SWAP2)     // [le, hPrefix, hCell]
+		a.Op(evm.EQ, evm.AND)          // [contains]
+
 	default:
 		c.fail("unknown expression %T", e)
+	}
+}
+
+// digestParts returns the flattened ++ operands of a Digest argument when
+// the precompiled sha256 lowering applies (bytes argument, precompiles on,
+// fan-in within the descriptor bound), or nil to use the interpreted path.
+func (c *evmCompiler) digestParts(e *Digest, t Type) []Expr {
+	if !c.pre || t != TBytes {
+		return nil
+	}
+	parts := flattenConcat(e.A)
+	if len(parts) > maxDescriptorRanges {
+		return nil
+	}
+	return parts
+}
+
+// maxDescriptorRanges mirrors the EVM interception's descriptor bound.
+const maxDescriptorRanges = 16
+
+// flattenConcat returns the leaves of a ++ tree in evaluation order.
+func flattenConcat(e Expr) []Expr {
+	if b, ok := e.(*Bin); ok && b.Op == OpConcat {
+		return append(flattenConcat(b.A), flattenConcat(b.B)...)
+	}
+	return []Expr{e}
+}
+
+// emitPrecompileCall lowers a CALL to reserved precompile address id over k
+// (offset, length) pairs already on the stack (oldest pair first, each with
+// length on top). It allocates a 64k-byte descriptor block, stores the
+// pairs, issues the CALL with the result written over the descriptor base,
+// and jumps to the revert site if the CALL reports failure. Leaves
+// [ptr, 32] when bytesResult (a bytes value like every other), else the
+// result word itself.
+func (c *evmCompiler) emitPrecompileCall(id byte, k int, bytesResult bool) {
+	a := c.asm
+	a.PushUint(uint64(64 * k))
+	c.emitAlloc() // [o1,l1,…,ok,lk, D]
+	for j := k - 1; j >= 0; j-- {
+		// Stack: […, oj, lj, D] → […, D] with the pair stored at D+64j.
+		a.Op(evm.SWAP1)                           // […, oj, D, lj]
+		a.Op(evm.DUP2)                            // […, oj, D, lj, D]
+		a.PushUint(uint64(64*j + 32)).Op(evm.ADD) // […, oj, D, lj, D+64j+32]
+		a.Op(evm.MSTORE)                          // […, oj, D]
+		a.Op(evm.SWAP1)                           // […, D, oj]
+		a.Op(evm.DUP2)                            // […, D, oj, D]
+		a.PushUint(uint64(64 * j)).Op(evm.ADD)    // […, D, oj, D+64j]
+		a.Op(evm.MSTORE)                          // […, D]
+	}
+	a.PushUint(32)                                      // [D, outSize]
+	a.Op(evm.DUP2)                                      // [D, 32, outOff=D]
+	a.PushUint(uint64(64 * k))                          // [D, 32, D, inSize]
+	a.Op(evm.DUP4)                                      // [D, 32, D, 64k, inOff=D]
+	a.PushUint(0)                                       // value
+	a.PushUint(uint64(id))                              // to: reserved low address
+	a.PushUint(0)                                       // gas (the interception charges its own)
+	a.Op(evm.CALL)                                      // [D, ok]
+	a.Op(evm.ISZERO).PushLabel("revert0").Op(evm.JUMPI) // [D]
+	if bytesResult {
+		a.PushUint(32) // [ptr, 32]
+	} else {
+		a.Op(evm.MLOAD) // [word]
 	}
 }
 
@@ -567,6 +673,15 @@ func (c *evmCompiler) emitBin(e *Bin) {
 		return
 	}
 	if (e.Op == OpEq || e.Op == OpNe) && ta == TBytes {
+		if c.pre {
+			c.expr(e.A)
+			c.expr(e.B) // [offA,lenA, offB,lenB]
+			c.emitPrecompileCall(precompile.IDBytesEqual, 2, false)
+			if e.Op == OpNe {
+				a.Op(evm.ISZERO)
+			}
+			return
+		}
 		c.expr(e.A)                    // [offA, lenA]
 		c.expr(e.B)                    // [offA, lenA, offB, lenB]
 		a.Op(evm.SWAP1, evm.KECCAK256) // [offA, lenA, hB]

@@ -697,6 +697,18 @@ func (p *parser) primary() (Expr, error) {
 				return nil, err
 			}
 			return &Digest{A: e}, nil
+		case "sigok":
+			args, err := p.callArgs(3)
+			if err != nil {
+				return nil, err
+			}
+			return &SigVerify{Pub: args[0], Msg: args[1], Sig: args[2]}, nil
+		case "contains":
+			args, err := p.callArgs(2)
+			if err != nil {
+				return nil, err
+			}
+			return &CellContains{Cell: args[0], Code: args[1]}, nil
 		case "has":
 			if err := p.expectPunct("("); err != nil {
 				return nil, err
@@ -748,4 +760,26 @@ func (p *parser) emptyCall() error {
 		return err
 	}
 	return p.expectPunct(")")
+}
+
+// callArgs parses a parenthesized, comma-separated list of exactly n
+// expression arguments.
+func (p *parser) callArgs(n int) ([]Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	args := make([]Expr, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+	}
+	return args, p.expectPunct(")")
 }

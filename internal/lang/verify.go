@@ -230,6 +230,13 @@ func (v *verifier) exprTheorems(e Expr, facts []Expr, where string) {
 		v.exprTheorems(e.A, facts, where)
 	case *Digest:
 		v.exprTheorems(e.A, facts, where)
+	case *SigVerify:
+		v.exprTheorems(e.Pub, facts, where)
+		v.exprTheorems(e.Msg, facts, where)
+		v.exprTheorems(e.Sig, facts, where)
+	case *CellContains:
+		v.exprTheorems(e.Cell, facts, where)
+		v.exprTheorems(e.Code, facts, where)
 	}
 }
 
@@ -415,6 +422,12 @@ func exprEqual(a, b Expr) bool {
 	case *Digest:
 		bb, ok := b.(*Digest)
 		return ok && exprEqual(a.A, bb.A)
+	case *SigVerify:
+		bb, ok := b.(*SigVerify)
+		return ok && exprEqual(a.Pub, bb.Pub) && exprEqual(a.Msg, bb.Msg) && exprEqual(a.Sig, bb.Sig)
+	case *CellContains:
+		bb, ok := b.(*CellContains)
+		return ok && exprEqual(a.Cell, bb.Cell) && exprEqual(a.Code, bb.Code)
 	default:
 		return false
 	}
@@ -434,6 +447,10 @@ func mentionsBalance(e Expr) bool {
 		return mentionsBalance(e.Key)
 	case *Digest:
 		return mentionsBalance(e.A)
+	case *SigVerify:
+		return mentionsBalance(e.Pub) || mentionsBalance(e.Msg) || mentionsBalance(e.Sig)
+	case *CellContains:
+		return mentionsBalance(e.Cell) || mentionsBalance(e.Code)
 	default:
 		return false
 	}
@@ -453,6 +470,10 @@ func mentionsGlobal(e Expr, name string) bool {
 		return mentionsGlobal(e.Key, name)
 	case *Digest:
 		return mentionsGlobal(e.A, name)
+	case *SigVerify:
+		return mentionsGlobal(e.Pub, name) || mentionsGlobal(e.Msg, name) || mentionsGlobal(e.Sig, name)
+	case *CellContains:
+		return mentionsGlobal(e.Cell, name) || mentionsGlobal(e.Code, name)
 	default:
 		return false
 	}
@@ -470,6 +491,10 @@ func mentionsMap(e Expr, name string) bool {
 		return mentionsMap(e.A, name)
 	case *Digest:
 		return mentionsMap(e.A, name)
+	case *SigVerify:
+		return mentionsMap(e.Pub, name) || mentionsMap(e.Msg, name) || mentionsMap(e.Sig, name)
+	case *CellContains:
+		return mentionsMap(e.Cell, name) || mentionsMap(e.Code, name)
 	default:
 		return false
 	}
@@ -541,6 +566,10 @@ func exprString(e Expr) string {
 		return "now()"
 	case *Digest:
 		return "digest(" + exprString(e.A) + ")"
+	case *SigVerify:
+		return "sigok(" + exprString(e.Pub) + "," + exprString(e.Msg) + "," + exprString(e.Sig) + ")"
+	case *CellContains:
+		return "contains(" + exprString(e.Cell) + "," + exprString(e.Code) + ")"
 	default:
 		return "<expr>"
 	}

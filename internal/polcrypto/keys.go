@@ -16,7 +16,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
+	"sync"
 )
 
 // KeyPair bundles an ed25519 signing key with its public half. It is the
@@ -67,16 +69,41 @@ func Verify(pub ed25519.PublicKey, msg, sig []byte) bool {
 	return ed25519.Verify(pub, msg, sig)
 }
 
+// pooledHasher carries the sum buffer alongside the SHA-256 state: Sum
+// writes through a hash.Hash interface call, so a stack-local destination
+// would be forced to the heap on every Hash — folding it into the pooled
+// object keeps the multi-part path allocation-free.
+type pooledHasher struct {
+	h   hash.Hash
+	sum [32]byte
+}
+
+// hasherPool recycles SHA-256 state for multi-part hashes so the VM hot
+// loops (KECCAK256 handler, AVM sha256, precompiles) never allocate a fresh
+// hasher per operation.
+var hasherPool = sync.Pool{New: func() any { return &pooledHasher{h: sha256.New()} }}
+
+// Hash1 returns the SHA-256 digest of a single byte slice without touching
+// the heap. The VM interpreters call this on every hash opcode.
+func Hash1(p []byte) [32]byte {
+	return sha256.Sum256(p)
+}
+
 // Hash returns the SHA-256 digest of the concatenation of the given parts.
 // It is the system-wide one-way hash: proof hashes, CIDs, hypercube keys and
 // block hashes all go through it.
 func Hash(parts ...[]byte) [32]byte {
-	h := sha256.New()
-	for _, p := range parts {
-		h.Write(p)
+	if len(parts) == 1 {
+		return sha256.Sum256(parts[0])
 	}
-	var out [32]byte
-	copy(out[:], h.Sum(nil))
+	s := hasherPool.Get().(*pooledHasher)
+	s.h.Reset()
+	for _, p := range parts {
+		s.h.Write(p)
+	}
+	s.h.Sum(s.sum[:0])
+	out := s.sum
+	hasherPool.Put(s)
 	return out
 }
 

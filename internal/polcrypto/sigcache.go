@@ -1,0 +1,116 @@
+package polcrypto
+
+import (
+	"container/list"
+	"crypto/ed25519"
+	"sync"
+)
+
+// DefaultSigCacheSize bounds a signature-verification memo. A quorum run
+// re-checks every proof in a bundle at collection, submission and
+// verification time; a few thousand entries cover the largest experiment
+// matrix while keeping the cache at ~1 MiB worst case.
+const DefaultSigCacheSize = 4096
+
+// SigKey is the full verification input. ed25519 keys and signatures have
+// fixed sizes and the system only ever signs 32-byte proof hashes, so the
+// key is a comparable value type — no per-lookup allocation.
+type SigKey struct {
+	pub  [ed25519.PublicKeySize]byte
+	hash [32]byte
+	sig  [ed25519.SignatureSize]byte
+}
+
+// SigKeyFor packs a verification input into a cache key. Inputs with a
+// non-canonical shape (wrong key or signature length, message that is not a
+// 32-byte hash) are not cacheable.
+func SigKeyFor(pub ed25519.PublicKey, msg, sig []byte) (SigKey, bool) {
+	var k SigKey
+	if len(pub) != ed25519.PublicKeySize || len(msg) != 32 || len(sig) != ed25519.SignatureSize {
+		return k, false
+	}
+	copy(k.pub[:], pub)
+	copy(k.hash[:], msg)
+	copy(k.sig[:], sig)
+	return k, true
+}
+
+type sigEntry struct {
+	key SigKey
+	ok  bool
+}
+
+// SigCache memoizes (pubkey, hash, signature) → valid under a bounded LRU.
+// Both outcomes are cached: a forged signature stays invalid forever, and
+// re-rejecting it should be as cheap as re-accepting a genuine one. It is
+// safe for concurrent use.
+type SigCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List
+	idx map[SigKey]*list.Element
+}
+
+// NewSigCache returns an empty cache bounded to capacity entries.
+func NewSigCache(capacity int) *SigCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SigCache{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[SigKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the memoized verdict and whether it was present.
+func (c *SigCache) Get(k SigKey) (ok, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.idx[k]
+	if !found {
+		return false, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*sigEntry).ok, true
+}
+
+// Put records a verdict, evicting the least-recently-used entry at capacity.
+func (c *SigCache) Put(k SigKey, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.idx[k]; found {
+		el.Value.(*sigEntry).ok = ok
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[k] = c.ll.PushFront(&sigEntry{key: k, ok: ok})
+	if c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.idx, back.Value.(*sigEntry).key)
+	}
+}
+
+// Len reports the number of cached verdicts.
+func (c *SigCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Verify is Verify memoized through the cache. hit reports whether the
+// verdict came from the memo; non-canonical inputs are verified directly and
+// never cached.
+func (c *SigCache) Verify(pub ed25519.PublicKey, msg, sig []byte) (ok, hit bool) {
+	key, cacheable := SigKeyFor(pub, msg, sig)
+	if !cacheable {
+		return Verify(pub, msg, sig), false
+	}
+	if ok, hit := c.Get(key); hit {
+		return ok, true
+	}
+	ok = Verify(pub, msg, sig)
+	c.Put(key, ok)
+	return ok, false
+}

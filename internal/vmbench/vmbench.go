@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/big"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"agnopol/internal/core"
 	"agnopol/internal/evm"
 	"agnopol/internal/lang"
+	"agnopol/internal/polcrypto"
 )
 
 // Engine is one engine's measurement of a workload.
@@ -51,6 +53,11 @@ type Report struct {
 	// perf acceptance gate reads.
 	DeployAttachNsImprovement   float64 `json:"evm_deploy_attach_ns_improvement"`
 	DeployAttachAllocsReduction float64 `json:"evm_deploy_attach_allocs_reduction"`
+	// Headline precompile speedups: interpreted ns/op over precompiled
+	// ns/op for the proof-verification workload (DESIGN.md §14), per VM.
+	// The benchgate -minprecompilespeedup floor reads the EVM number.
+	EVMProofVerifyNsImprovement float64 `json:"evm_proof_verify_precompile_ns_improvement"`
+	AVMProofVerifyNsImprovement float64 `json:"avm_proof_verify_precompile_ns_improvement"`
 }
 
 func (r *Report) String() string {
@@ -82,20 +89,13 @@ func setBenchtime(v string) error {
 
 // Run compiles the PoL contract, sanity-checks both engines agree on the
 // workload, and measures it. benchtime is a testing -benchtime value
-// ("1s", "100x", …); "1x" gives a compile-and-run smoke for CI.
-func Run(benchtime string) (*Report, error) {
-	compiled, err := core.CompilePoL()
-	if err != nil {
-		return nil, fmt.Errorf("vmbench: compile: %w", err)
-	}
-
-	w, err := newEVMWorkload(compiled)
-	if err != nil {
-		return nil, err
-	}
-	aw, err := newAVMWorkload(compiled)
-	if err != nil {
-		return nil, err
+// ("1s", "100x", …); "1x" gives a compile-and-run smoke for CI. A
+// non-empty filter restricts the run to workloads whose name contains it
+// ("proof_verify" gives the precompile smoke); headline ratios are only
+// populated when their workloads ran.
+func Run(benchtime, filter string) (*Report, error) {
+	keep := func(name string) bool {
+		return filter == "" || strings.Contains(name, filter)
 	}
 
 	testingInitOnce.Do(testing.Init)
@@ -105,31 +105,147 @@ func Run(benchtime string) (*Report, error) {
 
 	rep := &Report{Benchtime: benchtime, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
-	fast := measure(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			w.run(evm.Execute)
+	if keep("evm_deploy_attach") || keep("avm_deploy_attach") {
+		compiled, err := core.CompilePoL()
+		if err != nil {
+			return nil, fmt.Errorf("vmbench: compile: %w", err)
 		}
-	})
-	ref := measure(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			w.run(evm.ExecuteRef)
+		if keep("evm_deploy_attach") {
+			w, err := newEVMWorkload(compiled)
+			if err != nil {
+				return nil, err
+			}
+			fast := measure(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w.run(evm.Execute)
+				}
+			})
+			ref := measure(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w.run(evm.ExecuteRef)
+				}
+			})
+			da := Workload{Name: "evm_deploy_attach", U256: &fast, BigInt: &ref}
+			da.NsImprovement = ratio(ref.NsPerOp, fast.NsPerOp)
+			da.AllocsReduction = ratio(float64(ref.AllocsPerOp), float64(fast.AllocsPerOp))
+			rep.Workloads = append(rep.Workloads, da)
+			rep.DeployAttachNsImprovement = da.NsImprovement
+			rep.DeployAttachAllocsReduction = da.AllocsReduction
 		}
-	})
-	da := Workload{Name: "evm_deploy_attach", U256: &fast, BigInt: &ref}
-	da.NsImprovement = ratio(ref.NsPerOp, fast.NsPerOp)
-	da.AllocsReduction = ratio(float64(ref.AllocsPerOp), float64(fast.AllocsPerOp))
-	rep.Workloads = append(rep.Workloads, da)
-	rep.DeployAttachNsImprovement = da.NsImprovement
-	rep.DeployAttachAllocsReduction = da.AllocsReduction
+		if keep("avm_deploy_attach") {
+			aw, err := newAVMWorkload(compiled)
+			if err != nil {
+				return nil, err
+			}
+			am := measure(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					aw.run()
+				}
+			})
+			rep.Workloads = append(rep.Workloads, Workload{Name: "avm_deploy_attach", U256: &am})
+		}
+	}
 
-	am := measure(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			aw.run()
-		}
-	})
-	rep.Workloads = append(rep.Workloads, Workload{Name: "avm_deploy_attach", U256: &am})
-
+	if err := addProofVerify(rep, keep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// addProofVerify measures the proof-verification hot path — one check_in of
+// the pol-verify contract against pre-seeded state — compiled with the
+// interpreted lowering and with precompiles, on both VMs. The headline
+// ratios are what the precompile PR buys: interpreted ns/op over
+// precompiled ns/op on the same engine.
+func addProofVerify(rep *Report, keep func(string) bool) error {
+	names := []string{
+		"evm_proof_verify_interp", "evm_proof_verify_precompile",
+		"avm_proof_verify_interp", "avm_proof_verify_precompile",
+	}
+	wanted := false
+	for _, n := range names {
+		if keep(n) {
+			wanted = true
+		}
+	}
+	if !wanted {
+		return nil
+	}
+	interp, err := lang.Compile(core.BuildVerifyProgram(), lang.Options{MaxBytesLen: 512})
+	if err != nil {
+		return fmt.Errorf("vmbench: compile pol-verify (interpreted): %w", err)
+	}
+	pre, err := core.CompileVerify()
+	if err != nil {
+		return fmt.Errorf("vmbench: %w", err)
+	}
+
+	measureEVM := func(c *lang.Compiled, name string) (Workload, error) {
+		w, err := newPVEVMWorkload(c)
+		if err != nil {
+			return Workload{}, err
+		}
+		fast := measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.run(evm.Execute)
+			}
+		})
+		ref := measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.run(evm.ExecuteRef)
+			}
+		})
+		wl := Workload{Name: name, U256: &fast, BigInt: &ref}
+		wl.NsImprovement = ratio(ref.NsPerOp, fast.NsPerOp)
+		wl.AllocsReduction = ratio(float64(ref.AllocsPerOp), float64(fast.AllocsPerOp))
+		return wl, nil
+	}
+	var ei, ep Workload
+	if keep(names[0]) {
+		if ei, err = measureEVM(interp, names[0]); err != nil {
+			return err
+		}
+		rep.Workloads = append(rep.Workloads, ei)
+	}
+	if keep(names[1]) {
+		if ep, err = measureEVM(pre, names[1]); err != nil {
+			return err
+		}
+		rep.Workloads = append(rep.Workloads, ep)
+	}
+	if ei.U256 != nil && ep.U256 != nil {
+		rep.EVMProofVerifyNsImprovement = ratio(ei.U256.NsPerOp, ep.U256.NsPerOp)
+	}
+
+	measureAVM := func(c *lang.Compiled, name string) (Workload, error) {
+		w, err := newPVAVMWorkload(c)
+		if err != nil {
+			return Workload{}, err
+		}
+		m := measure(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.run()
+			}
+		})
+		return Workload{Name: name, U256: &m}, nil
+	}
+	var ai, ap Workload
+	if keep(names[2]) {
+		if ai, err = measureAVM(interp, names[2]); err != nil {
+			return err
+		}
+		rep.Workloads = append(rep.Workloads, ai)
+	}
+	if keep(names[3]) {
+		if ap, err = measureAVM(pre, names[3]); err != nil {
+			return err
+		}
+		rep.Workloads = append(rep.Workloads, ap)
+	}
+	if ai.U256 != nil && ap.U256 != nil {
+		rep.AVMProofVerifyNsImprovement = ratio(ai.U256.NsPerOp, ap.U256.NsPerOp)
+	}
+	return nil
 }
 
 func ratio(num, den float64) float64 {
@@ -270,4 +386,156 @@ func (w *avmWorkload) run() (create, call avm.Result) {
 		Sender: w.sender, AppID: 7, Args: w.insertArgs, BudgetTxns: 4,
 	})
 	return create, call
+}
+
+// Proof-verification payloads, sized like the protocol's real inputs: a
+// 32-byte location fix, a 64-byte nonce and a ~256-byte IPFS CID record,
+// committed as sha256(loc ++ nonce ++ cid).
+var (
+	pvArea  = []byte("8FQFCX")
+	pvCode  = []byte("8FQFCXGV+XX")
+	pvLoc   = bytesOf('L', 32)
+	pvNonce = bytesOf('N', 64)
+	pvCid   = bytesOf('C', 512)
+)
+
+func bytesOf(c byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return b
+}
+
+func pvCommitment() []byte {
+	h := polcrypto.Hash(pvLoc, pvNonce, pvCid)
+	return h[:]
+}
+
+func pvAPI(compiled *lang.Compiled, name string) []lang.Param {
+	for _, api := range compiled.Program.APIs {
+		if api.Name == name {
+			return api.Params
+		}
+	}
+	return nil
+}
+
+// pvEVMWorkload times one check_in Invoke against pre-seeded state (area
+// stored, DID registered); the per-iteration work is exactly the
+// verification hot path: digest-over-concat, commitment compare, cell
+// containment.
+type pvEVMWorkload struct {
+	code     []byte
+	callData []byte
+	state    *evm.MemState
+	self     chain.Address
+	from     chain.Address
+}
+
+func newPVEVMWorkload(compiled *lang.Compiled) (*pvEVMWorkload, error) {
+	w := &pvEVMWorkload{
+		code: compiled.EVMCode,
+		self: chain.AddressFromBytes([]byte("vmbench-verify")),
+		from: chain.AddressFromBytes([]byte("vmbench-caller")),
+	}
+	w.state = evm.NewMemState()
+	seed := func(method string, params []lang.Param, args []lang.Value) error {
+		data, err := lang.EncodeArgsEVM(method, params, args)
+		if err != nil {
+			return fmt.Errorf("vmbench: encode %s: %w", method, err)
+		}
+		res := evm.Execute(evm.Context{
+			State: w.state, Caller: w.from, Address: w.self,
+			CallData: data, GasLimit: 10_000_000, BlockNumber: 1, Timestamp: 1000,
+		}, w.code)
+		if res.Err != nil || res.Reverted {
+			return fmt.Errorf("vmbench: seed %s: %+v", method, res)
+		}
+		return nil
+	}
+	if err := seed(lang.CtorMethodName, compiled.Program.Ctor.Params,
+		[]lang.Value{lang.BytesValue(pvArea)}); err != nil {
+		return nil, err
+	}
+	if err := seed("register", pvAPI(compiled, "register"),
+		[]lang.Value{lang.Uint64Value(7), lang.BytesValue(pvCommitment())}); err != nil {
+		return nil, err
+	}
+	var err error
+	w.callData, err = lang.EncodeArgsEVM("check_in", pvAPI(compiled, "check_in"),
+		[]lang.Value{
+			lang.Uint64Value(7), lang.BytesValue(pvLoc), lang.BytesValue(pvNonce),
+			lang.BytesValue(pvCid), lang.BytesValue(pvCode),
+		})
+	if err != nil {
+		return nil, fmt.Errorf("vmbench: encode check_in: %w", err)
+	}
+	for _, exec := range []func(evm.Context, []byte) evm.Result{evm.Execute, evm.ExecuteRef} {
+		if res := w.run(exec); res.Err != nil || res.Reverted {
+			return nil, fmt.Errorf("vmbench: check_in sanity: %+v", res)
+		}
+	}
+	return w, nil
+}
+
+func (w *pvEVMWorkload) run(exec func(evm.Context, []byte) evm.Result) evm.Result {
+	return exec(evm.Context{
+		State: w.state, Caller: w.from, Address: w.self,
+		CallData: w.callData, GasLimit: 10_000_000, BlockNumber: 1, Timestamp: 1000,
+	}, w.code)
+}
+
+// pvAVMWorkload is the same single check_in on the Algorand VM.
+type pvAVMWorkload struct {
+	prog     *avm.Program
+	callArgs [][]byte
+	ledger   *avm.MemLedger
+	sender   chain.Address
+}
+
+func newPVAVMWorkload(compiled *lang.Compiled) (*pvAVMWorkload, error) {
+	w := &pvAVMWorkload{
+		prog:   compiled.TEALProgram,
+		ledger: avm.NewMemLedger(),
+		sender: chain.AddressFromBytes([]byte("vmbench-sender")),
+	}
+	ctorArgs, err := lang.EncodeArgsTEAL("", compiled.Program.Ctor.Params,
+		[]lang.Value{lang.BytesValue(pvArea)})
+	if err != nil {
+		return nil, fmt.Errorf("vmbench: encode teal ctor: %w", err)
+	}
+	if res := avm.Execute(w.prog, w.ledger, avm.TxContext{
+		Sender: w.sender, AppID: 7, CreateMode: true, Args: ctorArgs, BudgetTxns: 4,
+	}); res.Err != nil || !res.Approved {
+		return nil, fmt.Errorf("vmbench: teal ctor: %+v", res)
+	}
+	regArgs, err := lang.EncodeArgsTEAL("register", pvAPI(compiled, "register"),
+		[]lang.Value{lang.Uint64Value(7), lang.BytesValue(pvCommitment())})
+	if err != nil {
+		return nil, fmt.Errorf("vmbench: encode teal register: %w", err)
+	}
+	if res := avm.Execute(w.prog, w.ledger, avm.TxContext{
+		Sender: w.sender, AppID: 7, Args: regArgs, BudgetTxns: 4,
+	}); res.Err != nil || !res.Approved {
+		return nil, fmt.Errorf("vmbench: teal register: %+v", res)
+	}
+	w.callArgs, err = lang.EncodeArgsTEAL("check_in", pvAPI(compiled, "check_in"),
+		[]lang.Value{
+			lang.Uint64Value(7), lang.BytesValue(pvLoc), lang.BytesValue(pvNonce),
+			lang.BytesValue(pvCid), lang.BytesValue(pvCode),
+		})
+	if err != nil {
+		return nil, fmt.Errorf("vmbench: encode teal check_in: %w", err)
+	}
+	if res := w.run(); res.Err != nil || !res.Approved {
+		return nil, fmt.Errorf("vmbench: teal check_in sanity: %+v", res)
+	}
+	return w, nil
+}
+
+func (w *pvAVMWorkload) run() avm.Result {
+	return avm.Execute(w.prog, w.ledger, avm.TxContext{
+		Sender: w.sender, AppID: 7, Args: w.callArgs, BudgetTxns: 4,
+	})
 }

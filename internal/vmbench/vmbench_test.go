@@ -5,26 +5,73 @@ import "testing"
 // TestRunSmoke runs the whole harness at one iteration per engine — the
 // same configuration CI uses — and checks the record is well-formed.
 func TestRunSmoke(t *testing.T) {
-	rep, err := Run("1x")
+	rep, err := Run("1x", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Workloads) != 2 {
-		t.Fatalf("want 2 workloads, got %d", len(rep.Workloads))
+	want := []string{
+		"evm_deploy_attach", "avm_deploy_attach",
+		"evm_proof_verify_interp", "evm_proof_verify_precompile",
+		"avm_proof_verify_interp", "avm_proof_verify_precompile",
+	}
+	if len(rep.Workloads) != len(want) {
+		t.Fatalf("want %d workloads, got %d", len(want), len(rep.Workloads))
+	}
+	for i, name := range want {
+		if rep.Workloads[i].Name != name {
+			t.Fatalf("workload %d = %q, want %q", i, rep.Workloads[i].Name, name)
+		}
+		if rep.Workloads[i].U256 == nil || rep.Workloads[i].U256.Iterations < 1 {
+			t.Fatalf("workload %q did not run: %+v", name, rep.Workloads[i])
+		}
 	}
 	evmW := rep.Workloads[0]
-	if evmW.Name != "evm_deploy_attach" || evmW.U256 == nil || evmW.BigInt == nil {
-		t.Fatalf("malformed evm workload: %+v", evmW)
+	if evmW.BigInt == nil {
+		t.Fatalf("evm workload is missing its big.Int reference leg: %+v", evmW)
 	}
-	if evmW.U256.Iterations < 1 || evmW.BigInt.Iterations < 1 {
-		t.Fatalf("benchmarks did not run: %+v", evmW)
+	if avmW := rep.Workloads[1]; avmW.BigInt != nil {
+		t.Fatalf("avm workload has no big.Int engine, got %+v", avmW)
 	}
-	avmW := rep.Workloads[1]
-	if avmW.Name != "avm_deploy_attach" || avmW.U256 == nil || avmW.BigInt != nil {
-		t.Fatalf("malformed avm workload: %+v", avmW)
+	if rep.EVMProofVerifyNsImprovement <= 0 || rep.AVMProofVerifyNsImprovement <= 0 {
+		t.Fatalf("precompile headline ratios missing: evm=%v avm=%v",
+			rep.EVMProofVerifyNsImprovement, rep.AVMProofVerifyNsImprovement)
 	}
 	if rep.String() == "" {
 		t.Fatal("empty report rendering")
+	}
+}
+
+// TestRunFilter: a filter restricts the record to matching workloads and
+// only populates the headline ratios whose inputs actually ran.
+func TestRunFilter(t *testing.T) {
+	rep, err := Run("1x", "proof_verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 4 {
+		t.Fatalf("want the 4 proof_verify workloads, got %+v", rep.Workloads)
+	}
+	for _, w := range rep.Workloads {
+		if w.Name != "evm_proof_verify_interp" && w.Name != "evm_proof_verify_precompile" &&
+			w.Name != "avm_proof_verify_interp" && w.Name != "avm_proof_verify_precompile" {
+			t.Fatalf("unexpected workload %q under filter", w.Name)
+		}
+	}
+	if rep.EVMProofVerifyNsImprovement <= 0 || rep.AVMProofVerifyNsImprovement <= 0 {
+		t.Fatal("filtered run covering both legs must still compute the headlines")
+	}
+	if rep.DeployAttachNsImprovement != 0 {
+		t.Fatal("deploy-attach headline must stay empty when its workload is filtered out")
+	}
+
+	// Filtering to a single leg leaves the ratio unpopulated rather than
+	// dividing by a measurement that never happened.
+	rep, err = Run("1x", "evm_proof_verify_interp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 1 || rep.EVMProofVerifyNsImprovement != 0 {
+		t.Fatalf("single-leg filter: %+v headline %v", rep.Workloads, rep.EVMProofVerifyNsImprovement)
 	}
 }
 
@@ -33,7 +80,7 @@ func TestRunSmoke(t *testing.T) {
 func TestWorkloadEnginesAgree(t *testing.T) {
 	// newEVMWorkload runs the sanity pass over both engines and fails on
 	// any divergence or revert; reaching here means they agreed.
-	if _, err := Run("1x"); err != nil {
+	if _, err := Run("1x", ""); err != nil {
 		t.Fatal(err)
 	}
 }

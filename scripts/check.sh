@@ -153,6 +153,17 @@ echo "== vm microbenchmarks =="
 # committed ci/baseline/BENCH_vm.json (a 1x run is measurement noise).
 go run ./cmd/polbench -vmbench -vmbenchtime 1s -benchout BENCH_vm.json > /dev/null
 
+echo "== precompile smoke =="
+# The proof-verification workloads only (-vmfilter), then the vm gate's
+# precompile-speedup floor on the fresh record. The record serves as its
+# own baseline here: ns/op numbers are not portable across machines, so
+# locally the machine-independent precompiled-vs-interpreted ratio is the
+# signal; CI gates ns/op regression against the committed baseline.
+smoke_vm="$(mktemp)"
+go run ./cmd/polbench -vmbench -vmfilter proof_verify -vmbenchtime 1s -benchout "$smoke_vm" > /dev/null
+go run ./cmd/benchgate -kind vm -fresh "$smoke_vm" -baseline "$smoke_vm" -minprecompilespeedup 2
+rm -f "$smoke_vm"
+
 echo "== benchmarks (1 iteration) =="
 go test -bench=. -benchmem -benchtime=1x ./... > /dev/null
 
