@@ -7,6 +7,7 @@
 //	benchgate -kind health -fresh HEALTH_report.json
 //	benchgate -kind state -fresh BENCH_throughput.json
 //	benchgate -kind persist -fresh BENCH_persist.json
+//	benchgate -kind crosschain -fresh BENCH_throughput.json -baseline ci/baseline/BENCH_throughput.json
 //
 // For -kind vm every workload's u256 ns/op may regress at most -tolerance
 // (default 25%) against the baseline. For -kind throughput the record must
@@ -21,7 +22,14 @@
 // -baseline is not used. For -kind persist every chain family's resumed
 // run must be bit-identical (digest, state root, blocks) to its
 // uninterrupted reference and reopen within -maxreopenseconds; -baseline
-// is not used.
+// is not used. For -kind crosschain the record's cross_chain section must
+// exist, span at least two backends with bit-identical concurrent and
+// sequential digests (re-compared here, never trusted as a flag), carry an
+// equivalent flat/sharded DHT discovery report within the hypercube hop
+// bound, and — when both records' concurrency measurements are valid — no
+// backend's txs/sec may regress beyond the tolerance against the same
+// backend in the baseline; -mincrossspeedup additionally floors the
+// aggregate speedup over the slowest backend (0 disables).
 package main
 
 import (
@@ -33,7 +41,7 @@ import (
 
 func main() {
 	var (
-		kind       = flag.String("kind", "", "record kind: vm or throughput")
+		kind       = flag.String("kind", "", "record kind: vm, throughput, health, state, persist or crosschain")
 		fresh      = flag.String("fresh", "", "freshly generated benchmark record")
 		baseline   = flag.String("baseline", "", "committed baseline record")
 		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional regression against the baseline")
@@ -42,6 +50,7 @@ func main() {
 		maxBPU     = flag.Float64("maxbytesperuser", 8192, "allowed live-heap bytes per user for -kind state")
 		minPre     = flag.Float64("minprecompilespeedup", 2.0, "required EVM precompile-vs-interpreted speedup for -kind vm (0 disables)")
 		maxReopen  = flag.Float64("maxreopenseconds", 30, "allowed restart-from-root wall time for -kind persist")
+		minCross   = flag.Float64("mincrossspeedup", 1.0, "required aggregate-vs-slowest-backend speedup for -kind crosschain when the measurement is valid (0 disables)")
 	)
 	flag.Parse()
 	baselineFree := map[string]bool{"health": true, "state": true, "persist": true}
@@ -70,8 +79,10 @@ func main() {
 		problems, err = gateState(*fresh, *maxBPU)
 	case "persist":
 		problems, err = gatePersist(*fresh, *maxReopen)
+	case "crosschain":
+		problems, err = gateCrossChain(*fresh, *baseline, *tolerance, *minCross)
 	default:
-		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want vm, throughput, health, state or persist)\n", *kind)
+		fmt.Fprintf(os.Stderr, "benchgate: unknown -kind %q (want vm, throughput, health, state, persist or crosschain)\n", *kind)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -130,6 +141,36 @@ type throughputRecord struct {
 	Deterministic bool            `json:"deterministic"`
 	RootsMatch    bool            `json:"roots_match"`
 	Runs          []throughputRun `json:"runs"`
+	CrossChain    *crossChainSec  `json:"cross_chain"`
+}
+
+// crossChainBackend mirrors one cross_chain.backends[] entry.
+type crossChainBackend struct {
+	Chain            string  `json:"chain"`
+	TxsIncluded      uint64  `json:"txs_included"`
+	TxsPerSecWall    float64 `json:"txs_per_sec_wall"`
+	Digest           string  `json:"digest"`
+	DigestSequential string  `json:"digest_sequential"`
+	StateRoot        string  `json:"state_root"`
+}
+
+// crossChainDiscovery mirrors the cross_chain.discovery object.
+type crossChainDiscovery struct {
+	Shards          int      `json:"shards"`
+	R               int      `json:"r"`
+	Lookups         uint64   `json:"lookups"`
+	PerShardLookups []uint64 `json:"per_shard_lookups"`
+	MaxHops         int      `json:"max_hops"`
+	FlatEquivalent  bool     `json:"flat_equivalent"`
+}
+
+// crossChainSec mirrors the fields of the cross_chain section the gate
+// reads.
+type crossChainSec struct {
+	SpeedupVsSlowest float64             `json:"speedup_vs_slowest"`
+	SpeedupValid     bool                `json:"speedup_valid"`
+	Backends         []crossChainBackend `json:"backends"`
+	Discovery        crossChainDiscovery `json:"discovery"`
 }
 
 func readJSON(path string, v any) error {
@@ -425,6 +466,99 @@ func gateState(freshPath string, maxBPU float64) ([]string, error) {
 			problems = append(problems, fmt.Sprintf(
 				"run %d (shards=%d) uses %.0f live-heap bytes per user, above the %.0f bound",
 				i, run.Shards, run.BytesPerUser, maxBPU))
+		}
+	}
+	return problems, nil
+}
+
+// gateCrossChain checks the cross-chain soak section: per-backend
+// determinism across interleavings (digest pairs re-compared, never
+// trusted as a flag), DHT discovery equivalence within the hypercube hop
+// bound, and — when both sides' concurrency measurements are valid —
+// per-backend throughput against the same backend in the baseline. A
+// record or baseline without the section must not pass: that is the gate
+// silently disarming itself.
+func gateCrossChain(freshPath, basePath string, tol, minCross float64) ([]string, error) {
+	var fresh, base throughputRecord
+	if err := readJSON(freshPath, &fresh); err != nil {
+		return nil, err
+	}
+	if err := readJSON(basePath, &base); err != nil {
+		return nil, err
+	}
+	var problems []string
+	cc := fresh.CrossChain
+	if cc == nil {
+		return append(problems, "fresh record carries no cross_chain section: the cross-chain soak never ran"), nil
+	}
+	if len(cc.Backends) < 2 {
+		problems = append(problems, fmt.Sprintf(
+			"cross_chain spans %d backend(s): agnosticism needs at least 2", len(cc.Backends)))
+	}
+	seen := map[string]crossChainBackend{}
+	for _, b := range cc.Backends {
+		seen[b.Chain] = b
+		if b.Digest == "" || b.DigestSequential == "" {
+			problems = append(problems, fmt.Sprintf(
+				"%s: record carries no digest pair: interleaving-invariance was never checked", b.Chain))
+			continue
+		}
+		if b.Digest != b.DigestSequential {
+			problems = append(problems, fmt.Sprintf(
+				"%s: concurrent digest %.16s... diverges from sequential %.16s...",
+				b.Chain, b.Digest, b.DigestSequential))
+		}
+		if b.StateRoot == "" {
+			problems = append(problems, fmt.Sprintf("%s: record carries no state root", b.Chain))
+		}
+		if b.TxsIncluded == 0 {
+			problems = append(problems, fmt.Sprintf("%s: zero transactions included: the backend carried no load", b.Chain))
+		}
+	}
+	d := cc.Discovery
+	if !d.FlatEquivalent {
+		problems = append(problems, "DHT discovery: sharded routing resolved different handles than flat routing")
+	}
+	if d.Lookups == 0 {
+		problems = append(problems, "DHT discovery: zero lookups: discovery never ran")
+	}
+	var perShard uint64
+	for _, n := range d.PerShardLookups {
+		perShard += n
+	}
+	if perShard != d.Lookups {
+		problems = append(problems, fmt.Sprintf(
+			"DHT discovery: per-shard lookups sum to %d but %d lookups ran", perShard, d.Lookups))
+	}
+	if d.MaxHops > d.R {
+		problems = append(problems, fmt.Sprintf(
+			"DHT discovery: max route length %d exceeds the hypercube r=%d bound", d.MaxHops, d.R))
+	}
+	if cc.SpeedupValid && minCross > 0 && cc.SpeedupVsSlowest < minCross {
+		problems = append(problems, fmt.Sprintf(
+			"aggregate speedup %.2fx over the slowest backend is below the required %.2fx",
+			cc.SpeedupVsSlowest, minCross))
+	}
+	bcc := base.CrossChain
+	if bcc == nil {
+		problems = append(problems, "baseline carries no cross_chain section: regenerate ci/baseline")
+		return problems, nil
+	}
+	for _, bb := range bcc.Backends {
+		fb, ok := seen[bb.Chain]
+		if !ok {
+			problems = append(problems, fmt.Sprintf(
+				"backend %s present in baseline but missing from fresh record", bb.Chain))
+			continue
+		}
+		if cc.SpeedupValid && bcc.SpeedupValid && bb.TxsPerSecWall > 0 && fb.TxsPerSecWall > 0 {
+			// Throughput is an inverse cost: gate on per-tx wall time.
+			if regressed(1/fb.TxsPerSecWall, 1/bb.TxsPerSecWall, tol) {
+				problems = append(problems, fmt.Sprintf(
+					"%s throughput regressed %.1f%% (fresh %.0f txs/sec vs baseline %.0f, tolerance %.0f%%)",
+					bb.Chain, 100*(bb.TxsPerSecWall/fb.TxsPerSecWall-1),
+					fb.TxsPerSecWall, bb.TxsPerSecWall, 100*tol))
+			}
 		}
 	}
 	return problems, nil

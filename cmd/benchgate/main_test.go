@@ -454,6 +454,124 @@ func TestGatePersist(t *testing.T) {
 	}
 }
 
+func ccBackend(chain string, tps float64) crossChainBackend {
+	return crossChainBackend{
+		Chain: chain, TxsIncluded: 100, TxsPerSecWall: tps,
+		Digest: "d-" + chain, DigestSequential: "d-" + chain, StateRoot: "r-" + chain,
+	}
+}
+
+func ccRec(valid bool, speedup float64, backends ...crossChainBackend) throughputRecord {
+	return throughputRecord{
+		Deterministic: true, RootsMatch: true,
+		Runs: []throughputRun{{Shards: 1, TxsPerSecWall: 1000, StateRoot: "root"}},
+		CrossChain: &crossChainSec{
+			SpeedupVsSlowest: speedup, SpeedupValid: valid,
+			Backends: backends,
+			Discovery: crossChainDiscovery{
+				Shards: 2, R: 6, Lookups: 12, PerShardLookups: []uint64{7, 5},
+				MaxHops: 6, FlatEquivalent: true,
+			},
+		},
+	}
+}
+
+func TestGateCrossChain(t *testing.T) {
+	dir := t.TempDir()
+	healthy := func() throughputRecord {
+		return ccRec(true, 2.1,
+			ccBackend("goerli", 2000), ccBackend("polygon", 2500), ccBackend("algorand", 900))
+	}
+	base := writeJSON(t, dir, "base.json", healthy())
+
+	divergent := healthy()
+	divergent.CrossChain.Backends[1].DigestSequential = "other"
+	noDigest := healthy()
+	noDigest.CrossChain.Backends[0].Digest = ""
+	noDigest.CrossChain.Backends[0].DigestSequential = ""
+	noSection := healthy()
+	noSection.CrossChain = nil
+	oneBackend := ccRec(true, 2.1, ccBackend("goerli", 2000))
+	dropped := ccRec(true, 2.1, ccBackend("goerli", 2000), ccBackend("algorand", 900))
+	regressedRec := healthy()
+	regressedRec.CrossChain.Backends[2].TxsPerSecWall = 500
+	invalidRegressed := regressedRec
+	invalidRegressed.CrossChain = &crossChainSec{}
+	*invalidRegressed.CrossChain = *regressedRec.CrossChain
+	invalidRegressed.CrossChain.SpeedupValid = false
+	notEquivalent := healthy()
+	notEquivalent.CrossChain.Discovery.FlatEquivalent = false
+	hopOverflow := healthy()
+	hopOverflow.CrossChain.Discovery.MaxHops = 7
+	shortCount := healthy()
+	shortCount.CrossChain.Discovery.PerShardLookups = []uint64{7, 4}
+	noLookups := healthy()
+	noLookups.CrossChain.Discovery.Lookups = 0
+	noLookups.CrossChain.Discovery.PerShardLookups = nil
+	slowAggregate := healthy()
+	slowAggregate.CrossChain.SpeedupVsSlowest = 0.8
+	unloaded := healthy()
+	unloaded.CrossChain.Backends[0].TxsIncluded = 0
+
+	cases := []struct {
+		name     string
+		fresh    throughputRecord
+		minCross float64
+		want     int
+		match    string
+	}{
+		{"healthy record passes", healthy(), 1.0, 0, ""},
+		{"missing section fails", noSection, 1.0, 1, "no cross_chain section"},
+		// One backend also leaves the baseline's other two unmatched: the
+		// cardinality problem plus two dropped-backend problems.
+		{"single backend fails", oneBackend, 1.0, 3, "at least 2"},
+		{"interleaving divergence fails", divergent, 1.0, 1, "diverges from sequential"},
+		{"missing digest pair fails", noDigest, 1.0, 1, "no digest pair"},
+		{"unloaded backend fails", unloaded, 1.0, 1, "zero transactions"},
+		{"dropped backend fails", dropped, 1.0, 1, "missing from fresh"},
+		{"throughput regression fails", regressedRec, 1.0, 1, "throughput regressed"},
+		{"invalid measurement skips regression and speedup", invalidRegressed, 1.0, 0, ""},
+		{"discovery divergence fails", notEquivalent, 1.0, 1, "different handles"},
+		{"hop bound overflow fails", hopOverflow, 1.0, 1, "exceeds the hypercube"},
+		{"per-shard undercount fails", shortCount, 1.0, 1, "per-shard lookups sum"},
+		{"zero lookups fails", noLookups, 1.0, 1, "discovery never ran"},
+		{"aggregate below floor fails", slowAggregate, 1.0, 1, "below the required"},
+		{"zero floor disables the aggregate check", slowAggregate, 0, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := writeJSON(t, dir, "fresh.json", tc.fresh)
+			problems, err := gateCrossChain(fresh, base, 0.25, tc.minCross)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(problems) != tc.want {
+				t.Fatalf("problems = %v, want %d", problems, tc.want)
+			}
+			if tc.match != "" && !strings.Contains(problems[0], tc.match) {
+				t.Fatalf("problem %q does not mention %q", problems[0], tc.match)
+			}
+		})
+	}
+}
+
+// TestGateCrossChainBaselineWithoutSection pins the disarm rule on the
+// other side: a baseline predating the section must regenerate, not pass.
+func TestGateCrossChainBaselineWithoutSection(t *testing.T) {
+	dir := t.TempDir()
+	rec := ccRec(true, 2.1, ccBackend("goerli", 2000), ccBackend("algorand", 900))
+	fresh := writeJSON(t, dir, "fresh.json", rec)
+	rec.CrossChain = nil
+	base := writeJSON(t, dir, "base.json", rec)
+	problems, err := gateCrossChain(fresh, base, 0.25, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "baseline carries no cross_chain") {
+		t.Fatalf("problems = %v, want one naming the sectionless baseline", problems)
+	}
+}
+
 // TestGateHealthRoundTrip feeds the gate a report produced by the real
 // flight recorder, not a hand-built mirror, so the two JSON shapes
 // cannot drift apart silently.

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"agnopol/internal/obs"
+	"agnopol/internal/sim"
+)
+
+// crossChainBackendJSON is one backend's share of the cross-chain soak.
+// Digest comes from the concurrent pass and DigestSequential from the
+// serial pass; the two must be byte-equal — that pair is what benchgate
+// re-compares, so the record carries both instead of a pre-computed
+// verdict it would have to trust.
+type crossChainBackendJSON struct {
+	Chain            string  `json:"chain"`
+	Areas            int     `json:"areas"`
+	Users            int     `json:"users"`
+	Seed             uint64  `json:"seed"`
+	TxsIncluded      uint64  `json:"txs_included"`
+	Blocks           uint64  `json:"blocks"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	TxsPerSecWall    float64 `json:"txs_per_sec_wall"`
+	FeesPaid         string  `json:"fees_paid"`
+	MeanFeeEuro      float64 `json:"mean_fee_euro"`
+	Digest           string  `json:"digest"`
+	DigestSequential string  `json:"digest_sequential"`
+	StateRoot        string  `json:"state_root"`
+}
+
+// crossChainDiscoveryJSON summarizes the DHT discovery phase of the
+// concurrent pass.
+type crossChainDiscoveryJSON struct {
+	Shards          int      `json:"shards"`
+	R               int      `json:"r"`
+	Lookups         uint64   `json:"lookups"`
+	PerShardLookups []uint64 `json:"per_shard_lookups"`
+	MaxHops         int      `json:"max_hops"`
+	FlatEquivalent  bool     `json:"flat_equivalent"`
+}
+
+// crossChainJSON is the cross_chain section of BENCH_throughput.json: one
+// soak spread over every backend simultaneously, plus the sequential
+// re-run that proves scheduling never reached chain state.
+type crossChainJSON struct {
+	Chains     []string `json:"chains"`
+	Areas      int      `json:"areas"`
+	Users      int      `json:"users"`
+	Rounds     int      `json:"rounds"`
+	Shards     int      `json:"shards"`
+	Seed       uint64   `json:"seed"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	// WallSeconds is the concurrent pass; SequentialWallSeconds the serial
+	// re-run over the identical workload.
+	WallSeconds           float64 `json:"wall_seconds"`
+	SequentialWallSeconds float64 `json:"sequential_wall_seconds"`
+	// AggregateTps is all backends' included transactions per concurrent
+	// wall second; SlowestTps the slowest backend's own throughput;
+	// SpeedupVsSlowest their ratio.
+	AggregateTps     float64 `json:"aggregate_txs_per_sec_wall"`
+	SlowestTps       float64 `json:"slowest_backend_txs_per_sec_wall"`
+	SpeedupVsSlowest float64 `json:"speedup_vs_slowest"`
+	// SpeedupValid is false when GOMAXPROCS < 2: one scheduler thread
+	// cannot overlap the backends, so the ratio is not a concurrency
+	// measurement.
+	SpeedupValid bool `json:"speedup_valid"`
+	// Deterministic records that every backend's concurrent digest and
+	// state root matched the sequential re-run's.
+	Deterministic bool                    `json:"deterministic"`
+	Backends      []crossChainBackendJSON `json:"backends"`
+	Discovery     crossChainDiscoveryJSON `json:"discovery"`
+}
+
+// runCrossChainMode drives one soak across every backend preset at once,
+// re-runs it with the backends serialized, checks the per-backend digests
+// and state roots are bit-identical across the two interleavings, and
+// merges the cross_chain section into the throughput record at out —
+// preserving an existing single-chain record's runs when the file already
+// holds one, so one BENCH_throughput.json carries both bodies of evidence.
+func runCrossChainMode(areas, users, rounds, shards int, seed uint64, out string, o *obs.Obs, tel *obs.Telemetry, jsonOut bool) error {
+	spec := sim.MultiSoakSpec{
+		Chains: sim.AllChains, Areas: areas, Users: users, Rounds: rounds,
+		Shards: shards, Seed: seed, Obs: o, Telemetry: tel,
+	}
+	conc, err := sim.RunMultiSoak(spec)
+	if err != nil {
+		return fmt.Errorf("cross-chain soak (concurrent): %w", err)
+	}
+	spec.Sequential = true
+	seq, err := sim.RunMultiSoak(spec)
+	if err != nil {
+		return fmt.Errorf("cross-chain soak (sequential baseline): %w", err)
+	}
+
+	rec := crossChainJSON{
+		Areas: areas, Users: users, Rounds: rounds, Shards: conc.Shards, Seed: seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		WallSeconds:           conc.Wall.Seconds(),
+		SequentialWallSeconds: seq.Wall.Seconds(),
+		AggregateTps:          conc.AggregateTps,
+		SlowestTps:            conc.SlowestTps,
+		SpeedupVsSlowest:      conc.SpeedupVsSlowest,
+		SpeedupValid:          runtime.GOMAXPROCS(0) >= 2,
+		Deterministic:         true,
+		Discovery: crossChainDiscoveryJSON{
+			Shards:          conc.Discovery.Shards,
+			R:               conc.Discovery.R,
+			Lookups:         conc.Discovery.Lookups,
+			PerShardLookups: conc.Discovery.PerShardLookups,
+			MaxHops:         conc.Discovery.MaxHops,
+			FlatEquivalent:  conc.Discovery.FlatEquivalent,
+		},
+	}
+	for b := range conc.Backends {
+		cb, sb := conc.Backends[b], seq.Backends[b]
+		if cb.Soak.Digest != sb.Soak.Digest || cb.Soak.StateRoot != sb.Soak.StateRoot {
+			return fmt.Errorf("cross-chain soak is not deterministic: backend %s diverges between the concurrent and sequential interleavings", cb.Chain)
+		}
+		rec.Chains = append(rec.Chains, string(cb.Chain))
+		rec.Backends = append(rec.Backends, crossChainBackendJSON{
+			Chain: string(cb.Chain), Areas: cb.Areas, Users: cb.Users, Seed: cb.Seed,
+			TxsIncluded: cb.Soak.Included, Blocks: cb.Soak.Blocks,
+			WallSeconds:   cb.Soak.Wall.Seconds(),
+			TxsPerSecWall: cb.Soak.TxsPerSecWall(),
+			FeesPaid:      cb.Soak.FeesPaid.String(), MeanFeeEuro: cb.Soak.MeanFeeEuro,
+			Digest:           fmt.Sprintf("%x", cb.Soak.Digest[:]),
+			DigestSequential: fmt.Sprintf("%x", sb.Soak.Digest[:]),
+			StateRoot:        fmt.Sprintf("%x", cb.Soak.StateRoot[:]),
+		})
+	}
+	if !rec.SpeedupValid {
+		fmt.Fprintf(os.Stderr, "polbench: warning: GOMAXPROCS=%d — the backends cannot actually overlap; recording speedup_valid=false\n",
+			runtime.GOMAXPROCS(0))
+	}
+	if !jsonOut {
+		fmt.Printf("Cross-chain soak — %d areas × %d users × %d rounds over %v\n",
+			areas, users, rounds, rec.Chains)
+		for _, b := range rec.Backends {
+			fmt.Printf("  %-9s %3d areas %4d users: %7.0f txs/sec wall, mean fee %.6f €, digest %s\n",
+				b.Chain, b.Areas, b.Users, b.TxsPerSecWall, b.MeanFeeEuro, b.Digest[:16])
+		}
+		fmt.Printf("  aggregate: %7.0f txs/sec wall (%.2fx vs slowest backend), concurrent %v vs sequential %v\n",
+			rec.AggregateTps, rec.SpeedupVsSlowest,
+			conc.Wall.Round(time.Millisecond), seq.Wall.Round(time.Millisecond))
+		fmt.Printf("  discovery: %d lookups over %d shards (cube r=%d, max %d hops), flat-equivalent %v\n\n",
+			rec.Discovery.Lookups, rec.Discovery.Shards, rec.Discovery.R,
+			rec.Discovery.MaxHops, rec.Discovery.FlatEquivalent)
+	}
+	return mergeCrossChainRecord(out, rec)
+}
+
+// mergeCrossChainRecord writes the cross_chain section into the throughput
+// record at path. When the file already holds a parseable record with runs
+// (the single-chain sharding evidence), only the section is replaced;
+// otherwise a fresh record is created whose top-level determinism fields
+// reflect the cross-chain passes.
+func mergeCrossChainRecord(path string, cc crossChainJSON) error {
+	rec := benchThroughputJSON{
+		Chain: "all", Areas: cc.Areas, Users: cc.Users, Rounds: cc.Rounds,
+		Seed: cc.Seed, GOMAXPROCS: cc.GOMAXPROCS, NumCPU: cc.NumCPU,
+		SpeedupValid: false, Deterministic: cc.Deterministic, RootsMatch: cc.Deterministic,
+		Runs: []soakRunJSON{},
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		var existing benchThroughputJSON
+		if json.Unmarshal(data, &existing) == nil && len(existing.Runs) > 0 {
+			rec = existing
+		}
+	}
+	rec.CrossChain = &cc
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "polbench: cross-chain section merged into %s\n", path)
+	return nil
+}

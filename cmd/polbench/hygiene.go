@@ -15,6 +15,7 @@ type hygieneFlags struct {
 	FaultsProfile             string
 	VMBench, Soak             bool
 	VMFilter                  string
+	SoakChain                 string
 	FaultRate                 float64
 	SampleInterval            time.Duration
 	Serve, HealthOut          string
@@ -60,6 +61,13 @@ func hygieneProblem(set map[string]bool, f hygieneFlags) string {
 	}
 	if f.StateDir != "" && !f.Soak {
 		return "-statedir requires -soak (-persist manages its own temporary state dirs)"
+	}
+	if f.SoakChain == "all" && (f.StateDir != "" || f.Resume) {
+		// The cross-chain soak drives several backends in one process; a
+		// single manifest cannot describe per-backend checkpoints, so the
+		// combination is rejected rather than silently persisting one
+		// backend's slice of the run.
+		return "-soakchain all does not support -statedir/-resume; persist per-chain soaks separately"
 	}
 	if set["checkpoint"] && f.StateDir == "" && !f.Persist {
 		return "-checkpoint requires -statedir or -persist"

@@ -12,6 +12,7 @@
 //	polbench -faults default -faultrate 0.2  # reliability sweep + recovery report
 //	polbench -vmbench                     # VM interpreter micro-benchmarks -> BENCH_vm.json
 //	polbench -soak -areas 8 -shards 4     # sharded soak/load harness -> BENCH_throughput.json
+//	polbench -soak -soakchain all         # cross-chain soak over every backend at once -> cross_chain section
 //	polbench -soak -statedir state/       # persisted soak: checkpoint every -checkpoint rounds -> SOAK_state.json
 //	polbench -soak -statedir state/ -resume  # continue a killed persisted soak from its manifest
 //	polbench -persist                     # kill-and-resume bit-identity benchmark -> BENCH_persist.json
@@ -58,7 +59,7 @@ func main() {
 		vmbenchT  = flag.String("vmbenchtime", "1s", "testing -benchtime for -vmbench (e.g. 1s, 100x; 1x = CI smoke)")
 		vmFilter  = flag.String("vmfilter", "", "only run -vmbench workloads whose name contains this substring (e.g. proof_verify)")
 		soak      = flag.Bool("soak", false, "run the sharded soak/load harness -> BENCH_throughput.json")
-		soakChain = flag.String("soakchain", "goerli", "network preset for -soak (goerli, polygon, algorand)")
+		soakChain = flag.String("soakchain", "goerli", "network preset for -soak (goerli, polygon, algorand), or all for one cross-chain soak over every backend")
 		areas     = flag.Int("areas", 8, "soak areas (M): one check-in contract each")
 		soakUsers = flag.Int("soakusers", 32, "soak users (K) issuing check-ins every round")
 		soakRound = flag.Int("soakrounds", 20, "soak rounds (T) of sustained load")
@@ -87,6 +88,7 @@ func main() {
 	if msg := hygieneProblem(setFlags, hygieneFlags{
 		Tables: *tables, Figures: *figures, Analysis: *analysis, Fig: *fig,
 		Matrix: *matrix, FaultsProfile: *faultsPro, VMBench: *vmbenchF, VMFilter: *vmFilter, Soak: *soak,
+		SoakChain: *soakChain,
 		FaultRate: *faultRate, SampleInterval: *sampleInt,
 		Serve: *serveAddr, HealthOut: *healthOut,
 		StateDir: *stateDir, Checkpoint: *checkEver, Resume: *resumeF, Persist: *persistF,
@@ -210,7 +212,14 @@ func main() {
 
 	if *soak {
 		out := *benchOut
-		if *stateDir != "" {
+		if *soakChain == "all" {
+			if out == "" {
+				out = "BENCH_throughput.json"
+			}
+			if err := runCrossChainMode(*areas, *soakUsers, *soakRound, *shards, *seed, out, o, tel, *jsonOut); err != nil {
+				fatal(err)
+			}
+		} else if *stateDir != "" {
 			if out == "" {
 				out = "SOAK_state.json"
 			}
@@ -560,6 +569,12 @@ type benchThroughputJSON struct {
 	// state gate does not depend on digest internals).
 	RootsMatch bool          `json:"roots_match"`
 	Runs       []soakRunJSON `json:"runs"`
+	// CrossChain is the -soakchain all section: one soak spread over every
+	// backend at once, with per-backend digests from both the concurrent
+	// and the sequential pass. It merges into an existing single-chain
+	// record so one file carries both the sharding and the cross-chain
+	// evidence.
+	CrossChain *crossChainJSON `json:"cross_chain,omitempty"`
 }
 
 func soakRunJSONOf(r *sim.SoakResult) soakRunJSON {

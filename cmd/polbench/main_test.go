@@ -89,6 +89,17 @@ func TestHygieneProblem(t *testing.T) {
 			hygieneFlags{Persist: true, FaultRate: 0.1}, ""},
 		{"benchout ambiguous with soak+persist", set("soak", "persist", "benchout"),
 			hygieneFlags{Soak: true, Persist: true, FaultRate: 0.1}, "ambiguous"},
+
+		{"cross-chain soak is coherent", set("soak", "soakchain"),
+			hygieneFlags{Soak: true, SoakChain: "all", FaultRate: 0.1}, ""},
+		{"cross-chain soak with benchout", set("soak", "soakchain", "benchout"),
+			hygieneFlags{Soak: true, SoakChain: "all", FaultRate: 0.1}, ""},
+		{"cross-chain soak rejects statedir", set("soak", "soakchain", "statedir"),
+			hygieneFlags{Soak: true, SoakChain: "all", StateDir: "s", FaultRate: 0.1}, "-soakchain all does not support -statedir"},
+		{"cross-chain soak rejects resume", set("soak", "soakchain", "statedir", "resume"),
+			hygieneFlags{Soak: true, SoakChain: "all", StateDir: "s", Resume: true, FaultRate: 0.1}, "does not support -statedir/-resume"},
+		{"single-chain soak keeps statedir", set("soak", "soakchain", "statedir"),
+			hygieneFlags{Soak: true, SoakChain: "algorand", StateDir: "s", FaultRate: 0.1}, ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

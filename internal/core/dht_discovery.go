@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"strconv"
+
+	"agnopol/internal/hypercube"
+	"agnopol/internal/obs"
+)
+
+// DHT-sharded contract discovery — the sharding vocabulary of the block
+// executor extended to the hypercube. Flat discovery routes every area's
+// lookup to the node the OLC dual encoding designates; under per-area
+// contract traffic that concentrates discovery load on whatever nodes the
+// encoding happens to pick, with no relation to how the chains shard
+// execution. Sharded discovery instead derives the target from
+// AreaRegistry.ShardOf — the same area→shard affinity the block builder
+// partitions by — and spreads each shard's areas over a small neighborhood
+// of hypercube nodes anchored at a shard-specific vertex. Lookup load then
+// balances across the cube the way block execution already balances across
+// shards, and the per-shard counters make the balance observable.
+
+// DHTDiscovery routes per-area contract discovery through the hypercube in
+// one of two modes. Flat (Sharded=false) is the paper's scheme: the target
+// node is the OLC dual encoding of the area code. Sharded (Sharded=true)
+// derives the target from the registry's shard affinity: areas of shard s
+// land in the neighborhood of s's anchor vertex, one member per area. Both
+// modes resolve the same area to the same contract handle — only the
+// placement inside the cube differs — which is what the flat-vs-sharded
+// equivalence tests pin down.
+type DHTDiscovery struct {
+	Sys *System
+	Reg *AreaRegistry
+	// Sharded selects ShardOf-affine placement instead of the flat OLC
+	// dual encoding.
+	Sharded bool
+
+	// reg receives the per-shard discovery-load counters; nil when
+	// unobserved.
+	reg *obs.Registry
+}
+
+// NewDHTDiscovery builds a discovery router over the system's hypercube.
+// o may be nil; when set, every lookup bumps
+// core_dht_discovery_total{mode,shard}.
+func NewDHTDiscovery(sys *System, reg *AreaRegistry, sharded bool, o *obs.Obs) *DHTDiscovery {
+	d := &DHTDiscovery{Sys: sys, Reg: reg, Sharded: sharded}
+	if o != nil {
+		d.reg = o.Registry
+		d.reg.Help("core_dht_discovery_total",
+			"Contract-discovery lookups routed through the hypercube, by shard.")
+	}
+	return d
+}
+
+// ShardAnchor is the hypercube vertex anchoring discovery shard s of an
+// r-dimensional cube: the shard index bit-reversed within r bits, so
+// consecutive shards land at maximally separated vertices instead of
+// clustering in one corner. Shard counts above 2^r wrap.
+func ShardAnchor(s, r int) uint64 {
+	return bits.Reverse64(uint64(s)%(1<<uint(r))) >> (64 - uint(r))
+}
+
+// neighborIndex picks which member of a shard's (r+1)-node neighborhood —
+// the anchor and its r direct neighbours — serves an area. A second,
+// domain-tagged FNV hash keeps the choice independent of the ShardOf hash,
+// so a shard's areas spread over the whole neighborhood rather than
+// re-colliding on one member.
+func neighborIndex(area string, r int) int {
+	h := fnv.New64a()
+	h.Write([]byte("dht-nbr:"))
+	h.Write([]byte(area))
+	return int(h.Sum64() % uint64(r+1))
+}
+
+// Target returns the hypercube node responsible for an area's discovery
+// entry in this router's mode. Sharded targets are a pure function of
+// (area, shard count, r) — every process routes an area the same way.
+func (d *DHTDiscovery) Target(area string) (uint64, error) {
+	if !d.Sharded {
+		return d.Sys.NodeIDForOLC(area)
+	}
+	anchor := ShardAnchor(d.Reg.ShardOf(area), d.Sys.R)
+	m := neighborIndex(area, d.Sys.R)
+	if m == 0 {
+		return anchor, nil
+	}
+	return anchor ^ (1 << uint(m-1)), nil
+}
+
+// Publish stores an area's contract ID at the mode's target node and
+// registers the handle for ID resolution. via is the publisher's entry
+// node.
+func (d *DHTDiscovery) Publish(via uint64, area string, h *Handle) (int, error) {
+	target, err := d.Target(area)
+	if err != nil {
+		return 0, err
+	}
+	d.Sys.RegisterHandle(h)
+	return d.Sys.Cube.Put(via, target, area, &hypercube.Entry{ContractID: h.ID(), OLC: area})
+}
+
+// Lookup resolves an area to its contract handle through the cube,
+// returning the handle, the hop count the route took, and whether the area
+// was found. via is the querying user's entry node.
+func (d *DHTDiscovery) Lookup(via uint64, area string) (*Handle, int, bool, error) {
+	target, err := d.Target(area)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	d.count(area)
+	entry, hops, ok, err := d.Sys.Cube.Get(via, target, area)
+	if err != nil || !ok {
+		return nil, hops, false, err
+	}
+	h, ok := d.Sys.HandleByID(entry.ContractID)
+	if !ok {
+		return nil, hops, false, fmt.Errorf("core: hypercube references unknown contract %q", entry.ContractID)
+	}
+	return h, hops, true, nil
+}
+
+// count bumps the per-shard discovery-load counter.
+func (d *DHTDiscovery) count(area string) {
+	if d.reg == nil {
+		return
+	}
+	mode := "flat"
+	if d.Sharded {
+		mode = "sharded"
+	}
+	d.reg.Counter("core_dht_discovery_total",
+		obs.L("mode", mode),
+		obs.L("shard", strconv.Itoa(d.Reg.ShardOf(area)))).Inc()
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"agnopol/internal/faults"
+	"agnopol/internal/obs"
+	"agnopol/internal/olc"
+)
+
+// discoveryAreaCode synthesizes the i-th valid full Open Location Code of
+// the test grid by spelling i in base 20 over the second digit quad.
+func discoveryAreaCode(i int) string {
+	a := olc.Alphabet
+	n := len(a)
+	return fmt.Sprintf("7H36%c%c%c%c+Q2",
+		a[(i/(n*n*n))%n], a[(i/(n*n))%n], a[(i/n)%n], a[i%n])
+}
+
+// publishBoth registers n areas in a registry and publishes each area's
+// handle through both routers into the one shared cube. Flat and sharded
+// placement use distinct target nodes, so the two modes coexist without
+// clashing on the keyword.
+func publishBoth(t *testing.T, sys *System, reg *AreaRegistry, flat, sharded *DHTDiscovery, n int) []string {
+	t.Helper()
+	areas := make([]string, n)
+	for i := 0; i < n; i++ {
+		code := discoveryAreaCode(i)
+		areas[i] = code
+		h := &Handle{Connector: "goerli", AppID: uint64(i) + 1}
+		if err := reg.Register(code, h); err != nil {
+			t.Fatalf("register %s: %v", code, err)
+		}
+		if _, err := flat.Publish(0, code, h); err != nil {
+			t.Fatalf("flat publish %s: %v", code, err)
+		}
+		if _, err := sharded.Publish(0, code, h); err != nil {
+			t.Fatalf("sharded publish %s: %v", code, err)
+		}
+	}
+	return areas
+}
+
+// TestDHTShardedFlatEquivalence pins the determinism contract: for every
+// area, sharded discovery must return exactly the handle flat discovery
+// returns — the placement changes, the resolution must not.
+func TestDHTShardedFlatEquivalence(t *testing.T) {
+	sys, err := NewSystem(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewAreaRegistry(4)
+	flat := NewDHTDiscovery(sys, reg, false, nil)
+	sharded := NewDHTDiscovery(sys, reg, true, nil)
+	areas := publishBoth(t, sys, reg, flat, sharded, 64)
+
+	for ui, code := range areas {
+		via := uint64(ui) & (1<<uint(sys.R) - 1)
+		hf, _, okf, err := flat.Lookup(via, code)
+		if err != nil || !okf {
+			t.Fatalf("flat lookup %s: ok=%v err=%v", code, okf, err)
+		}
+		hs, _, oks, err := sharded.Lookup(via, code)
+		if err != nil || !oks {
+			t.Fatalf("sharded lookup %s: ok=%v err=%v", code, oks, err)
+		}
+		if hf.ID() != hs.ID() {
+			t.Fatalf("area %s: sharded resolved %s, flat resolved %s", code, hs.ID(), hf.ID())
+		}
+	}
+}
+
+// TestDHTShardedTargetsStayInNeighborhood pins the placement contract: a
+// shard's areas are served by the shard's anchor vertex or one of its r
+// direct neighbours — at most r+1 nodes per shard — and the target is a
+// pure function of the area, independent of registration order.
+func TestDHTShardedTargetsStayInNeighborhood(t *testing.T) {
+	sys, err := NewSystem(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewAreaRegistry(4)
+	d := NewDHTDiscovery(sys, reg, true, nil)
+	for i := 0; i < 200; i++ {
+		code := discoveryAreaCode(i)
+		target, err := d.Target(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchor := ShardAnchor(reg.ShardOf(code), sys.R)
+		if hops := sys.Cube.Hops(anchor, target); hops > 1 {
+			t.Fatalf("area %s target %d is %d hops from its shard anchor %d, want <= 1",
+				code, target, hops, anchor)
+		}
+		again, _ := d.Target(code)
+		if again != target {
+			t.Fatalf("area %s target moved %d -> %d across calls", code, target, again)
+		}
+	}
+}
+
+// TestDHTShardedHopBoundUnderChurn is the property test for the resilience
+// claim: with the fault engine's DHT churn class injecting node failures on
+// routing paths, ShardOf-affine routes still never exceed the hypercube's
+// r-hop bound — detours flip a different differing bit, they never lengthen
+// the path.
+func TestDHTShardedHopBoundUnderChurn(t *testing.T) {
+	plan, err := faults.Profile("cube", 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7, 99} {
+		sys, err := NewSystem(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetResilience(faults.NewInjector(plan, seed, nil), faults.RetryPolicy{})
+		reg := NewAreaRegistry(8)
+		d := NewDHTDiscovery(sys, reg, true, nil)
+		areas := make([]string, 96)
+		for i := range areas {
+			areas[i] = discoveryAreaCode(i)
+			h := &Handle{Connector: "algorand", AppID: uint64(i) + 1}
+			if err := reg.Register(areas[i], h); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.Publish(uint64(i)%uint64(sys.Cube.Size()), areas[i], h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for ui := 0; ui < 400; ui++ {
+			code := areas[ui%len(areas)]
+			via := uint64(ui*2654435761) & (1<<uint(sys.R) - 1)
+			h, hops, ok, err := d.Lookup(via, code)
+			if err != nil || !ok {
+				t.Fatalf("seed %d: churned lookup %s: ok=%v err=%v", seed, code, ok, err)
+			}
+			if hops > sys.R {
+				t.Fatalf("seed %d: lookup %s took %d hops, above the r=%d bound under churn",
+					seed, code, hops, sys.R)
+			}
+			if h == nil {
+				t.Fatalf("seed %d: lookup %s returned nil handle", seed, code)
+			}
+		}
+		if st := sys.Cube.Stats(); st.Rerouted == 0 {
+			t.Fatalf("seed %d: churn at rate 0.35 never rerouted a hop — the property was not exercised", seed)
+		}
+	}
+}
+
+// TestDHTShardedLoadCounters pins the observability contract: every lookup
+// lands in exactly one core_dht_discovery_total{mode,shard} counter, and
+// the shard label matches ShardOf.
+func TestDHTShardedLoadCounters(t *testing.T) {
+	sys, err := NewSystem(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	shards := 3
+	reg := NewAreaRegistry(shards)
+	flat := NewDHTDiscovery(sys, reg, false, o)
+	sharded := NewDHTDiscovery(sys, reg, true, o)
+	areas := publishBoth(t, sys, reg, flat, sharded, 30)
+
+	want := make([]uint64, shards)
+	const lookups = 120
+	for ui := 0; ui < lookups; ui++ {
+		code := areas[ui%len(areas)]
+		want[reg.ShardOf(code)]++
+		if _, _, ok, err := sharded.Lookup(uint64(ui)%uint64(sys.Cube.Size()), code); err != nil || !ok {
+			t.Fatalf("lookup %s: ok=%v err=%v", code, ok, err)
+		}
+	}
+	var total uint64
+	for s := 0; s < shards; s++ {
+		got := o.Registry.Counter("core_dht_discovery_total",
+			obs.L("mode", "sharded"), obs.L("shard", fmt.Sprint(s))).Value()
+		if got != want[s] {
+			t.Fatalf("shard %d: counted %d lookups, want %d", s, got, want[s])
+		}
+		total += got
+	}
+	if total != lookups {
+		t.Fatalf("per-shard counters sum to %d, want %d", total, lookups)
+	}
+	// The sharded mode must not leak into the flat counters.
+	for s := 0; s < shards; s++ {
+		if got := o.Registry.Counter("core_dht_discovery_total",
+			obs.L("mode", "flat"), obs.L("shard", fmt.Sprint(s))).Value(); got != 0 {
+			t.Fatalf("flat counter for shard %d is %d, want 0", s, got)
+		}
+	}
+}
+
+// TestShardAnchorSpread pins the anchor derivation: distinct shards get
+// distinct, in-range anchor vertices for every shard count up to 2^r.
+func TestShardAnchorSpread(t *testing.T) {
+	const r = 6
+	seen := make(map[uint64]int)
+	for s := 0; s < 1<<r; s++ {
+		a := ShardAnchor(s, r)
+		if a >= 1<<r {
+			t.Fatalf("anchor(%d) = %d out of range for r=%d", s, a, r)
+		}
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("shards %d and %d share anchor %d", prev, s, a)
+		}
+		seen[a] = s
+	}
+	if ShardAnchor(1<<r, r) != ShardAnchor(0, r) {
+		t.Fatalf("anchor should wrap at 2^r")
+	}
+}

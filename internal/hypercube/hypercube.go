@@ -277,6 +277,27 @@ func (h *Network) RangeQuery(targetID uint64, maxHops int) ([]*Entry, error) {
 	return out, nil
 }
 
+// NodeLoad is one node's serving tally — how much discovery and storage
+// traffic it terminated (forwarding excluded).
+type NodeLoad struct {
+	ID      uint64
+	Lookups uint64
+	Stores  uint64
+}
+
+// NodeLoads returns the per-node serving tallies, indexed by node ID. The
+// sharded-discovery tests use it to show that shard-affine routing spreads
+// lookup load over a neighborhood instead of concentrating it.
+func (h *Network) NodeLoads() []NodeLoad {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]NodeLoad, len(h.nodes))
+	for i, n := range h.nodes {
+		out[i] = NodeLoad{ID: n.id, Lookups: n.lookupsServed, Stores: n.storesServed}
+	}
+	return out
+}
+
 // Stats summarizes routing behaviour for the ablation benchmarks.
 type Stats struct {
 	Lookups uint64

@@ -98,6 +98,15 @@ type SoakResult struct {
 	// in scheduling must agree on it.
 	StateRoot chain.Hash32
 
+	// FeesPaid is the total transaction fees the user accounts spent, in the
+	// chain's native base units: every check-in moves zero value, so each
+	// user's fees are exactly their funding minus their final balance, and
+	// the sum is exact even across a checkpoint/resume split. MeanFeeEuro is
+	// the euro cost per included transaction — the unit the paper compares
+	// backends in; zero for stopped runs (inclusion is finalized on resume).
+	FeesPaid    chain.Amount
+	MeanFeeEuro float64
+
 	// HeapBytes is the live heap after a forced GC at the end of the run;
 	// BytesPerUser divides it by Users. With block retention bounded, the
 	// quotient stays flat as users grow — memory tracks live state, not
@@ -144,6 +153,14 @@ func soakAreaCode(i int) string { return fmt.Sprintf("7H36SOAK+%03X", i) }
 // keeps resident — enough for any confirmation depth, small enough that a
 // million-user run's memory is set by live state, not by history.
 const soakRetention = 16
+
+// Per-user funding. Check-ins move zero value, so funding minus final
+// balance is exactly the fees a user paid — the identity FeesPaid is
+// computed from, which is why funding is a named constant and not an inline
+// literal at the Fund call.
+var soakFundEVM = big.NewInt(1e18)
+
+const soakFundAlgorand uint64 = 10_000_000
 
 // newSoakConnector builds the chain under soak. EVM presets get their
 // ambient congestion traffic trimmed so the measured workload — not the
@@ -479,7 +496,7 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 	for ui := range users {
 		u := soakAccountEVM(keys)
 		if !run.resumed {
-			c.Fund(u.Address, big.NewInt(1e18))
+			c.Fund(u.Address, new(big.Int).Set(soakFundEVM))
 		}
 		users[ui] = u
 		nonces[ui] = uint64(run.startRound)
@@ -519,6 +536,12 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 		}
 		res.Digest = c.Digest()
 		res.StateRoot = c.StateRoot()
+		fees := new(big.Int)
+		for _, u := range users {
+			bal := c.Balance(u.Address)
+			fees.Add(fees, new(big.Int).Sub(soakFundEVM, bal.Base))
+			res.FeesPaid = chain.Amount{Base: fees, Unit: bal.Unit}
+		}
 	}
 	for round := run.startRound; round < spec.Rounds; round++ {
 		maxFee := new(big.Int).Add(new(big.Int).Mul(c.BaseFee(), big.NewInt(2)), tip)
@@ -571,6 +594,9 @@ func soakEVM(spec SoakSpec, conn *core.EVMConnector, reg *core.AreaRegistry, com
 	}
 	finish()
 	res.Included = res.Submitted
+	if res.Included > 0 {
+		res.MeanFeeEuro = res.FeesPaid.Euros() / float64(res.Included)
+	}
 	if run.persist != nil {
 		if err := run.persist.commitEVM(c, spec.Rounds, res.Submitted, true); err != nil {
 			return err
@@ -594,7 +620,7 @@ func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaReg
 	for ui := range users {
 		u := soakAccountAlgorand(keys)
 		if !run.resumed {
-			c.Fund(u.Address, 10_000_000)
+			c.Fund(u.Address, soakFundAlgorand)
 		}
 		users[ui] = u
 		h, ok := reg.Lookup(areas[ui%len(areas)])
@@ -638,6 +664,12 @@ func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaReg
 		}
 		res.Digest = c.Digest()
 		res.StateRoot = c.StateRoot()
+		fees := new(big.Int)
+		for _, u := range users {
+			bal := c.Balance(u.Address)
+			fees.Add(fees, new(big.Int).Sub(new(big.Int).SetUint64(soakFundAlgorand), bal.Base))
+			res.FeesPaid = chain.Amount{Base: fees, Unit: bal.Unit}
+		}
 	}
 	for round := run.startRound; round < spec.Rounds; round++ {
 		groups := make([]algorand.Group, 0, spec.Users)
@@ -686,6 +718,9 @@ func soakAlgorand(spec SoakSpec, conn *core.AlgorandConnector, reg *core.AreaReg
 	}
 	finish()
 	res.Included = res.Submitted
+	if res.Included > 0 {
+		res.MeanFeeEuro = res.FeesPaid.Euros() / float64(res.Included)
+	}
 	if run.persist != nil {
 		if err := run.persist.commitAlgorand(c, spec.Rounds, res.Submitted, true); err != nil {
 			return err

@@ -55,6 +55,26 @@ go run ./cmd/polbench -soak -areas 8 -soakusers 32 -soakrounds 15 -shards 4 -ben
 # bound applies to the committed full-scale soak record.
 go run ./cmd/benchgate -kind state -fresh BENCH_throughput.json -maxbytesperuser 2000000
 
+echo "== cross-chain soak =="
+# Agnosticism smoke: one soak spread over goerli + polygon + algorand at
+# once (concurrent and sequential interleavings compared inside the run),
+# executed twice to check the whole record's per-backend digests are
+# bit-identical across processes, then the crosschain gate against the
+# committed baseline.
+cc_tmp="$(mktemp -d)"
+go run ./cmd/polbench -soak -soakchain all -areas 6 -soakusers 24 -soakrounds 10 -shards 2 \
+    -benchout "$cc_tmp/run1.json" > /dev/null
+go run ./cmd/polbench -soak -soakchain all -areas 6 -soakusers 24 -soakrounds 10 -shards 2 \
+    -benchout "$cc_tmp/run2.json" > /dev/null
+cc_digests1="$(grep -E '"(digest|digest_sequential|state_root)"' "$cc_tmp/run1.json")"
+cc_digests2="$(grep -E '"(digest|digest_sequential|state_root)"' "$cc_tmp/run2.json")"
+if [ -z "$cc_digests1" ] || [ "$cc_digests1" != "$cc_digests2" ]; then
+    echo "cross-chain smoke: per-backend digests diverge across re-runs" >&2
+    exit 1
+fi
+go run ./cmd/benchgate -kind crosschain -fresh "$cc_tmp/run1.json" -baseline ci/baseline/BENCH_throughput.json
+rm -rf "$cc_tmp"
+
 echo "== persistence (kill-and-resume) =="
 # Crash-safety smoke: an uninterrupted reference soak, then the identical
 # workload checkpointing into a state dir and killed with SIGKILL
